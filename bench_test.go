@@ -1,0 +1,137 @@
+// Benchmarks: one per table/figure of the paper's evaluation (DESIGN.md
+// §3), at benchmark-friendly scale (p ≤ 256). Every benchmark reports
+// the *simulated* time as the custom metric "simms/op" next to the real
+// host time; the full-scale tables are produced by cmd/sortbench.
+package pmsort
+
+import (
+	"fmt"
+	"testing"
+
+	"pmsort/internal/core"
+	"pmsort/internal/delivery"
+	"pmsort/internal/expt"
+	"pmsort/internal/workload"
+)
+
+// benchRun executes one validated sorting run per iteration and reports
+// the simulated time.
+func benchRun(b *testing.B, spec expt.Spec) {
+	b.Helper()
+	var sim int64
+	for i := 0; i < b.N; i++ {
+		s := spec
+		s.Seed = spec.Seed + uint64(i)
+		res := expt.Run(s)
+		sim = res.TotalNS
+	}
+	b.ReportMetric(float64(sim)/1e6, "simms/op")
+}
+
+// BenchmarkTable1 regenerates the level plans (Table 1).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range []int{512, 2048, 8192, 32768} {
+			for k := 1; k <= 3; k++ {
+				core.PlanLevels(p, k)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2 is the weak-scaling grid of Table 2 (AMS-sort, the
+// level count that Table 2 would select is benchmarked explicitly).
+func BenchmarkTable2(b *testing.B) {
+	for _, p := range []int{64, 256} {
+		for _, perPE := range []int{1_000, 10_000} {
+			for _, k := range []int{1, 2, 3} {
+				b.Run(fmt.Sprintf("p=%d/np=%d/k=%d", p, perPE, k), func(b *testing.B) {
+					benchRun(b, expt.Spec{Algo: expt.AMS, P: p, PerPE: perPE, Levels: k, Seed: 1})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig7 measures the RLM-sort side of the slowdown plot.
+func BenchmarkFig7(b *testing.B) {
+	for _, p := range []int{64, 256} {
+		for _, k := range []int{1, 2} {
+			b.Run(fmt.Sprintf("RLM/p=%d/k=%d", p, k), func(b *testing.B) {
+				benchRun(b, expt.Spec{Algo: expt.RLM, P: p, PerPE: 1_000, Levels: k, Seed: 2})
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 exercises the phase-breakdown configuration (3-level
+// AMS at the largest benchmark machine).
+func BenchmarkFig8(b *testing.B) {
+	benchRun(b, expt.Spec{Algo: expt.AMS, P: 256, PerPE: 10_000, Levels: 3, Seed: 3})
+}
+
+// BenchmarkFig10 exercises the overpartitioning imbalance sweep point
+// (b=16, a·b=256).
+func BenchmarkFig10(b *testing.B) {
+	benchRun(b, expt.Spec{Algo: expt.AMS, P: 64, PerPE: 10_000, Levels: 1, Seed: 4,
+		Oversampling: 16, Overpartition: 16})
+}
+
+// BenchmarkFig11 exercises the oversampling sweep point (a=1, b=64 — the
+// configuration Appendix E found fastest).
+func BenchmarkFig11(b *testing.B) {
+	benchRun(b, expt.Spec{Algo: expt.AMS, P: 64, PerPE: 10_000, Levels: 1, Seed: 5,
+		Oversampling: 1, Overpartition: 64})
+}
+
+// BenchmarkFig12 is one repetition of the distribution measurement.
+func BenchmarkFig12(b *testing.B) {
+	benchRun(b, expt.Spec{Algo: expt.AMS, P: 256, PerPE: 1_000, Levels: 2, Seed: 6})
+}
+
+// BenchmarkCompare covers the §7.3 baselines.
+func BenchmarkCompare(b *testing.B) {
+	specs := map[string]expt.Spec{
+		"AMS-2level": {Algo: expt.AMS, P: 128, PerPE: 1_000, Levels: 2},
+		"MP-sort":    {Algo: expt.MP, P: 128, PerPE: 1_000, Levels: 1},
+		"GV-sample":  {Algo: expt.GV, P: 128, PerPE: 1_000, Levels: 1},
+		"bitonic":    {Algo: expt.Bitonic, P: 128, PerPE: 1_000, Levels: 1},
+		"histogram":  {Algo: expt.Hist, P: 128, PerPE: 1_000, Levels: 1},
+		"quicksort":  {Algo: expt.HCQ, P: 128, PerPE: 1_000, Levels: 1},
+	}
+	for name, spec := range specs {
+		spec.Seed = 7
+		b.Run(name, func(b *testing.B) { benchRun(b, spec) })
+	}
+}
+
+// BenchmarkDelivery covers the §4.3 delivery-strategy ablation.
+func BenchmarkDelivery(b *testing.B) {
+	for _, strat := range []delivery.Strategy{delivery.Simple, delivery.Randomized,
+		delivery.RandomizedAdvanced, delivery.Deterministic} {
+		b.Run(strat.String(), func(b *testing.B) {
+			benchRun(b, expt.Spec{Algo: expt.AMS, P: 128, PerPE: 1_000, Levels: 2, Seed: 8,
+				Delivery: delivery.Options{Strategy: strat}})
+		})
+	}
+}
+
+// BenchmarkAlltoall covers the 1-factor vs direct exchange ablation (§7.1).
+func BenchmarkAlltoall(b *testing.B) {
+	for name, exch := range map[string]delivery.Exchange{"1factor": delivery.OneFactor, "direct": delivery.Direct} {
+		b.Run(name, func(b *testing.B) {
+			benchRun(b, expt.Spec{Algo: expt.AMS, P: 128, PerPE: 1_000, Levels: 1, Seed: 9,
+				Delivery: delivery.Options{Exchange: exch}})
+		})
+	}
+}
+
+// BenchmarkWorkloads measures robustness across input distributions.
+func BenchmarkWorkloads(b *testing.B) {
+	for _, kind := range []workload.Kind{workload.Uniform, workload.Skewed, workload.DupHeavy, workload.Sorted} {
+		b.Run(kind.String(), func(b *testing.B) {
+			benchRun(b, expt.Spec{Algo: expt.AMS, P: 64, PerPE: 5_000, Levels: 2, Seed: 10,
+				Kind: kind, TieBreak: true})
+		})
+	}
+}

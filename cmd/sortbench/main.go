@@ -1,0 +1,118 @@
+// Command sortbench regenerates every table and figure of the paper's
+// evaluation section (§7, Appendix E) on the simulated machine. See
+// DESIGN.md §3 for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured results.
+//
+// Usage:
+//
+//	sortbench -experiment all                 # everything, default grids
+//	sortbench -experiment table2 -reps 5
+//	sortbench -experiment fig8 -ps 512,2048 -perpe 1000,10000
+//	sortbench -experiment fig10 -p 256 -n 10000
+//	sortbench -quick                          # small grids for a smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"pmsort/internal/expt"
+)
+
+func parseInts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sortbench: bad integer list %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table1|table2|fig7|fig8|fig10|fig11|fig12|compare|delivery|alltoall|all")
+		psFlag     = flag.String("ps", "", "comma-separated PE counts (default 512,2048,8192)")
+		perpeFlag  = flag.String("perpe", "", "comma-separated n/p values (default 1000,10000,100000)")
+		reps       = flag.Int("reps", 3, "repetitions per configuration (paper: 5)")
+		seed       = flag.Uint64("seed", 42, "base random seed")
+		sweepP     = flag.Int("p", 256, "PE count for the fig10/fig11 sweeps")
+		sweepN     = flag.Int("n", 10000, "n/p for the fig10/fig11 sweeps")
+		quick      = flag.Bool("quick", false, "small grids for a fast smoke run")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	opt := expt.SuiteOptions{
+		Ps:     parseInts(*psFlag),
+		PerPEs: parseInts(*perpeFlag),
+		Reps:   *reps,
+		Seed:   *seed,
+	}
+	opt.Progress = progress
+	if *quick {
+		if opt.Ps == nil {
+			opt.Ps = []int{64, 256, 1024}
+		}
+		if opt.PerPEs == nil {
+			opt.PerPEs = []int{256, 2048, 16384}
+		}
+		if *sweepP == 256 {
+			*sweepP = 64
+		}
+		if *sweepN == 10000 {
+			*sweepN = 1024
+		}
+	}
+	opt = opt.Defaults()
+	w := os.Stdout
+
+	needWeak := map[string]bool{"table2": true, "fig7": true, "fig8": true, "fig12": true, "all": true}
+	var weak *expt.WeakData
+	if needWeak[*experiment] {
+		algos := []expt.Algo{expt.AMS}
+		if *experiment == "fig7" || *experiment == "all" {
+			algos = append(algos, expt.RLM)
+		}
+		weak = expt.RunWeakScaling(opt, algos)
+	}
+
+	section := func(name string, fn func()) {
+		if *experiment == name || *experiment == "all" {
+			fn()
+			fmt.Fprintln(w)
+		}
+	}
+	section("table1", func() { expt.Table1(w, nil) })
+	section("table2", func() { weak.Table2(w) })
+	section("fig7", func() { weak.Fig7(w) })
+	section("fig8", func() { weak.Fig8(w) })
+	section("fig10", func() { expt.Fig10(w, *sweepP, *sweepN, *reps, *seed, progress) })
+	section("fig11", func() { expt.Fig11(w, *sweepP, *sweepN, *reps, *seed, progress) })
+	section("fig12", func() { weak.Fig12(w) })
+	section("compare", func() { expt.Compare(w, opt) })
+	section("delivery", func() { expt.DeliveryAblation(w, min(opt.Ps[len(opt.Ps)-1], 512), 1000, *reps, *seed, progress) })
+	section("alltoall", func() { expt.AlltoallAblation(w, nil, 1000, *reps, *seed, progress) })
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

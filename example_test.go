@@ -1,0 +1,78 @@
+package pmsort_test
+
+import (
+	"fmt"
+
+	"pmsort"
+)
+
+// ExampleAMSSort sorts a tiny deterministic input with 2-level AMS-sort.
+func ExampleAMSSort() {
+	const p = 8
+	cl := pmsort.New(p)
+	outs := make([][]uint64, p)
+	cl.Run(func(pe *pmsort.PE) {
+		// PE r holds 4 keys: r, r+8, r+16, r+24 — globally 0..31.
+		data := make([]uint64, 4)
+		for i := range data {
+			data[i] = uint64(pe.Rank() + 8*i)
+		}
+		sorted, _ := pmsort.AMSSort(pmsort.World(pe), data,
+			func(a, b uint64) bool { return a < b },
+			pmsort.Config{Levels: 2, Seed: 1})
+		outs[pe.Rank()] = sorted
+	})
+	var flat []uint64
+	for _, o := range outs {
+		flat = append(flat, o...)
+	}
+	fmt.Println(flat[0], flat[15], flat[31])
+	// Output: 0 15 31
+}
+
+// ExampleRLMSort shows the perfectly balanced output of RLM-sort.
+func ExampleRLMSort() {
+	const p = 4
+	cl := pmsort.New(p)
+	sizes := make([]int, p)
+	cl.Run(func(pe *pmsort.PE) {
+		// Deliberately unbalanced input: PE 0 holds everything.
+		var data []uint64
+		if pe.Rank() == 0 {
+			for i := 99; i >= 0; i-- {
+				data = append(data, uint64(i))
+			}
+		}
+		sorted, _ := pmsort.RLMSort(pmsort.World(pe), data,
+			func(a, b uint64) bool { return a < b },
+			pmsort.Config{Levels: 1, Seed: 2})
+		sizes[pe.Rank()] = len(sorted)
+	})
+	fmt.Println(sizes)
+	// Output: [25 25 25 25]
+}
+
+// ExamplePlanLevels prints the Table 1 configuration for 8192 PEs.
+func ExamplePlanLevels() {
+	fmt.Println(pmsort.PlanLevels(8192, 1))
+	fmt.Println(pmsort.PlanLevels(8192, 2))
+	fmt.Println(pmsort.PlanLevels(8192, 3))
+	// Output:
+	// [8192]
+	// [512 16]
+	// [32 16 16]
+}
+
+// ExampleCluster_Run shows direct use of the simulated machine: a ring
+// exchange with explicit virtual-time inspection.
+func ExampleCluster_Run() {
+	cl := pmsort.New(4)
+	res := cl.Run(func(pe *pmsort.PE) {
+		next := (pe.Rank() + 1) % pe.P()
+		prev := (pe.Rank() + pe.P() - 1) % pe.P()
+		pe.Send(next, 1, pe.Rank(), 1)
+		pe.Recv(prev, 1)
+	})
+	fmt.Println(res.MaxTime > 0, len(res.Times))
+	// Output: true 4
+}

@@ -1,0 +1,64 @@
+// What-if analysis: because the machine is simulated, the same sort can
+// be replayed under different interconnects — the calibrated SuperMUC-
+// like hierarchy, a flat network, a 10× slower inter-island tree, and a
+// 10× higher-latency fabric — showing how the best level count k shifts
+// with the network, which is exactly the paper's point that r (and thus
+// k) should be adapted to the machine hierarchy (§5).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pmsort"
+)
+
+func run(name string, topo pmsort.Topology, cost pmsort.CostModel) {
+	const (
+		p     = 1024 // two islands under the default topology
+		perPE = 2_000
+	)
+	fmt.Printf("%-28s", name)
+	best, bestK := int64(0), 0
+	for k := 1; k <= 3; k++ {
+		cl := pmsort.NewCustom(p, topo, cost)
+		var total int64
+		cl.Run(func(pe *pmsort.PE) {
+			rng := rand.New(rand.NewSource(int64(pe.Rank()) + 17))
+			data := make([]uint64, perPE)
+			for i := range data {
+				data[i] = rng.Uint64()
+			}
+			_, st := pmsort.AMSSort(pmsort.World(pe), data,
+				func(a, b uint64) bool { return a < b },
+				pmsort.Config{Levels: k, Seed: 23})
+			if pe.Rank() == 0 {
+				total = st.TotalNS
+			}
+		})
+		fmt.Printf(" %8.2f", float64(total)/1e6)
+		if best == 0 || total < best {
+			best, bestK = total, k
+		}
+	}
+	fmt.Printf("   best: k=%d\n", bestK)
+}
+
+func main() {
+	fmt.Printf("AMS-sort, p=1024, n/p=2000, by interconnect [ms simulated]\n")
+	fmt.Printf("%-28s %8s %8s %8s\n", "network", "k=1", "k=2", "k=3")
+
+	run("SuperMUC-like (default)", pmsort.DefaultTopology(), pmsort.DefaultCost())
+
+	run("flat (no hierarchy)", pmsort.FlatTopology(), pmsort.DefaultCost())
+
+	slowTree := pmsort.DefaultCost()
+	slowTree.Beta[3] *= 10 // LinkCross
+	run("10x slower island links", pmsort.DefaultTopology(), slowTree)
+
+	highLat := pmsort.DefaultCost()
+	for i := range highLat.Alpha {
+		highLat.Alpha[i] *= 10
+	}
+	run("10x message latency", pmsort.DefaultTopology(), highLat)
+}

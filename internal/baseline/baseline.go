@@ -1,0 +1,232 @@
+// Package baseline implements the comparison algorithms the paper
+// positions itself against (§1, §3, §7.3):
+//
+//   - GVSampleSort: classic single-level sample sort with centralized
+//     splitter generation (Gerbessiotis/Valiant [13], TritonSort/
+//     Baidu-Sort style): the sample is gathered and sorted on one PE —
+//     a sequential bottleneck — and the data exchange sends p-1 direct
+//     messages per PE.
+//   - MPSort: MP-sort [12] style single-level multiway mergesort that
+//     "implements local multiway merging by sorting from scratch", with
+//     direct delivery.
+//   - BitonicSort: Batcher's bitonic sort over the PEs — the classic
+//     log²p-round algorithm that moves all data Θ(log² p) times; the
+//     "prohibitive communication volume" extreme of §1.
+package baseline
+
+import (
+	"sort"
+
+	"pmsort/internal/coll"
+	"pmsort/internal/core"
+	"pmsort/internal/msel"
+	"pmsort/internal/prng"
+	"pmsort/internal/seq"
+	"pmsort/internal/sim"
+)
+
+// GVSampleSort sorts with single-level sample sort and centralized
+// splitter selection. Oversampling a defaults to 16·log₂(p)+1 samples
+// per PE. The output imbalance is whatever the splitters give — there is
+// no overpartitioning rescue.
+func GVSampleSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, seed uint64) ([]E, *core.Stats) {
+	pe := c.PE()
+	p := c.Size()
+	stats := &core.Stats{MaxImbalance: 1, Levels: 1}
+	start := coll.TimedBarrier(c)
+	if p == 1 {
+		sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+		pe.ChargeSortOps(int64(len(data)))
+		stats.PhaseNS[core.PhaseLocalSort] += pe.Now() - start
+		stats.TotalNS = coll.TimedBarrier(c) - start
+		return data, stats
+	}
+
+	// Splitter selection: local samples gathered and sorted at PE 0.
+	t0 := start
+	logp := 0
+	for v := 1; v < p; v <<= 1 {
+		logp++
+	}
+	a := 16*logp + 1
+	if a > len(data) {
+		a = len(data)
+	}
+	rng := prng.New(seed).Fork(uint64(c.Rank()))
+	sample := make([]E, a)
+	for i := range sample {
+		sample[i] = data[rng.Intn(len(data))]
+	}
+	gathered := coll.Gatherv(c, 0, sample)
+	var splitters []E
+	if gathered != nil {
+		all := flatten(gathered)
+		sort.Slice(all, func(i, j int) bool { return less(all[i], all[j]) })
+		pe.ChargeSortOps(int64(len(all))) // the sequential bottleneck
+		splitters = make([]E, 0, p-1)
+		for j := 1; j < p; j++ {
+			splitters = append(splitters, all[j*len(all)/p])
+		}
+	}
+	splitters = coll.Bcast(c, 0, splitters, int64(p-1))
+	t1 := coll.TimedBarrier(c)
+	stats.PhaseNS[core.PhaseSplitterSelection] += t1 - t0
+
+	// Bucket processing: partition into p buckets.
+	var parted []E
+	var bounds []int
+	if len(splitters) > 0 {
+		cls := seq.NewClassifier(splitters, less)
+		parted, bounds = seq.Partition(data, p, cls.Bucket)
+		pe.ChargePartitionOps(seq.ClassifyOps(int64(len(data)), cls.Levels()))
+		pe.ChargeScan(2 * int64(len(data)))
+	} else {
+		parted, bounds = data, make([]int, p+1)
+		for i := 1; i <= p; i++ {
+			bounds[i] = len(data)
+		}
+	}
+	t2 := coll.TimedBarrier(c)
+	stats.PhaseNS[core.PhaseBucketProcessing] += t2 - t1
+
+	// Data delivery: direct all-to-allv, piece i to PE i.
+	out := make([][]E, p)
+	for i := 0; i < p; i++ {
+		out[i] = parted[bounds[i]:bounds[i+1]]
+	}
+	in := coll.AlltoallvDirect(c, out)
+	var n int
+	for _, chunk := range in {
+		n += len(chunk)
+	}
+	recv := make([]E, 0, n)
+	for _, chunk := range in {
+		recv = append(recv, chunk...)
+	}
+	pe.ChargeScan(int64(n))
+	t3 := coll.TimedBarrier(c)
+	stats.PhaseNS[core.PhaseDataDelivery] += t3 - t2
+
+	// Local sort of the received buckets.
+	sort.Slice(recv, func(i, j int) bool { return less(recv[i], recv[j]) })
+	pe.ChargeSortOps(int64(len(recv)))
+	t4 := coll.TimedBarrier(c)
+	stats.PhaseNS[core.PhaseLocalSort] += t4 - t3
+	stats.TotalNS = t4 - start
+	return recv, stats
+}
+
+// MPSort sorts MP-sort style [12]: single-level multiway mergesort with
+// exact splitting (multisequence selection after a local sort), direct
+// message delivery, and a final local sort from scratch instead of a
+// merge of the received runs — the design §7.3 shows does not scale for
+// small inputs.
+func MPSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, seed uint64) ([]E, *core.Stats) {
+	pe := c.PE()
+	p := c.Size()
+	stats := &core.Stats{MaxImbalance: 1, Levels: 1}
+	start := coll.TimedBarrier(c)
+
+	// Initial local sort.
+	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+	pe.ChargeSortOps(int64(len(data)))
+	t0 := coll.TimedBarrier(c)
+	stats.PhaseNS[core.PhaseLocalSort] += t0 - start
+	if p == 1 {
+		stats.TotalNS = t0 - start
+		return data, stats
+	}
+
+	// Exact splitters for all p parts at once.
+	n := coll.Allreduce(c, int64(len(data)), 1, func(a, b int64) int64 { return a + b })
+	targets := make([]int64, p-1)
+	for j := 1; j < p; j++ {
+		targets[j-1] = int64(j) * n / int64(p)
+	}
+	pos := msel.Select(c, data, targets, less, seed)
+	t1 := coll.TimedBarrier(c)
+	stats.PhaseNS[core.PhaseSplitterSelection] += t1 - t0
+
+	// Direct delivery of the p pieces.
+	out := make([][]E, p)
+	prev := 0
+	for j := 0; j < p-1; j++ {
+		out[j] = data[prev:pos[j]]
+		prev = pos[j]
+	}
+	out[p-1] = data[prev:]
+	in := coll.AlltoallvDirect(c, out)
+	t2 := coll.TimedBarrier(c)
+	stats.PhaseNS[core.PhaseDataDelivery] += t2 - t1
+
+	// "Local multiway merging by sorting from scratch."
+	var total int
+	for _, chunk := range in {
+		total += len(chunk)
+	}
+	recv := make([]E, 0, total)
+	for _, chunk := range in {
+		recv = append(recv, chunk...)
+	}
+	sort.Slice(recv, func(i, j int) bool { return less(recv[i], recv[j]) })
+	pe.ChargeSortOps(int64(len(recv)))
+	t3 := coll.TimedBarrier(c)
+	stats.PhaseNS[core.PhaseBucketProcessing] += t3 - t2
+	stats.TotalNS = t3 - start
+	return recv, stats
+}
+
+// BitonicSort sorts with Batcher's bitonic network over the PEs: every
+// PE sorts locally, then log²(p) compare-split rounds exchange whole
+// sequences with hypercube partners. p must be a power of two. Per-PE
+// element counts are preserved exactly.
+func BitonicSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, _ uint64) ([]E, *core.Stats) {
+	const tagBitonic = 0x7e0001
+	pe := c.PE()
+	p := c.Size()
+	if p&(p-1) != 0 {
+		panic("baseline: BitonicSort requires a power-of-two number of PEs")
+	}
+	stats := &core.Stats{MaxImbalance: 1, Levels: 1}
+	start := coll.TimedBarrier(c)
+
+	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+	pe.ChargeSortOps(int64(len(data)))
+	t0 := coll.TimedBarrier(c)
+	stats.PhaseNS[core.PhaseLocalSort] += t0 - start
+
+	rank := c.Rank()
+	cur := data
+	for k := 2; k <= p; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			partner := rank ^ j
+			keepLow := (rank&j == 0) == (rank&k == 0)
+			c.Send(partner, tagBitonic, cur, int64(len(cur)))
+			pl, _ := c.Recv(partner, tagBitonic)
+			other := pl.([]E)
+			merged := seq.Merge2(cur, other, less)
+			pe.ChargeOps(int64(len(merged)))
+			// Preserve my element count: low keeps the smallest len(cur),
+			// high keeps the largest len(cur).
+			if keepLow {
+				cur = merged[:len(cur):len(cur)]
+			} else {
+				cur = merged[len(merged)-len(cur):]
+			}
+		}
+	}
+	t1 := coll.TimedBarrier(c)
+	stats.PhaseNS[core.PhaseDataDelivery] += t1 - t0
+	stats.TotalNS = t1 - start
+	return cur, stats
+}
+
+func addI64(a, b int64) int64 { return a + b }
+
+func flatten[T any](lists [][]T) []T {
+	var out []T
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	return out
+}

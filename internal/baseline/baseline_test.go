@@ -1,0 +1,174 @@
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pmsort/internal/core"
+	"pmsort/internal/sim"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+type sorterFn func(c *sim.Comm, data []int, less func(a, b int) bool, seed uint64) ([]int, *core.Stats)
+
+func runBaseline(p int, locals [][]int, fn sorterFn) [][]int {
+	m := sim.NewDefault(p)
+	outs := make([][]int, p)
+	m.Run(func(pe *sim.PE) {
+		outs[pe.Rank()], _ = fn(sim.World(pe), locals[pe.Rank()], intLess, 77)
+	})
+	return outs
+}
+
+func checkSorted(t *testing.T, locals, outs [][]int) {
+	t.Helper()
+	var wantAll, gotAll []int
+	for _, l := range locals {
+		wantAll = append(wantAll, l...)
+	}
+	prevMax, first := 0, true
+	for rank, out := range outs {
+		if !sort.IntsAreSorted(out) {
+			t.Fatalf("PE %d output not locally sorted", rank)
+		}
+		if len(out) > 0 {
+			if !first && out[0] < prevMax {
+				t.Fatalf("PE %d starts below previous PE's max", rank)
+			}
+			prevMax = out[len(out)-1]
+			first = false
+		}
+		gotAll = append(gotAll, out...)
+	}
+	sort.Ints(wantAll)
+	sort.Ints(gotAll)
+	if len(wantAll) != len(gotAll) {
+		t.Fatalf("element count changed: %d -> %d", len(wantAll), len(gotAll))
+	}
+	for i := range wantAll {
+		if wantAll[i] != gotAll[i] {
+			t.Fatalf("not a permutation at %d", i)
+		}
+	}
+}
+
+func randLocals(rng *rand.Rand, p, perPE, keyRange int) [][]int {
+	locals := make([][]int, p)
+	for i := range locals {
+		loc := make([]int, perPE)
+		for j := range loc {
+			loc[j] = rng.Intn(keyRange)
+		}
+		locals[i] = loc
+	}
+	return locals
+}
+
+func TestGVSampleSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, p := range []int{1, 2, 4, 8, 16, 24} {
+		locals := randLocals(rng, p, 60, 1<<20)
+		outs := runBaseline(p, locals, GVSampleSort[int])
+		checkSorted(t, locals, outs)
+	}
+}
+
+func TestMPSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, p := range []int{1, 2, 4, 8, 16, 24} {
+		locals := randLocals(rng, p, 60, 1<<20)
+		outs := runBaseline(p, locals, MPSort[int])
+		checkSorted(t, locals, outs)
+	}
+}
+
+// TestMPSortPerfectBalance: MP-sort splits exactly, so output is balanced.
+func TestMPSortPerfectBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	p := 8
+	locals := randLocals(rng, p, 40, 5) // heavy duplicates
+	outs := runBaseline(p, locals, MPSort[int])
+	checkSorted(t, locals, outs)
+	for rank, o := range outs {
+		if len(o) != 40 {
+			t.Errorf("PE %d holds %d elements, want 40", rank, len(o))
+		}
+	}
+}
+
+func TestBitonicSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		locals := randLocals(rng, p, 32, 1<<20)
+		outs := runBaseline(p, locals, BitonicSort[int])
+		checkSorted(t, locals, outs)
+		for rank, o := range outs {
+			if len(o) != 32 {
+				t.Errorf("p=%d: PE %d count changed to %d", p, rank, len(o))
+			}
+		}
+	}
+}
+
+func TestBitonicRejectsNonPowerOfTwo(t *testing.T) {
+	m := sim.NewDefault(6)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for p=6")
+		}
+	}()
+	m.Run(func(pe *sim.PE) {
+		BitonicSort(sim.World(pe), []int{1}, intLess, 0)
+	})
+}
+
+// TestBitonicMovesDataLogSquaredTimes: the communication volume per PE is
+// Θ(log²p)·n/p — the §1 "prohibitive communication volume" extreme —
+// whereas single-level sample sort moves each element once.
+func TestBitonicMovesDataLogSquaredTimes(t *testing.T) {
+	const p, perPE = 16, 64
+	rng := rand.New(rand.NewSource(75))
+	locals := randLocals(rng, p, perPE, 1<<20)
+	m := sim.NewDefault(p)
+	m.Run(func(pe *sim.PE) {
+		pe.ResetCounters()
+		BitonicSort(sim.World(pe), locals[pe.Rank()], intLess, 0)
+	})
+	// log2(16)=4 -> 4·5/2 = 10 compare-split rounds, each sends perPE.
+	wantWords := int64(10 * perPE)
+	for i := 0; i < p; i++ {
+		got := m.PE(i).WordsSent
+		if got < wantWords || got > wantWords+64 {
+			t.Errorf("PE %d sent %d words, want ≈%d (log²p rounds)", i, got, wantWords)
+		}
+	}
+}
+
+// TestGVCentralizedBottleneck: GV sample sort's splitter phase includes a
+// sequential sort of the whole gathered sample on PE 0; AMS-sort's
+// splitter phase must be much cheaper at scale.
+func TestGVCentralizedBottleneck(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	const p, perPE = 64, 100
+	locals := randLocals(rng, p, perPE, 1<<30)
+	var gvSplit, amsSplit int64
+	m := sim.NewDefault(p)
+	m.Run(func(pe *sim.PE) {
+		_, st := GVSampleSort(sim.World(pe), append([]int(nil), locals[pe.Rank()]...), intLess, 7)
+		if pe.Rank() == 0 {
+			gvSplit = st.PhaseNS[core.PhaseSplitterSelection]
+		}
+	})
+	m2 := sim.NewDefault(p)
+	m2.Run(func(pe *sim.PE) {
+		_, st := core.AMSSort(sim.World(pe), append([]int(nil), locals[pe.Rank()]...), intLess, core.Config{Levels: 1, Seed: 7})
+		if pe.Rank() == 0 {
+			amsSplit = st.PhaseNS[core.PhaseSplitterSelection]
+		}
+	})
+	if amsSplit >= gvSplit {
+		t.Errorf("AMS splitter selection (%d ns) not faster than centralized GV (%d ns)", amsSplit, gvSplit)
+	}
+}

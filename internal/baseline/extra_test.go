@@ -1,0 +1,149 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmsort/internal/core"
+	"pmsort/internal/sim"
+)
+
+func TestHistogramSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, p := range []int{1, 2, 4, 8, 16, 24} {
+		locals := randLocals(rng, p, 80, 1<<20)
+		m := sim.NewDefault(p)
+		outs := make([][]int, p)
+		m.Run(func(pe *sim.PE) {
+			outs[pe.Rank()], _ = HistogramSort(sim.World(pe), locals[pe.Rank()], intLess, 0.05, 3)
+		})
+		checkSorted(t, locals, outs)
+	}
+}
+
+// TestHistogramSortBalance: with a 5% tolerance, the output imbalance
+// must stay near 1 on unique-ish keys.
+func TestHistogramSortBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	const p, perPE = 16, 200
+	locals := randLocals(rng, p, perPE, 1<<30)
+	m := sim.NewDefault(p)
+	outs := make([][]int, p)
+	m.Run(func(pe *sim.PE) {
+		outs[pe.Rank()], _ = HistogramSort(sim.World(pe), locals[pe.Rank()], intLess, 0.05, 4)
+	})
+	checkSorted(t, locals, outs)
+	for rank, o := range outs {
+		if len(o) < perPE*8/10 || len(o) > perPE*12/10 {
+			t.Errorf("PE %d holds %d elements (n/p=%d, tol 5%%)", rank, len(o), perPE)
+		}
+	}
+}
+
+// TestHistogramSortDuplicates: all-equal keys must still produce a valid
+// (if unbalanced) sorted output rather than hang or crash.
+func TestHistogramSortDuplicates(t *testing.T) {
+	const p = 8
+	locals := make([][]int, p)
+	for i := range locals {
+		loc := make([]int, 32)
+		for j := range loc {
+			loc[j] = 7
+		}
+		locals[i] = loc
+	}
+	m := sim.NewDefault(p)
+	outs := make([][]int, p)
+	m.Run(func(pe *sim.PE) {
+		outs[pe.Rank()], _ = HistogramSort(sim.World(pe), locals[pe.Rank()], intLess, 0.05, 5)
+	})
+	checkSorted(t, locals, outs)
+}
+
+func TestHistogramSortEmpty(t *testing.T) {
+	locals := [][]int{{}, {}, {}, {}}
+	m := sim.NewDefault(4)
+	outs := make([][]int, 4)
+	m.Run(func(pe *sim.PE) {
+		outs[pe.Rank()], _ = HistogramSort(sim.World(pe), locals[pe.Rank()], intLess, 0.05, 6)
+	})
+	checkSorted(t, locals, outs)
+}
+
+func TestHCQuicksort(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		locals := randLocals(rng, p, 64, 1<<20)
+		m := sim.NewDefault(p)
+		outs := make([][]int, p)
+		m.Run(func(pe *sim.PE) {
+			outs[pe.Rank()], _ = HCQuicksort(sim.World(pe), locals[pe.Rank()], intLess, 7)
+		})
+		checkSorted(t, locals, outs)
+	}
+}
+
+func TestHCQuicksortRejectsNonPow2(t *testing.T) {
+	m := sim.NewDefault(6)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for p=6")
+		}
+	}()
+	m.Run(func(pe *sim.PE) {
+		HCQuicksort(sim.World(pe), []int{1}, intLess, 0)
+	})
+}
+
+// TestHCQuicksortRounds: the recursion uses exactly log2(p) levels.
+func TestHCQuicksortRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	const p = 16
+	locals := randLocals(rng, p, 50, 1<<20)
+	m := sim.NewDefault(p)
+	m.Run(func(pe *sim.PE) {
+		_, st := HCQuicksort(sim.World(pe), locals[pe.Rank()], intLess, 8)
+		if st.Levels != 4 {
+			t.Errorf("levels = %d, want 4", st.Levels)
+		}
+	})
+}
+
+// TestQuicksortImbalanceVsAMS: pivot-based splitting cannot guarantee the
+// near-perfect balance AMS-sort achieves with overpartitioning.
+func TestQuicksortImbalanceVsAMS(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	const p, perPE = 32, 400
+	locals := randLocals(rng, p, perPE, 1<<30)
+	var hcImb, amsImb float64
+	m := sim.NewDefault(p)
+	m.Run(func(pe *sim.PE) {
+		_, st := HCQuicksort(sim.World(pe), append([]int(nil), locals[pe.Rank()]...), intLess, 9)
+		if pe.Rank() == 0 {
+			hcImb = st.MaxImbalance
+		}
+	})
+	m2 := sim.NewDefault(p)
+	outs := make([][]int, p)
+	m2.Run(func(pe *sim.PE) {
+		out, _ := core.AMSSort(sim.World(pe), append([]int(nil), locals[pe.Rank()]...), intLess,
+			core.Config{Levels: 2, Seed: 9, Overpartition: 16})
+		outs[pe.Rank()] = out
+	})
+	for _, o := range outs {
+		if imb := float64(len(o)) * float64(p) / float64(p*perPE); imb > amsImb {
+			amsImb = imb
+		}
+	}
+	if hcImb < 1 || amsImb < 1 {
+		t.Fatalf("impossible imbalances hc=%f ams=%f", hcImb, amsImb)
+	}
+	if amsImb > 1.5 {
+		t.Errorf("AMS imbalance %f too large", amsImb)
+	}
+	// Median-of-medians pivots typically land 1.2-2.5x; just require AMS
+	// to be no worse.
+	if amsImb > hcImb+0.25 {
+		t.Errorf("AMS (%f) clearly worse balanced than quicksort (%f)?", amsImb, hcImb)
+	}
+}

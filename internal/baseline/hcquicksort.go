@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"sort"
+
+	"pmsort/internal/coll"
+	"pmsort/internal/core"
+	"pmsort/internal/prng"
+	"pmsort/internal/seq"
+	"pmsort/internal/sim"
+)
+
+const tagHCQ = 0x7e0002
+
+// HCQuicksort is hypercube parallel quicksort [19, 21] — the classic
+// O(log² p)-startup algorithm that §6 positions AMS-sort as a
+// generalization of (AMS with r=O(1) per level behaves like it, but with
+// guaranteed balance). Every round, the PEs of the current subcube agree
+// on a pivot (median of per-PE medians), split their local data, and
+// exchange halves along one hypercube dimension; after log p rounds each
+// PE sorts what it holds. The data is moved log p times and the output
+// balance depends on pivot quality — both weaknesses the paper's
+// algorithms remove. p must be a power of two.
+func HCQuicksort[E any](c *sim.Comm, data []E, less func(a, b E) bool, seed uint64) ([]E, *core.Stats) {
+	pe := c.PE()
+	p := c.Size()
+	if p&(p-1) != 0 {
+		panic("baseline: HCQuicksort requires a power-of-two number of PEs")
+	}
+	stats := &core.Stats{MaxImbalance: 1, Levels: 0}
+	start := coll.TimedBarrier(c)
+
+	// Local sort once up front so medians and splits are O(log) each.
+	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+	pe.ChargeSortOps(int64(len(data)))
+	t0 := coll.TimedBarrier(c)
+	stats.PhaseNS[core.PhaseLocalSort] += t0 - start
+
+	cur := data
+	sub := c
+	rng := prng.New(seed)
+	for sub.Size() > 1 {
+		stats.Levels++
+		q := sub.Size()
+		tSel0 := pe.Now()
+
+		// Pivot: median of the members' local medians, via gossip of
+		// (median, weight) pairs — cheap and classic. Empty PEs abstain.
+		type med struct {
+			val E
+			ok  bool
+		}
+		my := med{}
+		if len(cur) > 0 {
+			my = med{val: cur[len(cur)/2], ok: true}
+		}
+		meds := coll.Allgatherv(sub, []med{my})
+		var cands []E
+		for _, m := range meds {
+			if len(m) == 1 && m[0].ok {
+				cands = append(cands, m[0].val)
+			}
+		}
+		var pivot E
+		havePivot := len(cands) > 0
+		if havePivot {
+			sort.Slice(cands, func(i, j int) bool { return less(cands[i], cands[j]) })
+			pe.ChargeSortOps(int64(len(cands)))
+			pivot = cands[len(cands)/2]
+		}
+		_ = rng.Next() // keep the stream aligned across rounds
+		stats.PhaseNS[core.PhaseSplitterSelection] += pe.Now() - tSel0
+
+		// Split at the pivot and swap halves along the top dimension:
+		// lower subcube keeps < pivot, upper keeps ≥ pivot.
+		tEx0 := pe.Now()
+		cut := 0
+		if havePivot {
+			cut = seq.LowerBound(cur, pivot, less)
+			pe.ChargeOps(16)
+		}
+		half := q / 2
+		low := sub.Rank() < half
+		partner := sub.Rank() + half
+		if !low {
+			partner = sub.Rank() - half
+		}
+		var keep, give []E
+		if low {
+			keep, give = cur[:cut], cur[cut:]
+		} else {
+			keep, give = cur[cut:], cur[:cut]
+		}
+		sub.Send(partner, tagHCQ, give, int64(len(give)))
+		pl, _ := sub.Recv(partner, tagHCQ)
+		got := pl.([]E)
+		merged := seq.Merge2(keep, got, less)
+		pe.ChargeOps(int64(len(merged)))
+		cur = merged
+		stats.PhaseNS[core.PhaseDataDelivery] += pe.Now() - tEx0
+
+		if low {
+			sub = sub.Subset(0, half)
+		} else {
+			sub = sub.Subset(half, q)
+		}
+	}
+	end := coll.TimedBarrier(c)
+	stats.TotalNS = end - start
+	n := coll.Allreduce(c, int64(len(cur)), 1, addI64)
+	if n > 0 {
+		stats.MaxImbalance = float64(len(cur)) * float64(p) / float64(n)
+	}
+	return cur, stats
+}

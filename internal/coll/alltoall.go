@@ -1,0 +1,174 @@
+package coll
+
+import "pmsort/internal/sim"
+
+// AlltoallI64 exchanges one int64 with every member (v[i] goes to member
+// i) using the Bruck algorithm: ⌈log₂ p⌉ rounds of aggregated messages of
+// ≤ ⌈p/2⌉ words instead of p startups. Returns the received vector
+// indexed by source rank. This is how all-to-allv implementations
+// exchange their counts up front.
+func AlltoallI64(c *sim.Comm, v []int64) []int64 {
+	p, r := c.Size(), c.Rank()
+	if len(v) != p {
+		panic("coll: AlltoallI64 vector length != group size")
+	}
+	if p == 1 {
+		return []int64{v[0]}
+	}
+	// Phase 1: local rotation. blk[j] = value destined to (r+j) mod p.
+	blk := make([]int64, p)
+	for j := 0; j < p; j++ {
+		blk[j] = v[(r+j)%p]
+	}
+	// Phase 2: for each bit, ship all blocks whose index has the bit set
+	// to (r + bit) mod p; both sides enumerate the same block indices.
+	for bit := 1; bit < p; bit <<= 1 {
+		var out []int64
+		for j := bit; j < p; j++ {
+			if j&bit != 0 {
+				out = append(out, blk[j])
+			}
+		}
+		to := (r + bit) % p
+		from := (r - bit + p) % p
+		c.Send(to, tagBruck, out, int64(len(out)))
+		pl, _ := c.Recv(from, tagBruck)
+		in := pl.([]int64)
+		idx := 0
+		for j := bit; j < p; j++ {
+			if j&bit != 0 {
+				blk[j] = in[idx]
+				idx++
+			}
+		}
+	}
+	// Phase 3: after the rounds, blk[j] holds the value destined to me
+	// originating from (r-j) mod p; undo the rotation.
+	res := make([]int64, p)
+	for j := 0; j < p; j++ {
+		res[(r-j+p)%p] = blk[j]
+	}
+	return res
+}
+
+// wordsOf sums the word sizes of a message's items: one word per item by
+// default, or Σ itemWords(item) when an item carries nested data.
+func wordsOf[T any](items []T, itemWords func(T) int64) int64 {
+	if itemWords == nil {
+		return int64(len(items))
+	}
+	var w int64
+	for _, it := range items {
+		w += itemWords(it)
+	}
+	return w
+}
+
+// AlltoallvDirect performs an irregular all-to-all exchange the way a
+// plain MPI_Alltoallv does: every member sends one message to every other
+// member, including empty ones — p-1 startups per PE regardless of the
+// payload distribution (the behaviour of the IBM mpich2 implementation
+// the paper compares against in §7.1). out[i] is moved to member i;
+// the result is indexed by source rank, with out[me] passed through.
+func AlltoallvDirect[T any](c *sim.Comm, out [][]T) [][]T {
+	return AlltoallvDirectFunc(c, out, nil)
+}
+
+// AlltoallvDirectFunc is AlltoallvDirect with an explicit per-item word
+// size (nil means one word per item).
+func AlltoallvDirectFunc[T any](c *sim.Comm, out [][]T, itemWords func(T) int64) [][]T {
+	p, r := c.Size(), c.Rank()
+	if len(out) != p {
+		panic("coll: AlltoallvDirect buffer count != group size")
+	}
+	in := make([][]T, p)
+	in[r] = out[r]
+	c.PE().ChargeScan(wordsOf(out[r], itemWords))
+	for i := 1; i < p; i++ {
+		to := (r + i) % p
+		c.Send(to, tagAlltoallv, out[to], wordsOf(out[to], itemWords))
+	}
+	for i := 1; i < p; i++ {
+		from := (r - i + p) % p
+		pl, _ := c.Recv(from, tagAlltoallv)
+		in[from] = pl.([]T)
+	}
+	return in
+}
+
+// Alltoallv1Factor performs the irregular all-to-all exchange with the
+// 1-factor algorithm of Sanders and Träff [31], as in the paper's own
+// implementation (§7.1): communication proceeds in p (p odd) or p-1
+// (p even) rounds of disjoint pairwise exchanges, and — unlike the plain
+// direct algorithm — empty messages are omitted entirely. Message counts
+// are exchanged up front with a Bruck all-to-all (log p aggregated
+// messages). The result is indexed by source rank.
+func Alltoallv1Factor[T any](c *sim.Comm, out [][]T) [][]T {
+	return Alltoallv1FactorFunc(c, out, nil)
+}
+
+// Alltoallv1FactorFunc is Alltoallv1Factor with an explicit per-item word
+// size (nil means one word per item).
+func Alltoallv1FactorFunc[T any](c *sim.Comm, out [][]T, itemWords func(T) int64) [][]T {
+	p, r := c.Size(), c.Rank()
+	if len(out) != p {
+		panic("coll: Alltoallv1Factor buffer count != group size")
+	}
+	counts := make([]int64, p)
+	for i, s := range out {
+		counts[i] = wordsOf(s, itemWords) // declared message sizes
+		if counts[i] == 0 && len(s) > 0 {
+			counts[i] = 1 // zero-word items still need a message
+		}
+	}
+	incoming := AlltoallI64(c, counts)
+
+	in := make([][]T, p)
+	in[r] = out[r]
+	c.PE().ChargeScan(wordsOf(out[r], itemWords))
+
+	exchange := func(partner int) {
+		if len(out[partner]) > 0 {
+			c.Send(partner, tagAlltoallv, out[partner], counts[partner])
+		}
+		if incoming[partner] > 0 {
+			pl, _ := c.Recv(partner, tagAlltoallv)
+			in[partner] = pl.([]T)
+		}
+	}
+
+	if p%2 == 0 {
+		// Even p: p-1 rounds; in round rd, PE p-1 pairs with the PE i
+		// that satisfies 2i ≡ rd (mod p-1); other PEs i pair with
+		// j = (rd - i) mod (p-1).
+		for rd := 0; rd < p-1; rd++ {
+			var partner int
+			if r == p-1 {
+				partner = idleOf(rd, p-1)
+			} else if idleOf(rd, p-1) == r {
+				partner = p - 1
+			} else {
+				partner = (rd - r%(p-1) + p - 1) % (p - 1)
+			}
+			exchange(partner)
+		}
+	} else {
+		// Odd p: p rounds; PE i pairs with (rd - i) mod p and idles when
+		// that is itself.
+		for rd := 0; rd < p; rd++ {
+			partner := (rd - r + 2*p) % p
+			if partner == r {
+				continue
+			}
+			exchange(partner)
+		}
+	}
+	return in
+}
+
+// idleOf returns the PE i with 2i ≡ rd (mod m), m odd — the PE that would
+// be self-paired in round rd of the 1-factorization on m vertices.
+func idleOf(rd, m int) int {
+	// 2⁻¹ mod m for odd m is (m+1)/2.
+	return rd * (m + 1) / 2 % m
+}

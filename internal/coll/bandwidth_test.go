@@ -1,0 +1,126 @@
+package coll
+
+import (
+	"testing"
+
+	"pmsort/internal/sim"
+)
+
+func TestAllreduceSumI64Correct(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 8, 16, 32} {
+		for _, l := range []int{1, 3, 8, 33, 257} {
+			m := sim.NewDefault(p)
+			m.Run(func(pe *sim.PE) {
+				c := sim.World(pe)
+				vec := make([]int64, l)
+				for i := range vec {
+					vec[i] = int64((pe.Rank() + 1) * (i + 1))
+				}
+				got := AllreduceSumI64(c, vec)
+				sumRanks := int64(p) * int64(p+1) / 2
+				for i := range got {
+					want := sumRanks * int64(i+1)
+					if got[i] != want {
+						t.Fatalf("p=%d l=%d rank=%d: got[%d]=%d want %d", p, l, pe.Rank(), i, got[i], want)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestAllreduceSumI64DoesNotAliasInput(t *testing.T) {
+	m := sim.NewDefault(4)
+	m.Run(func(pe *sim.PE) {
+		c := sim.World(pe)
+		vec := []int64{1, 2, 3, 4}
+		got := AllreduceSumI64(c, vec)
+		got[0] = -999 // mutating the result must not corrupt siblings
+		if vec[0] != 1 {
+			t.Errorf("input mutated: %v", vec)
+		}
+	})
+}
+
+// TestRabenseifnerCheaperThanTree: for long vectors on many PEs the
+// recursive-halving algorithm must beat the binomial tree in simulated
+// time (2ℓβ vs ℓβ·log p).
+func TestRabenseifnerCheaperThanTree(t *testing.T) {
+	const p, l = 64, 1 << 14
+	run := func(useRab bool) int64 {
+		m := sim.New(p, sim.FlatTopology(), sim.DefaultCost())
+		res := m.Run(func(pe *sim.PE) {
+			c := sim.World(pe)
+			vec := make([]int64, l)
+			if useRab {
+				AllreduceSumI64(c, vec)
+			} else {
+				Allreduce(c, vec, int64(l), func(a, b []int64) []int64 {
+					out := make([]int64, len(a))
+					for i := range a {
+						out[i] = a[i] + b[i]
+					}
+					return out
+				})
+			}
+		})
+		return res.MaxTime
+	}
+	rab, tree := run(true), run(false)
+	if rab >= tree {
+		t.Errorf("Rabenseifner (%d ns) not faster than tree (%d ns) for l=%d p=%d", rab, tree, l, p)
+	}
+}
+
+func TestBcastPipelinedCorrect(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 16, 33} {
+		for root := 0; root < p; root += 1 + p/2 {
+			m := sim.NewDefault(p)
+			m.Run(func(pe *sim.PE) {
+				c := sim.World(pe)
+				got := BcastPipelined(c, root, 4000+root, 1<<12, 16)
+				if got != 4000+root {
+					t.Errorf("p=%d root=%d rank=%d: got %d", p, root, pe.Rank(), got)
+				}
+			})
+		}
+	}
+}
+
+func TestBcastPipelinedDegenerate(t *testing.T) {
+	m := sim.NewDefault(4)
+	m.Run(func(pe *sim.PE) {
+		c := sim.World(pe)
+		if got := BcastPipelined(c, 0, "x", 1, 8); got != "x" {
+			t.Errorf("tiny payload: %v", got)
+		}
+		if got := BcastPipelined(c, 0, "y", 100, 1); got != "y" {
+			t.Errorf("chunks=1: %v", got)
+		}
+	})
+}
+
+// TestBcastPipelinedFasterForLongMessages: the binomial tree's critical
+// path carries ℓβ per level (the root alone sends log p full copies), so
+// for deep trees and long messages the chunked binary tree — whose nodes
+// pay ≈3ℓβ once, overlapped across levels — must win.
+func TestBcastPipelinedFasterForLongMessages(t *testing.T) {
+	const p = 1024
+	const words = 1 << 16
+	run := func(chunks int) int64 {
+		m := sim.New(p, sim.FlatTopology(), sim.DefaultCost())
+		res := m.Run(func(pe *sim.PE) {
+			c := sim.World(pe)
+			if chunks <= 1 {
+				Bcast(c, 0, 1, words)
+			} else {
+				BcastPipelined(c, 0, 1, words, chunks)
+			}
+		})
+		return res.MaxTime
+	}
+	binomial, pipelined := run(1), run(16)
+	if pipelined >= binomial {
+		t.Errorf("pipelined bcast (%d ns) not faster than binomial (%d ns)", pipelined, binomial)
+	}
+}

@@ -1,0 +1,288 @@
+// Package coll implements the collective communication operations the
+// sorting algorithms are built from — broadcast, (all)reduce, prefix
+// sums, gather, allgather (plain and merging/"gossip"), barriers, and
+// all-to-all exchange (direct and 1-factor [31]) — on top of the
+// point-to-point primitives of internal/sim. All collectives use
+// tree/hypercube/dissemination schedules, so their O(α·log p + ℓ·β)
+// costs emerge from the α-β model instead of being asserted.
+//
+// Conventions:
+//
+//   - Combine functions passed to Reduce/Allreduce/ExScan must be pure:
+//     they must not mutate their arguments and must return a fresh value
+//     (or one of the arguments unmodified).
+//   - Payloads delivered to multiple PEs (Bcast, Allgatherv, Allreduce
+//     results) are shared between PEs and must be treated as read-only.
+//   - Point-to-point payload ownership transfers to the receiver.
+package coll
+
+import (
+	"pmsort/internal/seq"
+	"pmsort/internal/sim"
+)
+
+// Tag space for collectives. Each operation uses its own tag; repeated
+// invocations are kept apart by per-(source,tag) FIFO ordering.
+const (
+	tagBcast = 0x7c0000 + iota
+	tagReduce
+	tagScan
+	tagGather
+	tagGossip
+	tagAlltoallv
+	tagAlltoallCnt
+	tagBarrier
+	tagBruck
+)
+
+// hBit returns the smallest power of two ≥ p.
+func hBit(p int) int {
+	h := 1
+	for h < p {
+		h <<= 1
+	}
+	return h
+}
+
+// Bcast broadcasts root's value to all members along a binomial tree and
+// returns it. The returned value is shared across PEs: read-only.
+func Bcast[T any](c *sim.Comm, root int, val T, words int64) T {
+	p := c.Size()
+	if p == 1 {
+		return val
+	}
+	vr := (c.Rank() - root + p) % p // virtual rank: root becomes 0
+	// lowbit(vr) for vr != 0; the root uses the tree height H.
+	low := vr & (-vr)
+	if vr == 0 {
+		low = hBit(p)
+	}
+	if vr != 0 {
+		parent := (vr - low + root) % p
+		pl, _ := c.Recv(parent, tagBcast)
+		val = pl.(T)
+	}
+	for m := low >> 1; m >= 1; m >>= 1 {
+		if vr+m < p {
+			c.Send((vr+m+root)%p, tagBcast, val, words)
+		}
+	}
+	return val
+}
+
+// Reduce combines all members' values with op along a binomial tree.
+// The result is returned at root (ok=true); other PEs get ok=false.
+func Reduce[T any](c *sim.Comm, root int, val T, words int64, op func(a, b T) T) (T, bool) {
+	p := c.Size()
+	if p == 1 {
+		return val, true
+	}
+	vr := (c.Rank() - root + p) % p
+	low := vr & (-vr)
+	if vr == 0 {
+		low = hBit(p)
+	}
+	// Children send up in increasing subtree size; parent receives in the
+	// same order (deterministic combine order).
+	for m := 1; m < low; m <<= 1 {
+		if vr+m < p {
+			pl, _ := c.Recv((vr+m+root)%p, tagReduce)
+			val = op(val, pl.(T))
+		}
+	}
+	if vr != 0 {
+		c.Send((vr-low+root)%p, tagReduce, val, words)
+		var zero T
+		return zero, false
+	}
+	return val, true
+}
+
+// Allreduce combines all members' values with op and returns the result
+// on every PE (reduce to rank 0, then broadcast). The result is shared:
+// read-only.
+func Allreduce[T any](c *sim.Comm, val T, words int64, op func(a, b T) T) T {
+	red, ok := Reduce(c, 0, val, words, op)
+	if !ok {
+		// Non-root PEs receive the result in the broadcast below.
+		var zero T
+		red = zero
+	}
+	return Bcast(c, 0, red, words)
+}
+
+// ExScan computes the exclusive prefix "sum" of the members' values under
+// op using a dissemination schedule (⌈log₂ p⌉ rounds). Rank 0 has no
+// prefix (ok=false). Results are fresh values (safe to mutate) as long as
+// op is pure.
+func ExScan[T any](c *sim.Comm, val T, words int64, op func(a, b T) T) (T, bool) {
+	p, r := c.Size(), c.Rank()
+	incl := val // inclusive prefix over the ranks covered so far
+	var ex T
+	has := false
+	for d := 1; d < p; d <<= 1 {
+		if r+d < p {
+			c.Send(r+d, tagScan, incl, words)
+		}
+		if r-d >= 0 {
+			pl, _ := c.Recv(r-d, tagScan)
+			t := pl.(T)
+			// t is the inclusive prefix of ranks (r-2d, r-d] — exactly
+			// the block preceding everything we have accumulated.
+			if has {
+				ex = op(t, ex)
+			} else {
+				ex = t
+				has = true
+			}
+			incl = op(t, incl)
+		}
+	}
+	return ex, has
+}
+
+// ScanTotal returns the exclusive prefix (ok=false at rank 0) and the
+// total over all members (broadcast from the last rank).
+func ScanTotal[T any](c *sim.Comm, val T, words int64, op func(a, b T) T) (prefix T, total T, ok bool) {
+	prefix, ok = ExScan(c, val, words, op)
+	incl := val
+	if ok {
+		incl = op(prefix, val)
+	}
+	total = Bcast(c, c.Size()-1, incl, words)
+	return prefix, total, ok
+}
+
+// gchunk is a rank-stamped slice riding up the Gatherv tree.
+type gchunk[T any] struct {
+	rank int
+	data []T
+}
+
+// Gatherv gathers the members' slices at root along a binomial tree.
+// At root it returns a slice indexed by member rank; other PEs get nil.
+func Gatherv[T any](c *sim.Comm, root int, local []T) [][]T {
+	type chunk = gchunk[T]
+	p := c.Size()
+	if p == 1 {
+		return [][]T{local}
+	}
+	vr := (c.Rank() - root + p) % p
+	low := vr & (-vr)
+	if vr == 0 {
+		low = hBit(p)
+	}
+	chunks := []chunk{{c.Rank(), local}}
+	words := int64(len(local)) + 1
+	for m := 1; m < low; m <<= 1 {
+		if vr+m < p {
+			pl, w := c.Recv((vr+m+root)%p, tagGather)
+			chunks = append(chunks, pl.([]chunk)...)
+			words += w
+		}
+	}
+	if vr != 0 {
+		c.Send((vr-low+root)%p, tagGather, chunks, words)
+		return nil
+	}
+	out := make([][]T, p)
+	for _, ch := range chunks {
+		out[ch.rank] = ch.data
+	}
+	return out
+}
+
+// Allgatherv gathers every member's slice on every member (gather at
+// rank 0 + broadcast). The result is indexed by rank and shared:
+// read-only.
+func Allgatherv[T any](c *sim.Comm, local []T) [][]T {
+	all := Gatherv(c, 0, local)
+	var total int64
+	if c.Rank() == 0 {
+		for _, s := range all {
+			total += int64(len(s)) + 1
+		}
+	}
+	return Bcast(c, 0, all, total)
+}
+
+// AllgatherMerge gossips the members' locally sorted slices so that every
+// member ends up with the sorted union ("allGather where received sorted
+// sequences are merged", §4.2). For power-of-two groups it runs the
+// hypercube algorithm with pairwise merging; otherwise it gathers at rank
+// 0, multiway-merges, and broadcasts. The result is freshly allocated on
+// each PE for the hypercube path and shared on the fallback path:
+// read-only either way.
+func AllgatherMerge[T any](c *sim.Comm, local []T, less func(a, b T) bool) []T {
+	p := c.Size()
+	if p == 1 {
+		return local
+	}
+	if p&(p-1) == 0 {
+		cur := local
+		for bit := 1; bit < p; bit <<= 1 {
+			partner := c.Rank() ^ bit
+			c.Send(partner, tagGossip, cur, int64(len(cur)))
+			pl, _ := c.Recv(partner, tagGossip)
+			other := pl.([]T)
+			merged := seq.Merge2(cur, other, less)
+			c.PE().ChargeOps(int64(len(merged)))
+			cur = merged
+		}
+		return cur
+	}
+	runs := Gatherv(c, 0, local)
+	var merged []T
+	if runs != nil {
+		merged = seq.Multiway(runs, less)
+		c.PE().ChargeOps(seq.MultiwayOps(int64(len(merged)), len(runs)))
+	}
+	return Bcast(c, 0, merged, int64(lenTotal(runs)))
+}
+
+func lenTotal[T any](runs [][]T) int {
+	n := 0
+	for _, r := range runs {
+		n += len(r)
+	}
+	return n
+}
+
+// Barrier synchronizes all members with a dissemination barrier
+// (⌈log₂ p⌉ rounds of single-word messages).
+func Barrier(c *sim.Comm) {
+	p, r := c.Size(), c.Rank()
+	for d := 1; d < p; d <<= 1 {
+		c.Send((r+d)%p, tagBarrier, nil, 1)
+		c.Recv((r-d+p)%p, tagBarrier)
+	}
+}
+
+// TimedBarrier synchronizes all members and their virtual clocks: every
+// member leaves at the identical virtual time max(clocks) + the modeled
+// cost of a dissemination barrier over the group's widest link. Returns
+// the common exit time. Used to delimit algorithm phases exactly like
+// the MPI_Barrier calls in the paper's measurements (§7.1).
+func TimedBarrier(c *sim.Comm) int64 {
+	pe := c.PE()
+	if c.Size() == 1 {
+		return pe.Now()
+	}
+	maxOp := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	entry := Allreduce(c, pe.Now(), 1, maxOp)
+	// Replace the allreduce's internal cost with the modeled barrier exit
+	// time so all clocks agree exactly.
+	span := c.Span()
+	rounds := int64(0)
+	for d := 1; d < c.Size(); d <<= 1 {
+		rounds++
+	}
+	exit := entry + 2*rounds*pe.Cost().Alpha[span]
+	pe.SyncTo(exit)
+	return exit
+}

@@ -1,0 +1,168 @@
+package coll
+
+import (
+	"testing"
+
+	"pmsort/internal/sim"
+)
+
+// TestSingletonCollectives: every collective degenerates correctly on a
+// one-member communicator.
+func TestSingletonCollectives(t *testing.T) {
+	m := sim.NewDefault(1)
+	m.Run(func(pe *sim.PE) {
+		c := sim.World(pe)
+		if got := Bcast(c, 0, 42, 1); got != 42 {
+			t.Errorf("Bcast: %v", got)
+		}
+		if got, ok := Reduce(c, 0, int64(7), 1, addI64); !ok || got != 7 {
+			t.Errorf("Reduce: %v %v", got, ok)
+		}
+		if got := Allreduce(c, int64(7), 1, addI64); got != 7 {
+			t.Errorf("Allreduce: %v", got)
+		}
+		if _, ok := ExScan(c, int64(7), 1, addI64); ok {
+			t.Errorf("ExScan on rank 0 must have no prefix")
+		}
+		if all := Allgatherv(c, []int{1, 2}); len(all) != 1 || len(all[0]) != 2 {
+			t.Errorf("Allgatherv: %v", all)
+		}
+		if got := AllgatherMerge(c, []int{3, 4}, func(a, b int) bool { return a < b }); len(got) != 2 {
+			t.Errorf("AllgatherMerge: %v", got)
+		}
+		if got := AlltoallI64(c, []int64{9}); got[0] != 9 {
+			t.Errorf("AlltoallI64: %v", got)
+		}
+		in := Alltoallv1Factor(c, [][]int{{5}})
+		if len(in[0]) != 1 || in[0][0] != 5 {
+			t.Errorf("Alltoallv1Factor: %v", in)
+		}
+		Barrier(c)
+		TimedBarrier(c)
+	})
+}
+
+// TestZeroWordMessages: collectives must survive empty payloads.
+func TestZeroWordMessages(t *testing.T) {
+	m := sim.NewDefault(4)
+	m.Run(func(pe *sim.PE) {
+		c := sim.World(pe)
+		out := make([][]int, 4) // everything empty
+		in := Alltoallv1Factor(c, out)
+		for src, chunk := range in {
+			if len(chunk) != 0 {
+				t.Errorf("got phantom data from %d: %v", src, chunk)
+			}
+		}
+		in = AlltoallvDirect(c, out)
+		for src, chunk := range in {
+			if len(chunk) != 0 {
+				t.Errorf("direct: phantom data from %d: %v", src, chunk)
+			}
+		}
+	})
+}
+
+// TestAlltoallvFuncWordAccounting: the itemWords callback drives cost
+// accounting — heavier items must take longer.
+func TestAlltoallvFuncWordAccounting(t *testing.T) {
+	run := func(itemWords func([]int) int64) int64 {
+		m := sim.NewDefault(2)
+		res := m.Run(func(pe *sim.PE) {
+			c := sim.World(pe)
+			out := make([][][]int, 2)
+			out[1-c.Rank()] = [][]int{{1, 2, 3}}
+			AlltoallvDirectFunc(c, out, itemWords)
+		})
+		return res.MaxTime
+	}
+	light := run(func([]int) int64 { return 1 })
+	heavy := run(func(ch []int) int64 { return 1000 })
+	if heavy <= light {
+		t.Errorf("word accounting ignored: light=%d heavy=%d", light, heavy)
+	}
+}
+
+// TestReduceNonCommutativeOrder: the combine order is deterministic, so
+// a non-commutative op gives reproducible (if unusual) results.
+func TestReduceNonCommutativeOrder(t *testing.T) {
+	const p = 7
+	run := func() []int {
+		m := sim.NewDefault(p)
+		var got []int
+		m.Run(func(pe *sim.PE) {
+			c := sim.World(pe)
+			concat := func(a, b []int) []int { return append(append([]int(nil), a...), b...) }
+			res, ok := Reduce(c, 0, []int{c.Rank()}, 1, concat)
+			if ok {
+				got = res
+			}
+		})
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != p || len(b) != p {
+		t.Fatalf("lost contributions: %v %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("combine order not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestBarrierReallySynchronizes: no PE may pass the barrier before the
+// slowest PE arrives.
+func TestBarrierReallySynchronizes(t *testing.T) {
+	const p = 9
+	m := sim.NewDefault(p)
+	const slowest = 1_000_000
+	m.Run(func(pe *sim.PE) {
+		c := sim.World(pe)
+		if pe.Rank() == p/2 {
+			pe.Charge(slowest)
+		}
+		Barrier(c)
+		if pe.Now() < slowest {
+			t.Errorf("PE %d escaped the barrier at %d < %d", pe.Rank(), pe.Now(), slowest)
+		}
+	})
+}
+
+// TestGathervRoots: gather works for every root.
+func TestGathervRoots(t *testing.T) {
+	const p = 5
+	for root := 0; root < p; root++ {
+		m := sim.NewDefault(p)
+		m.Run(func(pe *sim.PE) {
+			c := sim.World(pe)
+			all := Gatherv(c, root, []int{pe.Rank() * 10})
+			if c.Rank() == root {
+				for r := 0; r < p; r++ {
+					if len(all[r]) != 1 || all[r][0] != r*10 {
+						t.Errorf("root %d: chunk %d = %v", root, r, all[r])
+					}
+				}
+			} else if all != nil {
+				t.Errorf("non-root %d got data", c.Rank())
+			}
+		})
+	}
+}
+
+// TestBcastBigPayloadCost: broadcasting ℓ words costs Θ(ℓ·β) per hop,
+// not per byte of Go object overhead — clock growth must scale with the
+// declared word count.
+func TestBcastBigPayloadCost(t *testing.T) {
+	run := func(words int64) int64 {
+		m := sim.New(4, sim.FlatTopology(), sim.DefaultCost())
+		res := m.Run(func(pe *sim.PE) {
+			Bcast(sim.World(pe), 0, "payload", words)
+		})
+		return res.MaxTime
+	}
+	small, big := run(10), run(100_000)
+	if big < 10*small {
+		t.Errorf("β term not scaling: %d vs %d", small, big)
+	}
+}

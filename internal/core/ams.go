@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"pmsort/internal/coll"
+	"pmsort/internal/delivery"
+	"pmsort/internal/fwis"
+	"pmsort/internal/grouping"
+	"pmsort/internal/prng"
+	"pmsort/internal/seq"
+	"pmsort/internal/sim"
+)
+
+// tagged is a sample or splitter key with its origin stamp, giving the
+// strict total order of §2 ((key, PE, position) lexicographically).
+type tagged[E any] struct {
+	key E
+	pe  int32
+	idx int32
+}
+
+func taggedLess[E any](less func(a, b E) bool) func(a, b tagged[E]) bool {
+	return func(a, b tagged[E]) bool {
+		if less(a.key, b.key) {
+			return true
+		}
+		if less(b.key, a.key) {
+			return false
+		}
+		if a.pe != b.pe {
+			return a.pe < b.pe
+		}
+		return a.idx < b.idx
+	}
+}
+
+// AMSSort sorts the distributed data with adaptive multi-level sample
+// sort (§6). It must be called collectively by all members of c with
+// identical cfg. It returns this PE's slice of the globally sorted
+// permutation — locally sorted, with no element on PE i larger than any
+// element on PE i+1 — together with phase statistics. The output may be
+// imbalanced by the overpartitioning tolerance (Lemma 2).
+func AMSSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
+	cfg = validate(cfg)
+	plan := cfg.Rs
+	if plan == nil {
+		plan = PlanLevels(c.Size(), cfg.Levels)
+	}
+	stats := &Stats{MaxImbalance: 1}
+	start := coll.TimedBarrier(c)
+	out := amsLevel(c, data, less, cfg, plan, 0, stats)
+	stats.TotalNS = coll.TimedBarrier(c) - start
+	return out, stats
+}
+
+func amsLevel[E any](c *sim.Comm, data []E, less func(a, b E) bool, cfg Config, plan []int, level int, stats *Stats) []E {
+	pe := c.PE()
+	if c.Size() == 1 {
+		// Base case: sort locally (the "local sort" phase).
+		t0 := pe.Now()
+		sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+		pe.ChargeSortOps(int64(len(data)))
+		stats.PhaseNS[PhaseLocalSort] += pe.Now() - t0
+		stats.Levels = level
+		return data
+	}
+	r := levelR(cfg, plan, level, c.Size())
+	b := effectiveB(cfg, r)
+	seed := cfg.Seed + uint64(level)*0x9e3779b97f4a7c15
+
+	// --- Phase: splitter selection -------------------------------------
+	t0 := coll.TimedBarrier(c)
+	n := coll.Allreduce(c, int64(len(data)), 1, addI64)
+	if n == 0 {
+		// Nothing to sort anywhere; recurse trivially to keep the
+		// collective call structure aligned.
+		sub, _ := c.SplitEqual(r)
+		return amsLevel(sub, data, less, cfg, plan, level+1, stats)
+	}
+	a := cfg.Oversampling
+	if a <= 0 {
+		a = 1.6 * math.Log10(float64(n)) // the paper's a = 1.6·log₁₀ n (§7.2)
+		if a < 1 {
+			a = 1
+		}
+	}
+	sampleTotal := int64(a * float64(b) * float64(r))
+	if sampleTotal < int64(r) {
+		sampleTotal = int64(r)
+	}
+	// Per-PE share, proportional to local data (cheap approximation of a
+	// uniform global sample: PEs hold n/p elements each in the intended
+	// use, and empty PEs must not contribute).
+	share := int(sampleTotal / int64(c.Size()))
+	if share < 1 {
+		share = 1
+	}
+	if share > len(data) {
+		share = len(data)
+	}
+	// Sample `share` distinct positions (Floyd's algorithm) and tag each
+	// sample with its (PE, data position): distinct positions keep the
+	// tagged order strict for fwis, and position tags make the implicit
+	// tie-breaking splits uniform over each PE's data.
+	rng := prng.New(seed).Fork(uint64(c.Rank()) + 0xabcd)
+	sample := make([]tagged[E], 0, share)
+	taken := make(map[int]bool, share)
+	for i := len(data) - share; i < len(data); i++ {
+		j := rng.Intn(i + 1)
+		if taken[j] {
+			j = i
+		}
+		taken[j] = true
+		sample = append(sample, tagged[E]{key: data[j], pe: int32(c.Rank()), idx: int32(j)})
+	}
+	pe.ChargeScan(int64(share))
+
+	tLess := taggedLess(less)
+	sorter := fwis.New(c, sample, tLess)
+	numSplitters := b*r - 1
+	if s := sorter.Total(); int64(numSplitters) > s {
+		numSplitters = int(s)
+	}
+	targets := make([]int64, numSplitters)
+	for i := range targets {
+		targets[i] = (int64(i) + 1) * sorter.Total() / int64(b*r)
+	}
+	splitters := sorter.SelectRanks(targets)
+	t1 := coll.TimedBarrier(c)
+	stats.PhaseNS[PhaseSplitterSelection] += t1 - t0
+
+	// --- Phase: bucket processing --------------------------------------
+	sizes, bounds, parted := amsPartition(c, data, splitters, less, cfg)
+	// The b·r-long bucket-size vectors are the one long reduction in
+	// AMS-sort; use the full-bandwidth algorithm where it applies.
+	globalSizes := coll.AllreduceSumI64(c, sizes)
+	var starts []int
+	var maxLoad int64
+	if cfg.ParallelGrouping {
+		maxLoad, starts = grouping.OptimalLParallel(c, globalSizes, r)
+	} else {
+		maxLoad, starts = grouping.OptimalL(globalSizes, r)
+		pe.ChargeScan(int64(len(globalSizes)) * 8) // ≈ log(br) scans
+	}
+	if imb := float64(maxLoad) * float64(r) / float64(n); imb > stats.MaxImbalance {
+		stats.MaxImbalance = imb
+	}
+	// Bucket ranges -> r pieces (trailing groups may be empty).
+	pieces := make([][]E, r)
+	for g := 0; g+1 < len(starts); g++ {
+		pieces[g] = parted[bounds[starts[g]]:bounds[starts[g+1]]]
+	}
+	t2 := coll.TimedBarrier(c)
+	stats.PhaseNS[PhaseBucketProcessing] += t2 - t1
+
+	// --- Phase: data delivery ------------------------------------------
+	dopt := cfg.Delivery
+	dopt.Seed = seed ^ 0x1f2e3d4c
+	chunks := delivery.Deliver(c, pieces, dopt)
+	var total int
+	for _, ch := range chunks {
+		total += len(ch)
+	}
+	next := make([]E, 0, total)
+	for _, ch := range chunks {
+		next = append(next, ch...)
+	}
+	pe.ChargeScan(int64(total))
+	t3 := coll.TimedBarrier(c)
+	stats.PhaseNS[PhaseDataDelivery] += t3 - t2
+
+	sub, _ := c.SplitEqual(r)
+	return amsLevel(sub, next, less, cfg, plan, level+1, stats)
+}
+
+// amsPartition classifies the local data into the b·r buckets (or the
+// 2(br-1)+1 buckets with equality buckets under Appendix D tie-breaking,
+// folded back to br-1 boundaries by (PE, position) comparison against the
+// splitter's tag) and reorders it bucket-contiguously. It returns the
+// local bucket sizes, the bucket boundaries, and the reordered data.
+func amsPartition[E any](c *sim.Comm, data []E, splitters []tagged[E], less func(a, b E) bool, cfg Config) ([]int64, []int, []E) {
+	pe := c.PE()
+	nb := len(splitters) + 1
+	if len(splitters) == 0 {
+		// Degenerate: a single bucket.
+		return []int64{int64(len(data))}, []int{0, len(data)}, data
+	}
+	keys := make([]E, len(splitters))
+	for i, s := range splitters {
+		keys[i] = s.key
+	}
+	cls := seq.NewClassifier(keys, less)
+	var bucketOf func(i int, x E) int
+	if cfg.TieBreak {
+		// Appendix D: the branchless descent uses keys only; only an
+		// element that lands in an equality bucket pays the lexicographic
+		// comparison — here a binary search of its (PE, position) tag
+		// over the run of splitters sharing its key, which spreads
+		// duplicate keys across all their buckets.
+		me := int32(c.Rank())
+		tLess := taggedLess(less)
+		bucketOf = func(i int, x E) int {
+			eq := cls.BucketEq(x)
+			if eq%2 == 0 {
+				return eq / 2
+			}
+			k := keys[(eq-1)/2]
+			lo := seq.LowerBound(keys, k, less)
+			hi := seq.UpperBound(keys, k, less)
+			mine := tagged[E]{key: x, pe: me, idx: int32(i)}
+			return lo + seq.LowerBound(splitters[lo:hi], mine, tLess)
+		}
+	} else {
+		bucketOf = func(_ int, x E) int { return cls.Bucket(x) }
+	}
+	idx := 0
+	parted, bounds := seq.Partition(data, nb, func(x E) int {
+		bkt := bucketOf(idx, x)
+		idx++
+		return bkt
+	})
+	pe.ChargePartitionOps(seq.ClassifyOps(int64(len(data)), cls.Levels()))
+	pe.ChargeScan(2 * int64(len(data)))
+	sizes := make([]int64, nb)
+	for bkt := 0; bkt < nb; bkt++ {
+		sizes[bkt] = int64(bounds[bkt+1] - bounds[bkt])
+	}
+	return sizes, bounds, parted
+}
+
+func addI64(a, b int64) int64 { return a + b }
+
+func addVecI64(a, b []int64) []int64 {
+	out := make([]int64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+// Package core implements the paper's two multi-level sorting
+// algorithms: AMS-sort (adaptive multi-level sample sort with
+// overpartitioning, §6) and RLM-sort (recurse-last multiway mergesort,
+// §5), on top of the building blocks in internal/{msel,fwis,delivery,
+// grouping,seq,coll,sim}.
+package core
+
+import (
+	"fmt"
+
+	"pmsort/internal/delivery"
+)
+
+// Phase identifies the four measured algorithm phases of §7.1. A barrier
+// precedes every phase; timings accumulate over all recursion levels.
+type Phase int
+
+const (
+	// PhaseSplitterSelection covers sampling + sample sort + splitter
+	// broadcast (AMS) or multisequence selection (RLM).
+	PhaseSplitterSelection Phase = iota
+	// PhaseBucketProcessing covers local partitioning + bucket grouping
+	// (AMS) or multiway merging of received runs (RLM).
+	PhaseBucketProcessing
+	// PhaseDataDelivery covers the bulk data exchange.
+	PhaseDataDelivery
+	// PhaseLocalSort covers the base-case local sort (AMS) or the initial
+	// local sort (RLM).
+	PhaseLocalSort
+	// NumPhases is the number of phases.
+	NumPhases
+)
+
+// String names the phase like the paper's figures.
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseSplitterSelection:
+		return "splitter selection"
+	case PhaseBucketProcessing:
+		return "bucket processing"
+	case PhaseDataDelivery:
+		return "data delivery"
+	case PhaseLocalSort:
+		return "local sort"
+	}
+	return "invalid"
+}
+
+// Stats reports one PE's view of a sorting run.
+type Stats struct {
+	// PhaseNS[ph] is the accumulated virtual time of phase ph over all
+	// levels, measured between synchronized barriers.
+	PhaseNS [NumPhases]int64
+	// TotalNS is the virtual time from start to finish.
+	TotalNS int64
+	// MaxImbalance is the largest observed max-group-load / avg-group-load
+	// ratio over all levels (AMS only; 1.0 means perfectly balanced).
+	MaxImbalance float64
+	// Levels is the number of recursion levels executed.
+	Levels int
+}
+
+// Config tunes the sorters.
+type Config struct {
+	// Levels is the number of recursion levels k (≥1). 0 means 1.
+	Levels int
+	// Rs optionally fixes the number of groups per level (length Levels;
+	// the last entry is effectively the remaining group size). nil picks
+	// PlanLevels(p, Levels).
+	Rs []int
+	// Oversampling is the factor a; 0 picks the paper's experimental
+	// default a = 1.6·log₁₀(n) (§7.2).
+	Oversampling float64
+	// Overpartition is the factor b; 0 picks the paper's default 16.
+	// The effective b is capped so that b·r stays manageable.
+	Overpartition int
+	// Delivery configures the data redistribution (§4.3). The zero value
+	// is the simple prefix-sum delivery with the 1-factor exchange, the
+	// configuration of the paper's experiments.
+	Delivery delivery.Options
+	// Seed drives sampling and all randomized subroutines.
+	Seed uint64
+	// TieBreak enables the implicit (PE, position) tie-breaking of
+	// Appendix D: equality buckets in the partitioner plus lexicographic
+	// comparisons only for elements equal to a splitter. Without it,
+	// heavily duplicated keys can defeat AMS-sort's balance guarantee.
+	TieBreak bool
+	// ParallelGrouping uses the parallelized optimal-L search of
+	// Appendix C instead of the sequential one.
+	ParallelGrouping bool
+}
+
+// maxBucketsPerLevel caps b·r (the bucket-size vectors move through
+// all-reduces; see DESIGN.md §5).
+const maxBucketsPerLevel = 1 << 15
+
+// effectiveB returns the overpartitioning factor actually used for a
+// level with r groups.
+func effectiveB(cfg Config, r int) int {
+	b := cfg.Overpartition
+	if b <= 0 {
+		b = 16
+	}
+	if cap := maxBucketsPerLevel / r; b > cap {
+		b = cap
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// PlanLevels returns per-level group counts for p PEs and k levels,
+// following the scheme of Table 1: the second-to-last level forms
+// node-sized groups of 16 PEs (so the last level communicates only
+// node-internally), and for k=3 the first level splits into
+// 2^⌈log₂(p/16)/2⌉ groups. k=1 is the classic single-level algorithm
+// with r = p. The plan generalizes to any p and k by splitting the
+// remaining log₂(p/16) bits into k-1 near-equal parts, larger first.
+func PlanLevels(p, k int) []int {
+	if k <= 1 || p <= 16 {
+		return []int{p}
+	}
+	bits := 0
+	for v := 1; v < (p+15)/16; v <<= 1 {
+		bits++
+	}
+	parts := k - 1
+	rs := make([]int, 0, k)
+	rem := bits
+	for i := 0; i < parts; i++ {
+		share := (rem + (parts - i - 1)) / (parts - i) // ceil of what's left
+		rs = append(rs, 1<<share)
+		rem -= share
+	}
+	return append(rs, 16)
+}
+
+// levelR returns the group count for the given level of the recursion,
+// clamped to the current communicator size; the last level always splits
+// into singleton groups.
+func levelR(cfg Config, plan []int, level, commSize int) int {
+	if level >= len(plan)-1 {
+		return commSize
+	}
+	r := plan[level]
+	if r > commSize {
+		r = commSize
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+func validate(cfg Config) Config {
+	if cfg.Levels <= 0 {
+		cfg.Levels = 1
+	}
+	if cfg.Rs != nil && len(cfg.Rs) != cfg.Levels {
+		panic(fmt.Sprintf("core: Config.Rs has %d entries for %d levels", len(cfg.Rs), cfg.Levels))
+	}
+	return cfg
+}

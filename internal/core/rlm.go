@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sort"
+
+	"pmsort/internal/coll"
+	"pmsort/internal/delivery"
+	"pmsort/internal/msel"
+	"pmsort/internal/seq"
+	"pmsort/internal/sim"
+)
+
+// RLMSort sorts the distributed data with recurse-last multiway
+// mergesort (§5). It must be called collectively by all members of c
+// with identical cfg. Every PE first sorts locally; each level then
+// splits the p sorted sequences into r parts of exactly equal total size
+// by multisequence selection, moves the data, and merges the received
+// sorted runs. The output is perfectly balanced: every PE ends up with
+// ⌊n/p⌋ or ⌈n/p⌉ elements.
+func RLMSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
+	cfg = validate(cfg)
+	plan := cfg.Rs
+	if plan == nil {
+		plan = PlanLevels(c.Size(), cfg.Levels)
+	}
+	pe := c.PE()
+	stats := &Stats{MaxImbalance: 1}
+	start := coll.TimedBarrier(c)
+
+	// Initial local sort (the "local sort" phase of Figure 8).
+	t0 := pe.Now()
+	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+	pe.ChargeSortOps(int64(len(data)))
+	stats.PhaseNS[PhaseLocalSort] += pe.Now() - t0
+
+	out := rlmLevel(c, data, less, cfg, plan, 0, stats)
+	stats.TotalNS = coll.TimedBarrier(c) - start
+	return out, stats
+}
+
+func rlmLevel[E any](c *sim.Comm, data []E, less func(a, b E) bool, cfg Config, plan []int, level int, stats *Stats) []E {
+	pe := c.PE()
+	if c.Size() == 1 {
+		stats.Levels = level
+		return data
+	}
+	r := levelR(cfg, plan, level, c.Size())
+	seed := cfg.Seed + uint64(level)*0x7f4a7c159e3779b9
+
+	// --- Phase: splitter selection (multisequence selection) -----------
+	t0 := coll.TimedBarrier(c)
+	n := coll.Allreduce(c, int64(len(data)), 1, addI64)
+	targets := make([]int64, r-1)
+	for j := 1; j < r; j++ {
+		targets[j-1] = int64(j) * n / int64(r)
+	}
+	pos := msel.Select(c, data, targets, less, seed)
+	t1 := coll.TimedBarrier(c)
+	stats.PhaseNS[PhaseSplitterSelection] += t1 - t0
+
+	// --- Phase: data delivery ------------------------------------------
+	pieces := make([][]E, r)
+	prev := 0
+	for j := 0; j < r-1; j++ {
+		pieces[j] = data[prev:pos[j]]
+		prev = pos[j]
+	}
+	pieces[r-1] = data[prev:]
+	dopt := cfg.Delivery
+	dopt.Seed = seed ^ 0x2b3c4d5e
+	chunks := delivery.Deliver(c, pieces, dopt)
+	t2 := coll.TimedBarrier(c)
+	stats.PhaseNS[PhaseDataDelivery] += t2 - t1
+
+	// --- Phase: bucket processing (multiway merging) --------------------
+	// The received chunks are sorted runs; merge instead of re-sorting
+	// ("we do not want to ignore the information already available", §5).
+	merged := seq.Multiway(chunks, less)
+	pe.ChargeOps(seq.MultiwayOps(int64(len(merged)), len(chunks)))
+	t3 := coll.TimedBarrier(c)
+	stats.PhaseNS[PhaseBucketProcessing] += t3 - t2
+
+	sub, _ := c.SplitEqual(r)
+	return rlmLevel(sub, merged, less, cfg, plan, level+1, stats)
+}

@@ -1,0 +1,196 @@
+// Package delivery implements the data redistribution step of the
+// multi-level sorters (paper §4.3): each PE has partitioned its local
+// data into r pieces; piece j must move to PE group j (r balanced
+// contiguous groups of the communicator), and every PE of a group must
+// receive an (almost) equal share of the group's data.
+//
+// Four strategies are provided:
+//
+//   - Simple: plain vector-valued prefix sum over piece sizes; piece
+//     positions map to group PEs by quota. Sends ≤ 2r messages per PE but
+//     can force Ω(p) tiny receives on adversarial inputs (§4.3, Fig. 3).
+//   - Randomized: the simple algorithm, but positions map to the group's
+//     PEs through a pseudorandom permutation of the PE numbering
+//     (the first randomization stage of §4.3).
+//   - RandomizedAdvanced: additionally breaks pieces larger than
+//     s = a·n/(rp) into chunks of size s, delegates their placement to
+//     pseudorandomly chosen PEs, and randomly interleaves delegated
+//     pieces with local ones (Appendix A) — O(r) receives w.h.p.
+//   - Deterministic: the two-phase small/large algorithm of §4.3.1 —
+//     O(r) receives guaranteed.
+//
+// All strategies preserve perfect balance: a PE of a group holding m
+// elements in total receives ⌊m/g⌋ or ⌈m/g⌉ of them.
+package delivery
+
+import (
+	"fmt"
+
+	"pmsort/internal/coll"
+	"pmsort/internal/sim"
+)
+
+// Strategy selects the redistribution algorithm.
+type Strategy int
+
+const (
+	// Simple is the naive prefix-sum algorithm (the paper's experiments
+	// use it for random inputs, §7.1).
+	Simple Strategy = iota
+	// Randomized permutes the PE numbering used by the prefix sum.
+	Randomized
+	// RandomizedAdvanced additionally splits and delegates large pieces
+	// (Appendix A).
+	RandomizedAdvanced
+	// Deterministic is the small/large two-phase algorithm of §4.3.1.
+	Deterministic
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Simple:
+		return "simple"
+	case Randomized:
+		return "randomized"
+	case RandomizedAdvanced:
+		return "randomized-advanced"
+	case Deterministic:
+		return "deterministic"
+	}
+	return "invalid"
+}
+
+// Exchange selects the all-to-all implementation for the bulk exchange.
+type Exchange int
+
+const (
+	// OneFactor uses the 1-factor algorithm [31] and omits empty messages.
+	OneFactor Exchange = iota
+	// Direct sends one message to every PE, mpich-alltoallv style.
+	Direct
+)
+
+// Options configures a delivery.
+type Options struct {
+	Strategy Strategy
+	Exchange Exchange
+	// Seed drives every pseudorandom choice; deliveries with equal seeds
+	// and inputs are bit-identical.
+	Seed uint64
+	// SplitFactorA is the a in the Appendix A chunk limit s = a·n/(rp);
+	// 0 picks the Lemma 6 value a ≈ (√(1+r/ln(rp)) - 1)/2.
+	SplitFactorA float64
+}
+
+// chunk is a contiguous part of one sender's piece travelling through the
+// bulk exchange.
+type chunk[E any] struct {
+	data []E
+}
+
+func chunkWords[E any](ch chunk[E]) int64 { return int64(len(ch.data)) + 1 }
+
+// Deliver redistributes pieces[j] (j = 0..r-1) to group j. It must be
+// called collectively by all members of c with the same options. The
+// result is the list of chunks received by this PE, each a contiguous
+// slice of some sender's (sorted, if the sender sorted it) piece.
+func Deliver[E any](c *sim.Comm, pieces [][]E, opt Options) [][]E {
+	r := len(pieces)
+	if r == 0 || r > c.Size() {
+		panic(fmt.Sprintf("delivery: %d pieces for %d PEs", r, c.Size()))
+	}
+	var out [][]chunk[E]
+	switch opt.Strategy {
+	case Simple, Randomized:
+		out = planPrefixSum(c, pieces, opt)
+	case RandomizedAdvanced:
+		out = planAdvanced(c, pieces, opt)
+	case Deterministic:
+		out = planDeterministic(c, pieces, opt)
+	default:
+		panic("delivery: unknown strategy")
+	}
+	var in [][]chunk[E]
+	if opt.Exchange == Direct {
+		in = coll.AlltoallvDirectFunc(c, out, chunkWords[E])
+	} else {
+		in = coll.Alltoallv1FactorFunc(c, out, chunkWords[E])
+	}
+	var recv [][]E
+	for _, chunks := range in {
+		for _, ch := range chunks {
+			recv = append(recv, ch.data)
+		}
+	}
+	return recv
+}
+
+// groupGeometry captures the r balanced contiguous PE groups of c.
+type groupGeometry struct {
+	r      int
+	starts []int // starts[g] = first member rank of group g; len r+1
+}
+
+func geometry(p, r int) groupGeometry {
+	sizes := sim.GroupSizes(p, r)
+	starts := make([]int, r+1)
+	for g := 0; g < r; g++ {
+		starts[g+1] = starts[g] + sizes[g]
+	}
+	return groupGeometry{r: r, starts: starts}
+}
+
+func (gg groupGeometry) size(g int) int  { return gg.starts[g+1] - gg.starts[g] }
+func (gg groupGeometry) start(g int) int { return gg.starts[g] }
+
+// quotaStart returns the first element position owned by slot t when m
+// elements are split over g balanced slots (larger slots first).
+func quotaStart(t int, m int64, g int) int64 {
+	base, rem := m/int64(g), m%int64(g)
+	tt := int64(t)
+	s := tt * base
+	if tt < rem {
+		s += tt
+	} else {
+		s += rem
+	}
+	return s
+}
+
+// slotOf returns the slot owning element position pos under the balanced
+// split of m elements over g slots.
+func slotOf(pos, m int64, g int) int {
+	base, rem := m/int64(g), m%int64(g)
+	if base == 0 {
+		return int(pos)
+	}
+	cut := rem * (base + 1)
+	if pos < cut {
+		return int(pos / (base + 1))
+	}
+	return int(rem + (pos-cut)/base)
+}
+
+// splitRange decomposes positions [lo, hi) into per-slot intervals.
+func splitRange(lo, hi, m int64, g int, emit func(slot int, from, to int64)) {
+	pos := lo
+	for pos < hi {
+		t := slotOf(pos, m, g)
+		end := quotaStart(t+1, m, g)
+		if end > hi {
+			end = hi
+		}
+		emit(t, pos, end)
+		pos = end
+	}
+}
+
+// addVec is the element-wise int64 vector sum (pure).
+func addVec(a, b []int64) []int64 {
+	out := make([]int64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}

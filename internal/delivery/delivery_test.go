@@ -1,0 +1,374 @@
+package delivery
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmsort/internal/prng"
+	"pmsort/internal/sim"
+)
+
+// elem tags every element with its origin so conservation is checkable.
+type elem struct{ sender, group, idx int }
+
+func makePieces(p, r int, sizeOf func(sender, group int) int) [][][]elem {
+	all := make([][][]elem, p)
+	for s := 0; s < p; s++ {
+		pieces := make([][]elem, r)
+		for j := 0; j < r; j++ {
+			n := sizeOf(s, j)
+			piece := make([]elem, n)
+			for i := range piece {
+				piece[i] = elem{sender: s, group: j, idx: i}
+			}
+			pieces[j] = piece
+		}
+		all[s] = pieces
+	}
+	return all
+}
+
+// runDeliver executes Deliver on p PEs and returns the received chunks
+// per PE plus the per-PE received-message counts for the whole delivery.
+func runDeliver(t *testing.T, p int, pieces [][][]elem, opt Options) ([][][]elem, []int64) {
+	t.Helper()
+	m := sim.NewDefault(p)
+	recv := make([][][]elem, p)
+	msgs := make([]int64, p)
+	m.Run(func(pe *sim.PE) {
+		pe.ResetCounters()
+		c := sim.World(pe)
+		recv[pe.Rank()] = Deliver(c, pieces[pe.Rank()], opt)
+		msgs[pe.Rank()] = pe.MsgsRecv
+	})
+	return recv, msgs
+}
+
+// checkDelivery verifies conservation (every group's PEs jointly hold
+// exactly the elements sent to that group) and balance (each PE holds its
+// balanced quota of the group total).
+func checkDelivery(t *testing.T, p, r int, pieces [][][]elem, recv [][][]elem) {
+	t.Helper()
+	gg := geometry(p, r)
+	// Group totals and expected multiset per group.
+	want := make([]map[elem]bool, r)
+	totals := make([]int64, r)
+	for j := 0; j < r; j++ {
+		want[j] = make(map[elem]bool)
+	}
+	for s := 0; s < p; s++ {
+		for j, piece := range pieces[s] {
+			totals[j] += int64(len(piece))
+			for _, e := range piece {
+				if want[j][e] {
+					t.Fatalf("test bug: duplicate element %+v", e)
+				}
+				want[j][e] = true
+			}
+		}
+	}
+	for rank := 0; rank < p; rank++ {
+		// Which group does this rank belong to?
+		g := 0
+		for gg.starts[g+1] <= rank {
+			g++
+		}
+		var got int64
+		for _, chunk := range recv[rank] {
+			for _, e := range chunk {
+				if e.group != g {
+					t.Fatalf("PE %d (group %d) received element %+v of group %d", rank, g, e, e.group)
+				}
+				if !want[g][e] {
+					t.Fatalf("PE %d received duplicate/foreign element %+v", rank, e)
+				}
+				delete(want[g], e)
+				got++
+			}
+		}
+		slot := rank - gg.start(g)
+		quota := quotaStart(slot+1, totals[g], gg.size(g)) - quotaStart(slot, totals[g], gg.size(g))
+		if got != quota {
+			t.Fatalf("PE %d (group %d slot %d) received %d elements, quota %d", rank, g, slot, got, quota)
+		}
+	}
+	for j := 0; j < r; j++ {
+		if len(want[j]) != 0 {
+			t.Fatalf("group %d is missing %d elements", j, len(want[j]))
+		}
+	}
+}
+
+var allStrategies = []Strategy{Simple, Randomized, RandomizedAdvanced, Deterministic}
+
+func TestDeliverRandomInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, p := range []int{2, 4, 8, 12, 16} {
+		for _, r := range []int{1, 2, 4, p} {
+			if r > p {
+				continue
+			}
+			pieces := makePieces(p, r, func(s, j int) int { return rng.Intn(20) })
+			for _, strat := range allStrategies {
+				recv, _ := runDeliver(t, p, pieces, Options{Strategy: strat, Seed: 99})
+				checkDelivery(t, p, r, pieces, recv)
+			}
+		}
+	}
+}
+
+func TestDeliverDirectExchange(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p, r := 8, 4
+	pieces := makePieces(p, r, func(s, j int) int { return rng.Intn(15) })
+	recv, _ := runDeliver(t, p, pieces, Options{Strategy: Simple, Exchange: Direct, Seed: 1})
+	checkDelivery(t, p, r, pieces, recv)
+}
+
+func TestDeliverEmptyAndSkewed(t *testing.T) {
+	// All data goes to one group; several senders contribute nothing.
+	p, r := 12, 3
+	pieces := makePieces(p, r, func(s, j int) int {
+		if j != 1 || s%3 == 0 {
+			return 0
+		}
+		return 7
+	})
+	for _, strat := range allStrategies {
+		recv, _ := runDeliver(t, p, pieces, Options{Strategy: strat, Seed: 5})
+		checkDelivery(t, p, r, pieces, recv)
+	}
+}
+
+func TestDeliverAllEmpty(t *testing.T) {
+	p, r := 6, 2
+	pieces := makePieces(p, r, func(s, j int) int { return 0 })
+	for _, strat := range allStrategies {
+		recv, _ := runDeliver(t, p, pieces, Options{Strategy: strat, Seed: 6})
+		checkDelivery(t, p, r, pieces, recv)
+	}
+}
+
+func TestDeliverSingleGroup(t *testing.T) {
+	// r=1: plain balanced redistribution of everything.
+	p := 5
+	pieces := makePieces(p, 1, func(s, j int) int { return s * 3 })
+	for _, strat := range allStrategies {
+		recv, _ := runDeliver(t, p, pieces, Options{Strategy: strat, Seed: 7})
+		checkDelivery(t, p, 1, pieces, recv)
+	}
+}
+
+// adversarialPieces builds the §4.3/Figure 3 worst case: for the last
+// group, many consecutively numbered PEs contribute tiny pieces while the
+// last PE contributes a huge piece, so the naive prefix sum maps all tiny
+// pieces to the first PE(s) of the group. The scale factor keeps the
+// Appendix A chunk limit s = a·n/(rp) meaningfully above one element.
+func adversarialPieces(p, r, scale int) [][][]elem {
+	gg := geometry(p, r)
+	g := gg.size(r - 1)
+	huge := (g - 1) * (p - 1) * scale
+	return makePieces(p, r, func(s, j int) int {
+		if j != r-1 {
+			return 0
+		}
+		if s == p-1 {
+			return huge
+		}
+		return scale
+	})
+}
+
+// maxSources returns the largest number of distinct chunk origins on one
+// PE — a proxy for message startups in the bulk exchange, since chunks
+// from one sender to one target travel in a single message.
+func maxSources(recv [][][]elem) int {
+	m := 0
+	for _, chunks := range recv {
+		seen := make(map[int]bool)
+		for _, ch := range chunks {
+			for _, e := range ch {
+				seen[e.sender] = true
+				break // one element identifies the chunk's sender
+			}
+		}
+		if len(seen) > m {
+			m = len(seen)
+		}
+	}
+	return m
+}
+
+// tinyRunPieces is the Figure 3 worst case proper: the first half of the
+// PEs (consecutively numbered) contribute tiny pieces, the second half
+// large ones, so the rank-order prefix sum maps the whole tiny run onto
+// the first PE(s) of the group. Stage-1 randomization fixes this case.
+func tinyRunPieces(p, r int) [][][]elem {
+	return makePieces(p, r, func(s, j int) int {
+		if j != r-1 {
+			return 0
+		}
+		if s < p/2 {
+			return 4
+		}
+		return 256
+	})
+}
+
+// TestDeliveryWorstCases pins down the §4.3/Appendix A behaviour matrix
+// on two adversarial inputs (measured by distinct chunk origins on the
+// worst PE, a proxy for receive startups in the bulk exchange):
+//
+//   - "tiny run + larges" (Fig. 3): Simple concentrates Ω(p) receives;
+//     Randomized (permuted enumeration) and Deterministic fix it.
+//   - "all but one tiny + one huge" (the Lemma 6 scenario): Randomized
+//     only dampens it — the paper notes a logarithmic factor remains —
+//     while RandomizedAdvanced (piece splitting + delegation) and
+//     Deterministic keep O(r).
+func TestDeliveryWorstCases(t *testing.T) {
+	const p, r = 64, 4
+	tinyHuge := adversarialPieces(p, r, 64)
+	tinyRun := tinyRunPieces(p, r)
+
+	measure := func(pieces [][][]elem, strat Strategy) int {
+		recv, _ := runDeliver(t, p, pieces, Options{Strategy: strat, Seed: 3})
+		checkDelivery(t, p, r, pieces, recv)
+		return maxSources(recv)
+	}
+
+	// Input A: tinies + one huge piece.
+	aSimple := measure(tinyHuge, Simple)
+	aRand := measure(tinyHuge, Randomized)
+	aAdv := measure(tinyHuge, RandomizedAdvanced)
+	aDet := measure(tinyHuge, Deterministic)
+	if aSimple < p-2 {
+		t.Errorf("input A: Simple should concentrate ≥%d sources, got %d", p-2, aSimple)
+	}
+	if aRand >= aSimple {
+		t.Errorf("input A: Randomized (%d) not better than Simple (%d)", aRand, aSimple)
+	}
+	if aAdv > 2*r+4 {
+		t.Errorf("input A: RandomizedAdvanced has %d sources, want ≤ %d", aAdv, 2*r+4)
+	}
+	if aDet > 4*r+4 {
+		t.Errorf("input A: Deterministic has %d sources, want ≤ %d", aDet, 4*r+4)
+	}
+
+	// Input B: consecutive tiny run + large pieces.
+	bSimple := measure(tinyRun, Simple)
+	bRand := measure(tinyRun, Randomized)
+	bDet := measure(tinyRun, Deterministic)
+	if bSimple < p/3 {
+		t.Errorf("input B: Simple should concentrate ≥%d sources, got %d", p/3, bSimple)
+	}
+	if bRand > bSimple/2 {
+		t.Errorf("input B: Randomized (%d) should clearly beat Simple (%d)", bRand, bSimple)
+	}
+	if bDet > 4*r+4 {
+		t.Errorf("input B: Deterministic has %d sources, want ≤ %d", bDet, 4*r+4)
+	}
+}
+
+func TestDeliveryDeterministicMessageBound(t *testing.T) {
+	// Across several shapes, the deterministic strategy keeps per-PE
+	// received messages O(r + log p) including control traffic.
+	rng := rand.New(rand.NewSource(44))
+	for _, pr := range []struct{ p, r int }{{16, 4}, {32, 4}, {32, 8}, {64, 8}} {
+		pieces := makePieces(pr.p, pr.r, func(s, j int) int { return rng.Intn(9) })
+		_, msgs := runDeliver(t, pr.p, pieces, Options{Strategy: Deterministic, Seed: 8})
+		logp := 0
+		for v := 1; v < pr.p; v <<= 1 {
+			logp++
+		}
+		bound := int64(8*pr.r + 8*logp + 8)
+		for rank, m := range msgs {
+			if m > bound {
+				t.Errorf("p=%d r=%d: PE %d received %d messages, bound %d", pr.p, pr.r, rank, m, bound)
+			}
+		}
+	}
+}
+
+func TestDeliverDeterministicReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	p, r := 12, 4
+	pieces := makePieces(p, r, func(s, j int) int { return rng.Intn(12) })
+	for _, strat := range allStrategies {
+		run := func() ([][][]elem, int64) {
+			m := sim.NewDefault(p)
+			recv := make([][][]elem, p)
+			res := m.Run(func(pe *sim.PE) {
+				recv[pe.Rank()] = Deliver(sim.World(pe), pieces[pe.Rank()], Options{Strategy: strat, Seed: 77})
+			})
+			return recv, res.MaxTime
+		}
+		r1, t1 := run()
+		r2, t2 := run()
+		if t1 != t2 {
+			t.Errorf("%v: virtual times differ: %d vs %d", strat, t1, t2)
+		}
+		for rank := range r1 {
+			if len(r1[rank]) != len(r2[rank]) {
+				t.Fatalf("%v: chunk counts differ on PE %d", strat, rank)
+			}
+			for i := range r1[rank] {
+				if len(r1[rank][i]) != len(r2[rank][i]) {
+					t.Fatalf("%v: chunk %d sizes differ on PE %d", strat, i, rank)
+				}
+				for k := range r1[rank][i] {
+					if r1[rank][i][k] != r2[rank][i][k] {
+						t.Fatalf("%v: chunk contents differ on PE %d", strat, rank)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPermutedScanTotal(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 16} {
+		vals := make([][]int64, p)
+		for i := range vals {
+			vals[i] = []int64{int64(i + 1), int64(2 * i)}
+		}
+		perm := prng.NewPermutation(uint64(p), 123)
+		m := sim.NewDefault(p)
+		m.Run(func(pe *sim.PE) {
+			c := sim.World(pe)
+			var pm *prng.Permutation
+			if p > 1 {
+				pm = perm
+			}
+			prefix, total := permutedScanTotal(c, vals[pe.Rank()], pm)
+			// Totals are order-independent.
+			wantTot := []int64{int64(p * (p + 1) / 2), int64(p * (p - 1))}
+			if total[0] != wantTot[0] || total[1] != wantTot[1] {
+				t.Errorf("p=%d rank=%d: total=%v want %v", p, pe.Rank(), total, wantTot)
+			}
+			// Prefix = sum over PEs with smaller virtual rank.
+			var want0, want1 int64
+			if pm != nil {
+				myV := pm.Apply(uint64(pe.Rank()))
+				for i := 0; i < p; i++ {
+					if pm.Apply(uint64(i)) < myV {
+						want0 += vals[i][0]
+						want1 += vals[i][1]
+					}
+				}
+			}
+			if prefix[0] != want0 || prefix[1] != want1 {
+				t.Errorf("p=%d rank=%d: prefix=%v want [%d %d]", p, pe.Rank(), prefix, want0, want1)
+			}
+		})
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	names := map[Strategy]string{Simple: "simple", Randomized: "randomized",
+		RandomizedAdvanced: "randomized-advanced", Deterministic: "deterministic"}
+	for s, w := range names {
+		if s.String() != w {
+			t.Errorf("Strategy(%d).String() = %q want %q", s, s.String(), w)
+		}
+	}
+}

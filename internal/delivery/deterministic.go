@@ -1,0 +1,238 @@
+package delivery
+
+import (
+	"sort"
+
+	"pmsort/internal/coll"
+	"pmsort/internal/sim"
+)
+
+// desc describes one piece to the group-local assignment computation.
+type desc struct {
+	sender int   // comm rank of the piece's owner
+	group  int   // destination group
+	size   int64 // piece size in elements
+}
+
+// span is one target interval of a large piece's assignment.
+type span struct {
+	member int   // PE offset within the group
+	count  int64 // number of elements
+}
+
+// reply carries a large piece's assignment back to its origin.
+type reply struct {
+	group int
+	spans []span
+}
+
+const (
+	tagDetReply = 0x7d0001
+)
+
+// planDeterministic builds outboxes with the deterministic two-phase
+// algorithm of §4.3.1:
+//
+//  1. Small pieces (≤ the group's m/(2·g·r)) are enumerated with a
+//     vector-valued prefix sum; small piece i of group j goes — whole —
+//     to group member ⌊i/r⌋, so nobody gets more than ≈r of them and at
+//     most half its final load.
+//  2. Large pieces are assigned into the members' residual capacities:
+//     descriptors travel to per-group manager PEs, each group gathers its
+//     descriptors and computes the (identical) assignment locally by
+//     merging the prefix sums of residual capacities and large-piece
+//     sizes, and managers send every origin its piece's target spans.
+//
+// Deviation from the paper (documented in DESIGN.md): the group-local
+// assignment uses an allgather of the O(p) descriptor words per group
+// instead of the EREW-style distributed Batcher merge; the computed
+// assignment is identical and the O(r) receive bound of Theorem 1 is
+// unchanged (and asserted by tests).
+func planDeterministic[E any](c *sim.Comm, pieces [][]E, opt Options) [][]chunk[E] {
+	r := len(pieces)
+	p := c.Size()
+	me := c.Rank()
+	gg := geometry(p, r)
+
+	sizes := make([]int64, r)
+	for j, piece := range pieces {
+		sizes[j] = int64(len(piece))
+	}
+	_, totals, _ := coll.ScanTotal(c, sizes, int64(r), addVec)
+
+	// Group-local small limit m/(2·g·r); floors to 0 for tiny groups,
+	// which safely declares everything large.
+	smallLimit := make([]int64, r)
+	for j := 0; j < r; j++ {
+		smallLimit[j] = totals[j] / (2 * int64(gg.size(j)) * int64(r))
+	}
+	isSmall := func(j int, size int64) bool { return size > 0 && size <= smallLimit[j] }
+
+	// --- Phase 1: enumerate and place small pieces. ---
+	smallFlags := make([]int64, r)
+	for j := 0; j < r; j++ {
+		if isSmall(j, sizes[j]) {
+			smallFlags[j] = 1
+		}
+	}
+	smallPrefix, ok := coll.ExScan(c, smallFlags, int64(r), addVec)
+	if !ok {
+		smallPrefix = make([]int64, r)
+	}
+
+	out := make([][]chunk[E], p)
+	for j, piece := range pieces {
+		if !isSmall(j, sizes[j]) {
+			continue
+		}
+		g := gg.size(j)
+		t := int(smallPrefix[j] / int64(r))
+		if t >= g {
+			t = g - 1
+		}
+		target := gg.start(j) + t
+		out[target] = append(out[target], chunk[E]{data: piece})
+	}
+
+	// --- Phase 2: large pieces via group managers. ---
+	// Descriptors of every piece go to the responsible manager so the
+	// group can reconstruct small loads and large sizes.
+	descOut := make([][]desc, p)
+	for j := 0; j < r; j++ {
+		if sizes[j] == 0 {
+			continue
+		}
+		g := gg.size(j)
+		mgr := gg.start(j) + managerOf(me, g, p)
+		descOut[mgr] = append(descOut[mgr], desc{sender: me, group: j, size: sizes[j]})
+	}
+	descWords := func(d desc) int64 { return 3 }
+	descIn := coll.Alltoallv1FactorFunc(c, descOut, descWords)
+
+	groupComm, myGroup := c.SplitStarts(gg.starts)
+	var myDescs []desc
+	for _, ds := range descIn {
+		myDescs = append(myDescs, ds...)
+	}
+	allDescs := flatten(coll.Allgatherv(groupComm, myDescs))
+	sort.Slice(allDescs, func(a, b int) bool { return allDescs[a].sender < allDescs[b].sender })
+	c.PE().ChargeScan(int64(len(allDescs)) * 3)
+
+	// Identical group-local assignment computation on every member.
+	g := gg.size(myGroup)
+	m := totals[myGroup]
+	smallLoad := make([]int64, g)
+	smallSeen := int64(0)
+	var larges []desc
+	for _, d := range allDescs {
+		if isSmall(myGroup, d.size) {
+			t := int(smallSeen / int64(r))
+			if t >= g {
+				t = g - 1
+			}
+			smallLoad[t] += d.size
+			smallSeen++
+		} else if d.size > 0 {
+			larges = append(larges, d)
+		}
+	}
+	// Residual capacities and their prefix sums (the sequence X of the
+	// paper); larges in sender order form the sequence Y.
+	resStart := make([]int64, g+1)
+	for t := 0; t < g; t++ {
+		quota := quotaStart(t+1, m, g) - quotaStart(t, m, g)
+		res := quota - smallLoad[t]
+		if res < 0 {
+			res = 0 // see deviation note: clamped spill keeps everyone ≤ quota+slack
+		}
+		resStart[t+1] = resStart[t] + res
+	}
+	// Walk large pieces through residual space, remembering the spans of
+	// the pieces whose origins this PE manages.
+	type assignment struct {
+		sender int
+		group  int
+		spans  []span
+	}
+	var assignments []assignment
+	var off int64
+	for _, d := range larges {
+		spans := splitByPrefix(off, off+d.size, resStart)
+		off += d.size
+		mgr := managerOf(d.sender, g, p)
+		if mgr == groupComm.Rank() {
+			assignments = append(assignments, assignment{d.sender, d.group, spans})
+		}
+	}
+	c.PE().ChargeScan(int64(len(larges)))
+
+	// Managers reply the spans to the origins; an origin expects exactly
+	// one reply per large piece, from the (known) manager of that group.
+	// larges is sorted by sender, so the send order is deterministic.
+	for _, a := range assignments {
+		c.Send(a.sender, tagDetReply, reply{group: a.group, spans: a.spans}, int64(2*len(a.spans))+1)
+	}
+	for j := 0; j < r; j++ {
+		if sizes[j] == 0 || isSmall(j, sizes[j]) {
+			continue
+		}
+		gj := gg.size(j)
+		mgrRank := gg.start(j) + managerOf(me, gj, p)
+		pl, _ := c.Recv(mgrRank, tagDetReply)
+		rep := pl.(reply)
+		if rep.group != j {
+			panic("delivery: deterministic reply for wrong group")
+		}
+		// Emit the chunks of piece j following the spans.
+		piece := pieces[j]
+		var pos int64
+		for _, sp := range rep.spans {
+			target := gg.start(j) + sp.member
+			out[target] = append(out[target], chunk[E]{data: piece[pos : pos+sp.count]})
+			pos += sp.count
+		}
+	}
+	return out
+}
+
+// managerOf returns the group-member offset managing sender i's
+// descriptors when p senders map onto g members in balanced blocks.
+func managerOf(i, g, p int) int {
+	return i * g / p
+}
+
+// splitByPrefix decomposes the interval [lo, hi) of a space whose slot t
+// covers [starts[t], starts[t+1]) into per-slot spans. Zero-capacity
+// slots are skipped.
+func splitByPrefix(lo, hi int64, starts []int64) []span {
+	var spans []span
+	g := len(starts) - 1
+	// Binary search for the first slot with starts[t+1] > lo.
+	t := sort.Search(g, func(t int) bool { return starts[t+1] > lo })
+	pos := lo
+	for pos < hi && t < g {
+		end := starts[t+1]
+		if end > hi {
+			end = hi
+		}
+		if end > pos {
+			spans = append(spans, span{member: t, count: end - pos})
+			pos = end
+		}
+		t++
+	}
+	if pos < hi {
+		// Residual space exhausted (only possible with clamped spills);
+		// put the remainder on the last slot.
+		spans = append(spans, span{member: g - 1, count: hi - pos})
+	}
+	return spans
+}
+
+func flatten[T any](lists [][]T) []T {
+	var out []T
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	return out
+}

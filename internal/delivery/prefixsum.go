@@ -1,0 +1,89 @@
+package delivery
+
+import (
+	"pmsort/internal/coll"
+	"pmsort/internal/prng"
+	"pmsort/internal/sim"
+)
+
+const tagPermScan = 0x7d0002
+
+// permutedScanTotal computes the vector-valued exclusive prefix sum over
+// the members enumerated in the order of a pseudorandom permutation π of
+// the PE numbering (§4.3 stage 1) together with the totals. perm == nil
+// degenerates to rank order. The dissemination schedule runs on virtual
+// ranks v = π(rank); neighbours are translated back through π⁻¹, so the
+// cost stays O((α + r·β) log p).
+func permutedScanTotal(c *sim.Comm, vec []int64, perm *prng.Permutation) (prefix, total []int64) {
+	p := c.Size()
+	r := len(vec)
+	if p == 1 {
+		return make([]int64, r), append([]int64(nil), vec...)
+	}
+	v := c.Rank()
+	rankOf := func(virtual int) int { return virtual }
+	if perm != nil {
+		v = int(perm.Apply(uint64(c.Rank())))
+		rankOf = func(virtual int) int { return int(perm.Invert(uint64(virtual))) }
+	}
+	incl := vec
+	prefix = make([]int64, r)
+	for d := 1; d < p; d <<= 1 {
+		if v+d < p {
+			c.Send(rankOf(v+d), tagPermScan, incl, int64(r))
+		}
+		if v-d >= 0 {
+			pl, _ := c.Recv(rankOf(v-d), tagPermScan)
+			t := pl.([]int64)
+			prefix = addVec(t, prefix)
+			incl = addVec(t, incl)
+		}
+	}
+	// The PE with the highest virtual rank holds the totals.
+	total = coll.Bcast(c, rankOf(p-1), incl, int64(r))
+	return prefix, total
+}
+
+// senderPerm returns the permutation of the PE numbering used for the
+// prefix-sum enumeration, or nil for the Simple strategy.
+func senderPerm(c *sim.Comm, opt Options) *prng.Permutation {
+	if opt.Strategy == Simple || c.Size() == 1 {
+		return nil
+	}
+	return prng.NewPermutation(uint64(c.Size()), opt.Seed^0x5eed5eed)
+}
+
+// planPrefixSum builds the outboxes for the Simple and Randomized
+// strategies: a vector-valued prefix sum over the piece sizes labels each
+// piece with a position range inside its group, and positions map to the
+// group's PEs by balanced quota; each piece is cut at quota boundaries —
+// at most two targets per piece when pieces are no larger than the
+// per-PE quota. Randomized enumerates the senders in pseudorandom order,
+// which breaks up runs of consecutively numbered PEs contributing tiny
+// pieces (the §4.3/Fig. 3 worst case).
+func planPrefixSum[E any](c *sim.Comm, pieces [][]E, opt Options) [][]chunk[E] {
+	r := len(pieces)
+	p := c.Size()
+	gg := geometry(p, r)
+
+	sizes := make([]int64, r)
+	for j, piece := range pieces {
+		sizes[j] = int64(len(piece))
+	}
+	prefix, total := permutedScanTotal(c, sizes, senderPerm(c, opt))
+
+	out := make([][]chunk[E], p)
+	for j, piece := range pieces {
+		if len(piece) == 0 {
+			continue
+		}
+		g := gg.size(j)
+		base := prefix[j]
+		splitRange(base, base+sizes[j], total[j], g, func(slot int, from, to int64) {
+			target := gg.start(j) + slot
+			out[target] = append(out[target], chunk[E]{data: piece[from-base : to-base]})
+		})
+	}
+	c.PE().ChargeScan(int64(r))
+	return out
+}

@@ -1,0 +1,160 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pmsort/internal/delivery"
+	"pmsort/internal/workload"
+)
+
+func TestRunValidatesAllAlgos(t *testing.T) {
+	for _, algo := range []Algo{AMS, RLM, MP, GV, Bitonic, Hist, HCQ} {
+		res := Run(Spec{Algo: algo, P: 16, PerPE: 64, Levels: 2, Seed: 5})
+		if res.TotalNS <= 0 {
+			t.Errorf("%v: no time elapsed", algo)
+		}
+		if res.OutImbalance < 1 {
+			t.Errorf("%v: impossible imbalance %f", algo, res.OutImbalance)
+		}
+	}
+}
+
+func TestRunWorkloadKinds(t *testing.T) {
+	for _, kind := range []workload.Kind{workload.Uniform, workload.Skewed, workload.Sorted,
+		workload.Reverse, workload.AlmostSorted, workload.OnePE} {
+		res := Run(Spec{Algo: AMS, P: 8, PerPE: 50, Levels: 2, Seed: 6, Kind: kind, TieBreak: true})
+		if res.TotalNS <= 0 {
+			t.Errorf("%v: no time elapsed", kind)
+		}
+	}
+	// DupHeavy without tie-breaking still sorts correctly (imbalance may
+	// be large); with tie-breaking it must stay balanced.
+	res := Run(Spec{Algo: AMS, P: 8, PerPE: 50, Levels: 1, Seed: 6, Kind: workload.DupHeavy, TieBreak: true})
+	if res.OutImbalance > 3 {
+		t.Errorf("dup-heavy with tie-breaking: imbalance %f", res.OutImbalance)
+	}
+}
+
+func TestRunRepsVariesSeeds(t *testing.T) {
+	rs := RunReps(Spec{Algo: AMS, P: 8, PerPE: 100, Levels: 2, Seed: 1}, 3, nil)
+	if len(rs) != 3 {
+		t.Fatalf("want 3 results, got %d", len(rs))
+	}
+	// Different seeds -> different inputs -> (almost surely) different times.
+	if rs[0].TotalNS == rs[1].TotalNS && rs[1].TotalNS == rs[2].TotalNS {
+		t.Errorf("all repetition times identical — seeds not varied?")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf, nil)
+	out := buf.String()
+	for _, want := range []string{"p=512", "p=32768", "2048", "Table 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 8 { // header + title + 6 level rows
+		t.Errorf("Table 1 has %d lines, want 8:\n%s", lines, out)
+	}
+}
+
+func TestWeakScalingSmallGrid(t *testing.T) {
+	opt := SuiteOptions{
+		Ps:     []int{16, 64},
+		PerPEs: []int{64, 512},
+		Levels: []int{1, 2},
+		Reps:   3,
+		Seed:   9,
+	}
+	d := RunWeakScaling(opt, []Algo{AMS, RLM})
+	var buf bytes.Buffer
+	d.Table2(&buf)
+	d.Fig7(&buf)
+	d.Fig8(&buf)
+	d.Fig12(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table 2", "Figure 7", "Figure 8", "Figure 12", "p=16", "p=64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("weak scaling output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "-") && strings.Contains(out, "p=16\n") {
+		t.Errorf("unexpected missing cells in small grid:\n%s", out)
+	}
+	// Every cell ran with both algorithms and level choices.
+	if len(d.Cells) != 2*2*2*2 {
+		t.Errorf("expected 16 cells, got %d", len(d.Cells))
+	}
+}
+
+func TestBestMedianPrefersFasterLevel(t *testing.T) {
+	opt := SuiteOptions{Ps: []int{64}, PerPEs: []int{64}, Levels: []int{1, 2}, Reps: 3, Seed: 3}
+	d := RunWeakScaling(opt, []Algo{AMS})
+	// At p=64 with tiny n/p, two levels must win (fewer startups).
+	_, k, ok := d.bestMedian(AMS, 64, 64)
+	if !ok || k != 2 {
+		t.Errorf("best level = %d (ok=%v), want 2", k, ok)
+	}
+}
+
+func TestFig10Fig11Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	Fig10(&buf, 16, 256, 1, 4, nil)
+	Fig11(&buf, 16, 256, 1, 4, nil)
+	out := buf.String()
+	if !strings.Contains(out, "Figure 10") || !strings.Contains(out, "Figure 11") {
+		t.Errorf("figure sweep output malformed:\n%s", out)
+	}
+}
+
+func TestCompareSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	Compare(&buf, SuiteOptions{Ps: []int{16, 32}, PerPEs: []int{64}, Levels: []int{1, 2}, Reps: 1, Seed: 2})
+	out := buf.String()
+	if !strings.Contains(out, "MP-sort") || !strings.Contains(out, "bitonic") {
+		t.Errorf("comparison output malformed:\n%s", out)
+	}
+}
+
+func TestDeliveryAblationSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	DeliveryAblation(&buf, 16, 128, 1, 5, nil)
+	out := buf.String()
+	for _, s := range []string{"simple", "randomized", "deterministic", "uniform", "skewed"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("delivery ablation missing %q:\n%s", s, out)
+		}
+	}
+}
+
+func TestAlltoallAblationSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	AlltoallAblation(&buf, []int{16, 32}, 64, 1, 6, nil)
+	out := buf.String()
+	if !strings.Contains(out, "1-factor") || !strings.Contains(out, "direct") {
+		t.Errorf("alltoall ablation malformed:\n%s", out)
+	}
+}
+
+func TestDeliveryStrategiesInsideSorters(t *testing.T) {
+	for _, strat := range []delivery.Strategy{delivery.Simple, delivery.Deterministic} {
+		res := Run(Spec{Algo: RLM, P: 12, PerPE: 40, Levels: 2, Seed: 8,
+			Delivery: delivery.Options{Strategy: strat}})
+		if res.OutImbalance > 1.1 {
+			t.Errorf("%v: RLM output imbalance %f (want ≈1)", strat, res.OutImbalance)
+		}
+	}
+}
+
+func TestAlgoString(t *testing.T) {
+	for a, want := range map[Algo]string{AMS: "AMS-sort", RLM: "RLM-sort", MP: "MP-sort",
+		GV: "GV-sample-sort", Bitonic: "bitonic"} {
+		if a.String() != want {
+			t.Errorf("Algo(%d) = %q want %q", a, a.String(), want)
+		}
+	}
+}

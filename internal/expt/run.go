@@ -1,0 +1,213 @@
+// Package expt runs the paper's evaluation (§7, Appendix E): weak
+// scaling for Table 2 / Figures 7, 8, 12, the overpartitioning sweeps of
+// Figures 10 and 11, the §7.3 comparison against single-level sorters,
+// and the delivery/all-to-all ablations. Every run validates its output
+// (locally sorted, globally ordered across PEs, permutation preserved)
+// before reporting times.
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"pmsort/internal/baseline"
+	"pmsort/internal/coll"
+	"pmsort/internal/core"
+	"pmsort/internal/delivery"
+	"pmsort/internal/seq"
+	"pmsort/internal/sim"
+	"pmsort/internal/workload"
+)
+
+// Algo selects a sorting algorithm.
+type Algo int
+
+const (
+	// AMS is adaptive multi-level sample sort (§6).
+	AMS Algo = iota
+	// RLM is recurse-last multiway mergesort (§5).
+	RLM
+	// MP is the MP-sort style single-level baseline (§7.3).
+	MP
+	// GV is single-level sample sort with centralized splitters.
+	GV
+	// Bitonic is Batcher's bitonic sort over the PEs.
+	Bitonic
+	// Hist is the Solomonik-Kale style histogram sort (§3).
+	Hist
+	// HCQ is hypercube parallel quicksort (§6's r=O(1) extreme).
+	HCQ
+)
+
+// String names the algorithm.
+func (a Algo) String() string {
+	switch a {
+	case AMS:
+		return "AMS-sort"
+	case RLM:
+		return "RLM-sort"
+	case MP:
+		return "MP-sort"
+	case GV:
+		return "GV-sample-sort"
+	case Bitonic:
+		return "bitonic"
+	case Hist:
+		return "histogram-sort"
+	case HCQ:
+		return "hc-quicksort"
+	}
+	return "invalid"
+}
+
+// Spec describes one run.
+type Spec struct {
+	Algo          Algo
+	P             int
+	PerPE         int
+	Levels        int
+	Kind          workload.Kind
+	Seed          uint64
+	Oversampling  float64
+	Overpartition int
+	TieBreak      bool
+	Delivery      delivery.Options
+}
+
+// Result reports one validated run.
+type Result struct {
+	// TotalNS is the makespan (max over PEs) in virtual ns.
+	TotalNS int64
+	// PhaseNS is the per-phase maximum over PEs, accumulated over levels.
+	PhaseNS [core.NumPhases]int64
+	// OutImbalance is max_PE |out|·p/n (1 = perfectly balanced output).
+	OutImbalance float64
+	// LevelImbalance is the largest per-level group imbalance (AMS).
+	LevelImbalance float64
+	// MaxMsgsRecv is the largest per-PE received-message count.
+	MaxMsgsRecv int64
+}
+
+const tagValidate = 0x7f0001
+
+// Run executes and validates one run. It panics if the output is not a
+// globally sorted permutation of the input.
+func Run(spec Spec) Result {
+	m := sim.NewDefault(spec.P)
+	less := func(a, b uint64) bool { return a < b }
+	cfg := core.Config{
+		Levels:        spec.Levels,
+		Oversampling:  spec.Oversampling,
+		Overpartition: spec.Overpartition,
+		Seed:          spec.Seed,
+		TieBreak:      spec.TieBreak,
+		Delivery:      spec.Delivery,
+	}
+	var res Result
+	outLens := make([]int64, spec.P)
+	allStats := make([]*core.Stats, spec.P)
+	msgs := make([]int64, spec.P)
+	m.Run(func(pe *sim.PE) {
+		pe.ResetCounters()
+		c := sim.World(pe)
+		data := workload.Local(spec.Kind, spec.Seed, spec.P, spec.PerPE, pe.Rank())
+		inCount := int64(len(data))
+		var out []uint64
+		var st *core.Stats
+		switch spec.Algo {
+		case AMS:
+			out, st = core.AMSSort(c, data, less, cfg)
+		case RLM:
+			out, st = core.RLMSort(c, data, less, cfg)
+		case MP:
+			out, st = baseline.MPSort(c, data, less, spec.Seed)
+		case GV:
+			out, st = baseline.GVSampleSort(c, data, less, spec.Seed)
+		case Bitonic:
+			out, st = baseline.BitonicSort(c, data, less, spec.Seed)
+		case Hist:
+			out, st = baseline.HistogramSort(c, data, less, 0.05, spec.Seed)
+		case HCQ:
+			out, st = baseline.HCQuicksort(c, data, less, spec.Seed)
+		default:
+			panic("expt: unknown algorithm")
+		}
+		allStats[pe.Rank()] = st
+		outLens[pe.Rank()] = int64(len(out))
+		msgs[pe.Rank()] = pe.MsgsRecv
+
+		// Validation (outside the timed region — stats are captured).
+		if !seq.IsSorted(out, less) {
+			panic(fmt.Sprintf("expt: PE %d output not locally sorted", pe.Rank()))
+		}
+		// Count preservation.
+		totalIn := coll.Allreduce(c, inCount, 1, func(a, b int64) int64 { return a + b })
+		totalOut := coll.Allreduce(c, int64(len(out)), 1, func(a, b int64) int64 { return a + b })
+		if totalIn != totalOut {
+			panic(fmt.Sprintf("expt: element count changed %d -> %d", totalIn, totalOut))
+		}
+		// Boundary order: my max must not exceed the next PE's min.
+		var myMax uint64
+		if len(out) > 0 {
+			myMax = out[len(out)-1]
+		} else {
+			myMax = 0
+		}
+		// Propagate the running maximum left-to-right so empty PEs pass
+		// their predecessor's max along.
+		if pe.Rank() > 0 {
+			pl, _ := c.Recv(pe.Rank()-1, tagValidate)
+			prevMax := pl.(uint64)
+			if len(out) > 0 && out[0] < prevMax {
+				panic(fmt.Sprintf("expt: PE %d starts below PE %d's max", pe.Rank(), pe.Rank()-1))
+			}
+			if len(out) == 0 || myMax < prevMax {
+				myMax = prevMax
+			}
+		}
+		if pe.Rank() < spec.P-1 {
+			c.Send(pe.Rank()+1, tagValidate, myMax, 1)
+		}
+	})
+
+	n := int64(spec.P) * int64(spec.PerPE)
+	for rank := 0; rank < spec.P; rank++ {
+		st := allStats[rank]
+		if st.TotalNS > res.TotalNS {
+			res.TotalNS = st.TotalNS
+		}
+		for ph := 0; ph < int(core.NumPhases); ph++ {
+			if st.PhaseNS[ph] > res.PhaseNS[ph] {
+				res.PhaseNS[ph] = st.PhaseNS[ph]
+			}
+		}
+		if st.MaxImbalance > res.LevelImbalance {
+			res.LevelImbalance = st.MaxImbalance
+		}
+		if n > 0 {
+			imb := float64(outLens[rank]) * float64(spec.P) / float64(n)
+			if imb > res.OutImbalance {
+				res.OutImbalance = imb
+			}
+		}
+		if msgs[rank] > res.MaxMsgsRecv {
+			res.MaxMsgsRecv = msgs[rank]
+		}
+	}
+	return res
+}
+
+// RunReps runs the spec `reps` times with varied seeds.
+func RunReps(spec Spec, reps int, progress io.Writer) []Result {
+	out := make([]Result, reps)
+	for i := 0; i < reps; i++ {
+		s := spec
+		s.Seed = spec.Seed + uint64(i)*0x1000003
+		if progress != nil {
+			fmt.Fprintf(progress, "# %-9v p=%-6d n/p=%-7d k=%d rep %d/%d\n",
+				spec.Algo, spec.P, spec.PerPE, spec.Levels, i+1, reps)
+		}
+		out[i] = Run(s)
+	}
+	return out
+}

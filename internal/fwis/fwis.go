@@ -1,0 +1,166 @@
+// Package fwis implements the fast work-inefficient sorting algorithm of
+// paper §4.2 (generalizing [18]): the p PEs are arranged as an a×b grid
+// with a, b = O(√p); the locally sorted inputs are gossiped (allGather
+// with merging) along both rows and columns; each PE ranks the elements
+// received from its column against the elements received from its row;
+// and summing these partial ranks along the column yields every
+// element's global rank in time O(α log p + β·n/√p + n/p·log(n/p)).
+//
+// The sorter is used for sorting splitter samples, where speed matters
+// more than efficiency. Rank extraction requires a strict total order
+// (no duplicate keys) — callers tag sample elements with their origin to
+// break ties, as in §2.
+package fwis
+
+import (
+	"fmt"
+	"sort"
+
+	"pmsort/internal/coll"
+	"pmsort/internal/sim"
+)
+
+// GridDims factors p into a×b with a ≤ b and a the largest divisor of p
+// not exceeding √p. For powers of two this reproduces the paper's
+// 2^⌊P/2⌋ × 2^⌈P/2⌉ grid; for primes it degenerates to 1×p, which stays
+// correct (one row holding everything).
+func GridDims(p int) (a, b int) {
+	d := 1
+	for d*d <= p {
+		d++
+	}
+	for d--; d >= 1; d-- {
+		if p%d == 0 {
+			return d, p / d
+		}
+	}
+	return 1, p
+}
+
+// Sorter runs the grid sort once and retains the ranked column data so
+// that callers can both extract elements by rank and query ranks of
+// local elements.
+type Sorter[E any] struct {
+	comm    *sim.Comm
+	less    func(a, b E) bool
+	colData []E     // sorted union of this PE's column inputs
+	ranks   []int64 // global rank of each colData element
+	total   int64   // total number of elements across all PEs
+}
+
+// New sorts the union of the members' local slices. All members must
+// call it collectively. The local slice need not be sorted; it is sorted
+// in place.
+func New[E any](c *sim.Comm, local []E, less func(a, b E) bool) *Sorter[E] {
+	pe := c.PE()
+	p := c.Size()
+	a, b := GridDims(p)
+
+	sort.Slice(local, func(i, j int) bool { return less(local[i], local[j]) })
+	pe.ChargeSortOps(int64(len(local)))
+
+	rowComm, _ := c.SplitEqual(a)  // row = groups of b consecutive ranks
+	colComm, _ := c.SplitModulo(b) // column = ranks with equal rank mod b
+	_ = a                          // rows: a groups of size b
+
+	rowData := coll.AllgatherMerge(rowComm, local, less)
+	colData := coll.AllgatherMerge(colComm, local, less)
+
+	// Rank every column element against the row data by a two-pointer
+	// scan over the two sorted sequences.
+	localRanks := make([]int64, len(colData))
+	j := 0
+	for i, x := range colData {
+		for j < len(rowData) && less(rowData[j], x) {
+			j++
+		}
+		localRanks[i] = int64(j)
+	}
+	pe.ChargeOps(int64(len(colData) + len(rowData)))
+
+	// Summing the partial ranks over the column (i.e. over all rows)
+	// yields global ranks, because the row unions partition the input.
+	addVec := func(x, y []int64) []int64 {
+		out := make([]int64, len(x))
+		for i := range x {
+			out[i] = x[i] + y[i]
+		}
+		return out
+	}
+	granks := coll.Allreduce(colComm, localRanks, int64(len(localRanks)), addVec)
+
+	total := coll.Allreduce(c, int64(len(local)), 1, func(x, y int64) int64 { return x + y })
+
+	return &Sorter[E]{comm: c, less: less, colData: colData, ranks: granks, total: total}
+}
+
+// Total returns the number of elements across all PEs.
+func (s *Sorter[E]) Total() int64 { return s.total }
+
+// SelectRanks returns, on every PE, the elements whose global ranks are
+// the given targets (0-based, each in 0..Total()-1). One vector-valued
+// all-reduce distributes the matches.
+func (s *Sorter[E]) SelectRanks(targets []int64) []E {
+	type slot struct {
+		val E
+		ok  bool
+	}
+	slots := make([]slot, len(targets))
+	for t, k := range targets {
+		if k < 0 || k >= s.total {
+			panic(fmt.Sprintf("fwis: rank %d out of range 0..%d", k, s.total-1))
+		}
+		// ranks is strictly increasing (strict total order), so binary
+		// search locates the target if this column holds it.
+		lo, hi := 0, len(s.ranks)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if s.ranks[mid] < k {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(s.ranks) && s.ranks[lo] == k {
+			slots[t] = slot{val: s.colData[lo], ok: true}
+		}
+	}
+	pick := func(x, y []slot) []slot {
+		out := make([]slot, len(x))
+		for i := range x {
+			if x[i].ok {
+				out[i] = x[i]
+			} else {
+				out[i] = y[i]
+			}
+		}
+		return out
+	}
+	res := coll.Allreduce(s.comm, slots, int64(len(slots)), pick)
+	out := make([]E, len(targets))
+	for t := range res {
+		if !res[t].ok {
+			panic(fmt.Sprintf("fwis: no element with rank %d found (duplicate keys?)", targets[t]))
+		}
+		out[t] = res[t].val
+	}
+	return out
+}
+
+// RankOf returns the global rank of x, which must be one of this PE's
+// column elements (in particular, any of its own local input elements).
+func (s *Sorter[E]) RankOf(x E) int64 {
+	lo, hi := 0, len(s.colData)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.less(s.colData[mid], x) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(s.colData) || s.less(x, s.colData[lo]) {
+		panic("fwis: RankOf element not present in column data")
+	}
+	return s.ranks[lo]
+}

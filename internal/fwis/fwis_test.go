@@ -1,0 +1,206 @@
+package fwis
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pmsort/internal/sim"
+)
+
+// sample is a key tagged with (pe, idx) for a strict total order, the way
+// AMS-sort tags its splitter samples (§2).
+type sample struct{ key, pe, idx int }
+
+func sampleLess(a, b sample) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.pe != b.pe {
+		return a.pe < b.pe
+	}
+	return a.idx < b.idx
+}
+
+func TestGridDims(t *testing.T) {
+	cases := []struct{ p, a, b int }{
+		{1, 1, 1}, {2, 1, 2}, {3, 1, 3}, {4, 2, 2}, {6, 2, 3}, {8, 2, 4},
+		{9, 3, 3}, {12, 3, 4}, {13, 1, 13}, {16, 4, 4}, {32, 4, 8}, {64, 8, 8},
+		{512, 16, 32}, {2048, 32, 64},
+	}
+	for _, tc := range cases {
+		a, b := GridDims(tc.p)
+		if a != tc.a || b != tc.b {
+			t.Errorf("GridDims(%d) = %d×%d, want %d×%d", tc.p, a, b, tc.a, tc.b)
+		}
+		if a*b != tc.p {
+			t.Errorf("GridDims(%d): %d×%d != p", tc.p, a, b)
+		}
+	}
+}
+
+func makeLocals(rng *rand.Rand, p, maxLen, keyRange int) ([][]sample, []sample) {
+	locals := make([][]sample, p)
+	var all []sample
+	for pe := range locals {
+		n := rng.Intn(maxLen + 1)
+		loc := make([]sample, n)
+		for i := range loc {
+			loc[i] = sample{key: rng.Intn(keyRange), pe: pe, idx: i}
+		}
+		locals[pe] = loc
+		all = append(all, loc...)
+	}
+	sort.Slice(all, func(i, j int) bool { return sampleLess(all[i], all[j]) })
+	return locals, all
+}
+
+func TestSelectRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, p := range []int{1, 2, 3, 4, 6, 8, 9, 12, 13, 16} {
+		for trial := 0; trial < 5; trial++ {
+			locals, all := makeLocals(rng, p, 12, 40)
+			if len(all) == 0 {
+				continue
+			}
+			targets := []int64{0, int64(len(all)) / 3, int64(len(all)) - 1}
+			m := sim.NewDefault(p)
+			m.Run(func(pe *sim.PE) {
+				c := sim.World(pe)
+				s := New(c, locals[pe.Rank()], sampleLess)
+				if s.Total() != int64(len(all)) {
+					t.Errorf("p=%d: Total=%d want %d", p, s.Total(), len(all))
+				}
+				got := s.SelectRanks(targets)
+				for i, k := range targets {
+					if got[i] != all[k] {
+						t.Errorf("p=%d rank %d: got %+v want %+v", p, k, got[i], all[k])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestRankOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for _, p := range []int{1, 4, 6, 9} {
+		locals, all := makeLocals(rng, p, 10, 25)
+		pos := make(map[sample]int64, len(all))
+		for i, e := range all {
+			pos[e] = int64(i)
+		}
+		m := sim.NewDefault(p)
+		m.Run(func(pe *sim.PE) {
+			c := sim.World(pe)
+			// New sorts local in place; remember originals first.
+			mine := append([]sample(nil), locals[pe.Rank()]...)
+			s := New(c, locals[pe.Rank()], sampleLess)
+			for _, e := range mine {
+				if got := s.RankOf(e); got != pos[e] {
+					t.Errorf("p=%d: RankOf(%+v) = %d want %d", p, e, got, pos[e])
+				}
+			}
+		})
+	}
+}
+
+// TestFigureOneExample replays the 3×4 example of Figure 1: elements
+// a..g spread over a 3×4 grid of PEs get ranks 0..6 (paper counts from
+// the same order).
+func TestFigureOneExample(t *testing.T) {
+	// Grid from Figure 1 (rows × columns), '.' = no element:
+	//   [c]  [ ]  [ ]  [f]
+	//   [ ]  [a]  [e]  [ ]
+	//   [ ]  [g]  [ ]  [b d]
+	const p = 12
+	letters := map[int][]int{ // rank -> element keys ('a'=0 ...)
+		0:  {'c'},
+		3:  {'f'},
+		5:  {'a'},
+		6:  {'e'},
+		9:  {'g'},
+		11: {'b', 'd'},
+	}
+	wantRank := map[int]int64{'a': 0, 'b': 1, 'c': 2, 'd': 3, 'e': 4, 'f': 5, 'g': 6}
+	m := sim.NewDefault(p)
+	m.Run(func(pe *sim.PE) {
+		c := sim.World(pe)
+		var local []sample
+		for i, k := range letters[pe.Rank()] {
+			local = append(local, sample{key: k, pe: pe.Rank(), idx: i})
+		}
+		mine := append([]sample(nil), local...)
+		s := New(c, local, sampleLess)
+		if s.Total() != 7 {
+			t.Errorf("total = %d, want 7", s.Total())
+		}
+		for _, e := range mine {
+			if got := s.RankOf(e); got != wantRank[e.key] {
+				t.Errorf("rank of %c = %d, want %d", rune(e.key), got, wantRank[e.key])
+			}
+		}
+	})
+}
+
+func TestSelectRanksDuplicateKeysWithTags(t *testing.T) {
+	// All keys equal; tags must still give unique, extractable ranks.
+	const p = 4
+	m := sim.NewDefault(p)
+	m.Run(func(pe *sim.PE) {
+		c := sim.World(pe)
+		local := []sample{{key: 7, pe: pe.Rank(), idx: 0}, {key: 7, pe: pe.Rank(), idx: 1}}
+		s := New(c, local, sampleLess)
+		targets := []int64{0, 3, 7}
+		got := s.SelectRanks(targets)
+		// Order is (7,0,0) (7,0,1) (7,1,0) (7,1,1) (7,2,0) ...
+		want := []sample{{7, 0, 0}, {7, 1, 1}, {7, 3, 1}}
+		for i := range targets {
+			if got[i] != want[i] {
+				t.Errorf("rank %d: got %+v want %+v", targets[i], got[i], want[i])
+			}
+		}
+	})
+}
+
+func TestSelectRanksPanicsOutOfRange(t *testing.T) {
+	m := sim.NewDefault(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range rank")
+		}
+	}()
+	m.Run(func(pe *sim.PE) {
+		c := sim.World(pe)
+		local := []sample{{key: pe.Rank(), pe: pe.Rank()}}
+		s := New(c, local, sampleLess)
+		s.SelectRanks([]int64{2})
+	})
+}
+
+// TestTimeSublinear checks the α log p + β n/√p shape: doubling the grid
+// from 16 to 64 PEs with the same per-PE load must not double the
+// virtual time (a single-PE gather would).
+func TestTimeSublinear(t *testing.T) {
+	run := func(p int) int64 {
+		m := sim.New(p, sim.FlatTopology(), sim.DefaultCost())
+		rng := rand.New(rand.NewSource(33))
+		locals := make([][]sample, p)
+		for pe := range locals {
+			loc := make([]sample, 64)
+			for i := range loc {
+				loc[i] = sample{key: rng.Intn(1 << 20), pe: pe, idx: i}
+			}
+			locals[pe] = loc
+		}
+		res := m.Run(func(pe *sim.PE) {
+			New(sim.World(pe), locals[pe.Rank()], sampleLess)
+		})
+		return res.MaxTime
+	}
+	t16, t64 := run(16), run(64)
+	// n grows 4×, √p grows 2× -> β-term grows 2×; α-term grows log-ly.
+	if t64 > 3*t16 {
+		t.Errorf("p=16: %d ns, p=64: %d ns — scaling worse than O(n/√p)", t16, t64)
+	}
+}

@@ -1,0 +1,165 @@
+// Package grouping implements the bucket-grouping step of AMS-sort
+// (paper §6, Lemma 1, Appendix C): given the global sizes of the br
+// overpartitioned buckets, assign consecutive ranges of buckets to the r
+// PE groups such that the maximum group load L is minimal. The scanning
+// algorithm packs greedily; a binary search over L — accelerated with the
+// bound-tightening observations of Appendix C — finds the optimal L.
+package grouping
+
+import (
+	"pmsort/internal/coll"
+	"pmsort/internal/sim"
+)
+
+// Scan greedily packs the buckets into consecutive groups of total size
+// at most L, opening a new group whenever the next bucket would overflow
+// the current one. It returns
+//
+//   - starts: bucket-index boundaries of the groups formed (group g is
+//     buckets starts[g]..starts[g+1]-1), only valid when ok;
+//   - maxGroup: the largest group size actually formed;
+//   - minZ: the smallest "overflow witness" x+y observed when a group of
+//     size x was closed because the next bucket of size y did not fit
+//     (Appendix C: any L' < minZ reproduces the same failed packing);
+//   - ok: whether at most r groups sufficed.
+//
+// A bucket larger than L makes the packing infeasible (ok=false).
+func Scan(sizes []int64, r int, L int64) (starts []int, maxGroup, minZ int64, ok bool) {
+	minZ = int64(1) << 62
+	starts = make([]int, 1, r+1)
+	var cur int64
+	for i, s := range sizes {
+		if s > L {
+			return nil, 0, minZ, false
+		}
+		if cur+s > L {
+			if z := cur + s; z < minZ {
+				minZ = z
+			}
+			if len(starts) == r {
+				// Out of groups; report the witness for the bound update.
+				return nil, 0, minZ, false
+			}
+			if cur > maxGroup {
+				maxGroup = cur
+			}
+			starts = append(starts, i)
+			cur = 0
+		}
+		cur += s
+	}
+	if cur > maxGroup {
+		maxGroup = cur
+	}
+	starts = append(starts, len(sizes))
+	return starts, maxGroup, minZ, true
+}
+
+// OptimalL returns the minimal L for which Scan succeeds, together with
+// the corresponding group boundaries. It binary-searches over L with the
+// two Appendix C refinements: a failed scan raises the lower bound to the
+// smallest overflow witness, and a successful scan lowers the upper bound
+// to the largest group actually formed (both are sizes of real bucket
+// ranges, so the search converges in O(log(br)) scans instead of
+// O(log n)). By Lemma 1 the greedy scan is optimal, so this L is the
+// optimal bottleneck over all partitions into ≤ r consecutive ranges.
+func OptimalL(sizes []int64, r int) (L int64, starts []int) {
+	if r <= 0 {
+		panic("grouping: OptimalL with r <= 0")
+	}
+	var total, maxBucket int64
+	for _, s := range sizes {
+		total += s
+		if s > maxBucket {
+			maxBucket = s
+		}
+	}
+	lo := maxI64(maxBucket, ceilDiv(total, int64(r))) // ≤ L*
+	hi := total                                       // feasible
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		_, maxG, minZ, ok := Scan(sizes, r, mid)
+		if ok {
+			hi = maxG // feasible and ≤ mid (Appendix C tightening)
+		} else {
+			lo = minZ // > mid: no smaller L can succeed
+		}
+	}
+	st, _, _, ok := Scan(sizes, r, lo)
+	if !ok {
+		// Unreachable if the invariants hold; guard against bugs loudly.
+		panic("grouping: optimal L infeasible")
+	}
+	return lo, st
+}
+
+// OptimalLParallel distributes the binary search over the members of c
+// (Appendix C): each iteration splits the remaining [lo, hi] range into
+// Size()+1 subranges, every PE probes one endpoint, and a combined
+// all-reduce tightens the bounds to actually-occurring group sizes. All
+// members return the same optimal L and boundaries. The bucket-size
+// vector must be identical on all members (it comes from an all-reduce).
+func OptimalLParallel(c *sim.Comm, sizes []int64, r int) (L int64, starts []int) {
+	var total, maxBucket int64
+	for _, s := range sizes {
+		total += s
+		if s > maxBucket {
+			maxBucket = s
+		}
+	}
+	lo := maxI64(maxBucket, ceilDiv(total, int64(r)))
+	hi := total
+	p := int64(c.Size())
+	// probe outcome: tightest feasible value seen (succ) and tightest
+	// known-infeasible bound (fail).
+	type bounds struct{ fail, succ int64 }
+	combine := func(a, b bounds) bounds {
+		if b.fail > a.fail {
+			a.fail = b.fail
+		}
+		if b.succ < a.succ {
+			a.succ = b.succ
+		}
+		return a
+	}
+	den := p - 1
+	if den == 0 {
+		den = 1
+	}
+	for lo < hi {
+		// Probe Size() points spread over [lo, hi]; rank 0 probes lo, so
+		// the loop makes progress even when lo+1 == hi.
+		probe := lo + (hi-lo)*int64(c.Rank())/den
+		if probe > hi {
+			probe = hi
+		}
+		my := bounds{fail: lo - 1, succ: hi}
+		if _, maxG, minZ, ok := Scan(sizes, r, probe); ok {
+			my.succ = maxG
+		} else {
+			my.fail = minZ - 1 // all L ≤ minZ-1 infeasible
+		}
+		c.PE().ChargeScan(int64(len(sizes)))
+		res := coll.Allreduce(c, my, 2, combine)
+		lo, hi = res.fail+1, res.succ
+		if lo > hi {
+			lo = hi
+		}
+	}
+	st, _, _, ok := Scan(sizes, r, lo)
+	if !ok {
+		panic("grouping: parallel optimal L infeasible")
+	}
+	return lo, st
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}

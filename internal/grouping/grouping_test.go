@@ -1,0 +1,186 @@
+package grouping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pmsort/internal/sim"
+)
+
+// bruteOptimal computes the minimal bottleneck over all partitions of
+// sizes into at most r consecutive ranges by dynamic programming.
+func bruteOptimal(sizes []int64, r int) int64 {
+	n := len(sizes)
+	prefix := make([]int64, n+1)
+	for i, s := range sizes {
+		prefix[i+1] = prefix[i] + s
+	}
+	const inf = int64(1) << 62
+	// dp[g][i] = min bottleneck for the first i buckets in ≤ g groups.
+	dp := make([]int64, n+1)
+	for i := 1; i <= n; i++ {
+		dp[i] = prefix[i] // one group
+	}
+	for g := 2; g <= r; g++ {
+		ndp := make([]int64, n+1)
+		for i := 1; i <= n; i++ {
+			best := inf
+			for j := 0; j < i; j++ {
+				cost := dp[j]
+				if last := prefix[i] - prefix[j]; last > cost {
+					cost = last
+				}
+				if cost < best {
+					best = cost
+				}
+			}
+			ndp[i] = best
+		}
+		dp = ndp
+	}
+	return dp[n]
+}
+
+func randSizes(rng *rand.Rand, n int, maxSize int64) []int64 {
+	sizes := make([]int64, n)
+	for i := range sizes {
+		sizes[i] = rng.Int63n(maxSize) + 1
+	}
+	return sizes
+}
+
+func TestScanBasic(t *testing.T) {
+	sizes := []int64{3, 1, 4, 1, 5}
+	starts, maxG, _, ok := Scan(sizes, 3, 6)
+	if !ok {
+		t.Fatal("scan with L=6 should succeed")
+	}
+	// Greedy: [3,1] (next 4 overflows), [4,1] (next 5 overflows), [5].
+	want := []int{0, 2, 4, 5}
+	if len(starts) != len(want) {
+		t.Fatalf("starts = %v, want %v", starts, want)
+	}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("starts = %v, want %v", starts, want)
+		}
+	}
+	if maxG != 5 {
+		t.Fatalf("maxGroup = %d, want 5", maxG)
+	}
+	if _, _, _, ok := Scan(sizes, 2, 6); ok {
+		t.Fatal("scan with r=2, L=6 should fail (needs 14/2=7)")
+	}
+	if _, _, _, ok := Scan(sizes, 3, 4); ok {
+		t.Fatal("scan with L=4 should fail (bucket of size 5)")
+	}
+}
+
+func TestScanEdge(t *testing.T) {
+	// Empty bucket list: one empty group.
+	starts, maxG, _, ok := Scan(nil, 2, 10)
+	if !ok || maxG != 0 || len(starts) != 2 {
+		t.Fatalf("empty scan: starts=%v maxG=%d ok=%v", starts, maxG, ok)
+	}
+	// Zero-size buckets pack into anything.
+	starts, _, _, ok = Scan([]int64{0, 0, 0}, 1, 0)
+	if !ok || starts[len(starts)-1] != 3 {
+		t.Fatalf("zero buckets: %v %v", starts, ok)
+	}
+}
+
+// TestOptimalLMatchesBruteForce is the Lemma 1 check: the scanning
+// algorithm + binary search finds the true optimum.
+func TestOptimalLMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(24)
+		r := 1 + rng.Intn(8)
+		sizes := randSizes(rng, n, 50)
+		want := bruteOptimal(sizes, r)
+		got, starts := OptimalL(sizes, r)
+		if got != want {
+			t.Fatalf("sizes=%v r=%d: OptimalL=%d, brute=%d", sizes, r, got, want)
+		}
+		// The returned boundaries must realize the bound.
+		if len(starts) > r+1 {
+			t.Fatalf("too many groups: %v", starts)
+		}
+		var cur int64
+		gi := 1
+		for i, s := range sizes {
+			if gi < len(starts)-1 && i == starts[gi] {
+				if cur > got {
+					t.Fatalf("group exceeds L: %d > %d", cur, got)
+				}
+				cur = 0
+				gi++
+			}
+			cur += s
+		}
+		if cur > got {
+			t.Fatalf("last group exceeds L: %d > %d", cur, got)
+		}
+	}
+}
+
+func TestOptimalLQuick(t *testing.T) {
+	if err := quick.Check(func(raw []uint16, rr uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 20 {
+			raw = raw[:20]
+		}
+		sizes := make([]int64, len(raw))
+		for i, v := range raw {
+			sizes[i] = int64(v%400) + 1
+		}
+		r := int(rr%6) + 1
+		got, _ := OptimalL(sizes, r)
+		return got == bruteOptimal(sizes, r)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalLParallelAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, p := range []int{1, 2, 3, 5, 8, 16} {
+		for trial := 0; trial < 10; trial++ {
+			n := 1 + rng.Intn(40)
+			r := 1 + rng.Intn(10)
+			sizes := randSizes(rng, n, 100)
+			want, _ := OptimalL(sizes, r)
+			m := sim.NewDefault(p)
+			m.Run(func(pe *sim.PE) {
+				c := sim.World(pe)
+				got, starts := OptimalLParallel(c, sizes, r)
+				if got != want {
+					t.Errorf("p=%d sizes=%v r=%d: parallel L=%d, want %d", p, sizes, r, got, want)
+				}
+				if starts[len(starts)-1] != len(sizes) {
+					t.Errorf("parallel starts do not cover all buckets: %v", starts)
+				}
+			})
+		}
+	}
+}
+
+func TestOptimalLSingleGroup(t *testing.T) {
+	sizes := []int64{5, 5, 5}
+	got, starts := OptimalL(sizes, 1)
+	if got != 15 || len(starts) != 2 {
+		t.Fatalf("r=1: L=%d starts=%v", got, starts)
+	}
+}
+
+func TestOptimalLManyGroups(t *testing.T) {
+	// More groups than buckets: L* = max bucket.
+	sizes := []int64{7, 3, 9, 2}
+	got, _ := OptimalL(sizes, 10)
+	if got != 9 {
+		t.Fatalf("L=%d, want 9", got)
+	}
+}

@@ -1,0 +1,199 @@
+// Package msel implements distributed multisequence selection (paper
+// §4.1): given one locally sorted sequence per PE and r target global
+// ranks, it finds for every target a split position in each local
+// sequence such that the positions sum to the target rank and all
+// elements left of the splits precede all elements right of them.
+//
+// The algorithm is the vectorized quickselect adaptation from Figure 2:
+// every round picks (for each unresolved target) a random pivot among the
+// still-active elements — the same pivot on every PE, located through a
+// prefix sum over active-interval sizes — and bisects the active
+// intervals with local binary searches plus one vector-valued
+// all-reduce. Duplicate keys are handled exactly: elements equal to the
+// final pivot are split between left and right parts in (PE, position)
+// order, which makes the selection consistent with the lexicographic
+// (key, PE, position) tie-breaking of §2.
+package msel
+
+import (
+	"pmsort/internal/coll"
+	"pmsort/internal/prng"
+	"pmsort/internal/seq"
+	"pmsort/internal/sim"
+)
+
+// pivotSlot carries a pivot candidate through the pick-one all-reduce.
+type pivotSlot[E any] struct {
+	val E
+	ok  bool
+}
+
+// Select returns, for each target rank k in targets (0 ≤ k ≤ N where N is
+// the total number of elements over all PEs), a local split position
+// pos[t] with Σ_PEs pos[t] = targets[t]. The collective must be called by
+// all members of c with identical targets and seed; local must be sorted
+// under less.
+func Select[E any](c *sim.Comm, local []E, targets []int64, less func(a, b E) bool, seed uint64) []int {
+	r := len(targets)
+	pos := make([]int, r)
+	if r == 0 {
+		return pos
+	}
+	pe := c.PE()
+	rng := prng.New(seed) // identical stream on every PE
+
+	lo := make([]int, r)
+	hi := make([]int, r)
+	k := make([]int64, r)
+	done := make([]bool, r)
+	for t := range targets {
+		hi[t] = len(local)
+		k[t] = targets[t]
+	}
+
+	addVec := func(a, b []int64) []int64 {
+		out := make([]int64, len(a))
+		for i := range a {
+			out[i] = a[i] + b[i]
+		}
+		return out
+	}
+	pickVec := func(a, b []pivotSlot[E]) []pivotSlot[E] {
+		out := make([]pivotSlot[E], len(a))
+		for i := range a {
+			if a[i].ok {
+				out[i] = a[i]
+			} else {
+				out[i] = b[i]
+			}
+		}
+		return out
+	}
+
+	remaining := r
+	for remaining > 0 {
+		// Active sizes and their prefix sums / totals.
+		sz := make([]int64, r)
+		for t := range sz {
+			if !done[t] {
+				sz[t] = int64(hi[t] - lo[t])
+			}
+		}
+		prefix, total, hasPrefix := coll.ScanTotal(c, sz, int64(r), addVec)
+		if !hasPrefix {
+			prefix = make([]int64, r)
+		}
+
+		// Resolve degenerate targets and pick pivot positions for the rest.
+		pivotPos := make([]int64, r) // global active offset of the pivot
+		anyPivot := false
+		for t := 0; t < r; t++ {
+			if done[t] {
+				continue
+			}
+			switch {
+			case k[t] == 0:
+				pos[t] = lo[t]
+				done[t] = true
+				remaining--
+			case k[t] == total[t]:
+				pos[t] = hi[t]
+				done[t] = true
+				remaining--
+			default:
+				// The same random draw happens on every PE.
+				pivotPos[t] = int64(rng.Uint64n(uint64(total[t])))
+				anyPivot = true
+			}
+		}
+		if !anyPivot {
+			continue
+		}
+
+		// Owner of each pivot contributes its value; all-reduce picks it.
+		slots := make([]pivotSlot[E], r)
+		for t := 0; t < r; t++ {
+			if done[t] {
+				continue
+			}
+			off := pivotPos[t] - prefix[t]
+			if off >= 0 && off < sz[t] {
+				slots[t] = pivotSlot[E]{val: local[lo[t]+int(off)], ok: true}
+			}
+		}
+		pivots := coll.Allreduce(c, slots, int64(r), pickVec)
+
+		// Local bisection: counts of active elements < pivot and ≤ pivot.
+		counts := make([]int64, 2*r) // [less..., lessEq...]
+		lb := make([]int, r)
+		ub := make([]int, r)
+		for t := 0; t < r; t++ {
+			if done[t] {
+				continue
+			}
+			act := local[lo[t]:hi[t]]
+			lb[t] = lo[t] + seq.LowerBound(act, pivots[t].val, less)
+			ub[t] = lo[t] + seq.UpperBound(act, pivots[t].val, less)
+			counts[t] = int64(lb[t] - lo[t])
+			counts[r+t] = int64(ub[t] - lo[t])
+			pe.ChargeOps(2 * int64(1+bitsLen(len(act))))
+		}
+		sums := coll.Allreduce(c, counts, int64(2*r), addVec)
+
+		// Equality prefix sums for the targets that resolve this round.
+		eq := make([]int64, r)
+		resolving := make([]bool, r)
+		for t := 0; t < r; t++ {
+			if done[t] {
+				continue
+			}
+			cntLess, cntLessEq := sums[t], sums[r+t]
+			if k[t] > cntLess && k[t] <= cntLessEq {
+				resolving[t] = true
+				eq[t] = int64(ub[t] - lb[t])
+			}
+		}
+		eqPrefix, hasEq := coll.ExScan(c, eq, int64(r), addVec)
+		if !hasEq {
+			eqPrefix = make([]int64, r)
+		}
+
+		for t := 0; t < r; t++ {
+			if done[t] {
+				continue
+			}
+			cntLess, cntLessEq := sums[t], sums[r+t]
+			switch {
+			case k[t] <= cntLess:
+				hi[t] = lb[t]
+			case k[t] > cntLessEq:
+				lo[t] = ub[t]
+				k[t] -= cntLessEq
+			default:
+				// The target rank falls inside the pivot's equality class:
+				// hand out the k-cntLess equal elements in PE order.
+				take := k[t] - cntLess - eqPrefix[t]
+				if take < 0 {
+					take = 0
+				}
+				if take > eq[t] {
+					take = eq[t]
+				}
+				pos[t] = lb[t] + int(take)
+				done[t] = true
+				remaining--
+			}
+		}
+	}
+	return pos
+}
+
+// bitsLen returns the bit length of v (≈ log₂ for charging searches).
+func bitsLen(v int) int64 {
+	var l int64
+	for v > 0 {
+		v >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,217 @@
+package msel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pmsort/internal/sim"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+type tagged struct{ val, pe, idx int }
+
+// checkSelection verifies that the selected positions are exactly the
+// per-PE prefix lengths of the k smallest elements under lexicographic
+// (value, PE, position) order — the paper's §2 tie-breaking scheme.
+func checkSelection(t *testing.T, locals [][]int, targets []int64, allPos [][]int) {
+	t.Helper()
+	var all []tagged
+	for pe, loc := range locals {
+		for i, v := range loc {
+			all = append(all, tagged{v, pe, i})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		x, y := all[a], all[b]
+		if x.val != y.val {
+			return x.val < y.val
+		}
+		if x.pe != y.pe {
+			return x.pe < y.pe
+		}
+		return x.idx < y.idx
+	})
+	for ti, k := range targets {
+		var sum int64
+		for pe := range locals {
+			sum += int64(allPos[pe][ti])
+		}
+		if sum != k {
+			t.Fatalf("target %d: positions sum to %d", k, sum)
+		}
+		// Count per PE how many of its elements are among the k smallest.
+		wantPrefix := make([]int, len(locals))
+		for _, e := range all[:k] {
+			wantPrefix[e.pe]++
+		}
+		for pe := range locals {
+			if allPos[pe][ti] != wantPrefix[pe] {
+				t.Fatalf("target %d PE %d: pos=%d want %d (locals=%v)",
+					k, pe, allPos[pe][ti], wantPrefix[pe], locals)
+			}
+		}
+	}
+}
+
+func runSelect(p int, locals [][]int, targets []int64, seed uint64) [][]int {
+	m := sim.NewDefault(p)
+	allPos := make([][]int, p)
+	m.Run(func(pe *sim.PE) {
+		c := sim.World(pe)
+		allPos[pe.Rank()] = Select(c, locals[pe.Rank()], targets, intLess, seed)
+	})
+	return allPos
+}
+
+func TestSelectRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, p := range []int{1, 2, 3, 4, 7, 8, 16} {
+		for trial := 0; trial < 8; trial++ {
+			locals := make([][]int, p)
+			var n int64
+			for i := range locals {
+				sz := rng.Intn(30)
+				loc := make([]int, sz)
+				for j := range loc {
+					loc[j] = rng.Intn(1000)
+				}
+				sort.Ints(loc)
+				locals[i] = loc
+				n += int64(sz)
+			}
+			numTargets := 1 + rng.Intn(5)
+			targets := make([]int64, numTargets)
+			for i := range targets {
+				targets[i] = rng.Int63n(n + 1)
+			}
+			allPos := runSelect(p, locals, targets, uint64(trial))
+			checkSelection(t, locals, targets, allPos)
+		}
+	}
+}
+
+// TestSelectHeavyDuplicates is the hard case: tiny key space, so the
+// equality-class splitting must be exact.
+func TestSelectHeavyDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, p := range []int{2, 4, 8} {
+		for trial := 0; trial < 10; trial++ {
+			locals := make([][]int, p)
+			var n int64
+			for i := range locals {
+				sz := rng.Intn(40)
+				loc := make([]int, sz)
+				for j := range loc {
+					loc[j] = rng.Intn(3) // keys in {0,1,2}
+				}
+				sort.Ints(loc)
+				locals[i] = loc
+				n += int64(sz)
+			}
+			if n == 0 {
+				continue
+			}
+			targets := []int64{0, n / 4, n / 2, 3 * n / 4, n}
+			allPos := runSelect(p, locals, targets, uint64(trial)*7)
+			checkSelection(t, locals, targets, allPos)
+		}
+	}
+}
+
+func TestSelectAllEqual(t *testing.T) {
+	const p = 4
+	locals := make([][]int, p)
+	for i := range locals {
+		locals[i] = []int{5, 5, 5, 5, 5}
+	}
+	targets := []int64{0, 1, 7, 13, 20}
+	allPos := runSelect(p, locals, targets, 3)
+	checkSelection(t, locals, targets, allPos)
+}
+
+func TestSelectEmptyPEs(t *testing.T) {
+	locals := [][]int{{}, {1, 2, 3}, {}, {4, 5}, {}}
+	targets := []int64{0, 2, 5}
+	allPos := runSelect(5, locals, targets, 4)
+	checkSelection(t, locals, targets, allPos)
+}
+
+func TestSelectAllEmpty(t *testing.T) {
+	locals := [][]int{{}, {}, {}}
+	targets := []int64{0}
+	allPos := runSelect(3, locals, targets, 5)
+	checkSelection(t, locals, targets, allPos)
+}
+
+func TestSelectNoTargets(t *testing.T) {
+	locals := [][]int{{1}, {2}}
+	allPos := runSelect(2, locals, nil, 6)
+	for _, pos := range allPos {
+		if len(pos) != 0 {
+			t.Fatalf("expected empty positions, got %v", pos)
+		}
+	}
+}
+
+// TestSelectManyTargets exercises the vectorized path with r much larger
+// than the usual handful (simultaneous selections share pivot rounds).
+func TestSelectManyTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const p = 8
+	locals := make([][]int, p)
+	var n int64
+	for i := range locals {
+		loc := make([]int, 100)
+		for j := range loc {
+			loc[j] = rng.Intn(500)
+		}
+		sort.Ints(loc)
+		locals[i] = loc
+		n += 100
+	}
+	targets := make([]int64, 32)
+	for i := range targets {
+		targets[i] = n * int64(i) / 32
+	}
+	allPos := runSelect(p, locals, targets, 9)
+	checkSelection(t, locals, targets, allPos)
+}
+
+// TestSelectDeterministic: same inputs and seed give identical results
+// (and identical virtual time) across executions.
+func TestSelectDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	const p = 6
+	locals := make([][]int, p)
+	for i := range locals {
+		loc := make([]int, 50)
+		for j := range loc {
+			loc[j] = rng.Intn(100)
+		}
+		sort.Ints(loc)
+		locals[i] = loc
+	}
+	targets := []int64{10, 150, 299}
+	run := func() ([][]int, int64) {
+		m := sim.NewDefault(p)
+		allPos := make([][]int, p)
+		res := m.Run(func(pe *sim.PE) {
+			allPos[pe.Rank()] = Select(sim.World(pe), locals[pe.Rank()], targets, intLess, 42)
+		})
+		return allPos, res.MaxTime
+	}
+	pos1, t1 := run()
+	pos2, t2 := run()
+	if t1 != t2 {
+		t.Fatalf("virtual times differ: %d vs %d", t1, t2)
+	}
+	for pe := range pos1 {
+		for i := range pos1[pe] {
+			if pos1[pe][i] != pos2[pe][i] {
+				t.Fatalf("positions differ at PE %d target %d", pe, i)
+			}
+		}
+	}
+}

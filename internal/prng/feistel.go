@@ -1,0 +1,110 @@
+package prng
+
+// Permutation is a pseudorandom permutation π: 0..n-1 → 0..n-1 built by
+// chaining four Feistel permutations over the square domain 0..⌈√n⌉²-1
+// and transforming it down to 0..n-1 by cycle walking (Appendix B):
+// values ≥ n are re-encrypted until they land below n. The state is a few
+// words, so it can be replicated on all PEs.
+type Permutation struct {
+	n    uint64
+	side uint64 // ⌈√n⌉; Feistel domain is side².
+	keys [4]uint64
+}
+
+// NewPermutation creates the pseudorandom permutation on 0..n-1
+// determined by the seed. n must be positive.
+func NewPermutation(n uint64, seed uint64) *Permutation {
+	if n == 0 {
+		panic("prng: NewPermutation(0)")
+	}
+	side := isqrtCeil(n)
+	p := &Permutation{n: n, side: side}
+	r := New(seed)
+	for i := range p.keys {
+		p.keys[i] = r.Next()
+	}
+	return p
+}
+
+// N returns the domain size.
+func (p *Permutation) N() uint64 { return p.n }
+
+// feistel applies the four-round Feistel chain to a value in 0..side²-1.
+// One round maps (a, b) to (b, (a + f(b)) mod side) where f is the keyed
+// SplitMix64 finalizer — the shape π_f((a,b)) from Appendix B.
+func (p *Permutation) feistel(x uint64) uint64 {
+	a, b := x%p.side, x/p.side
+	for _, k := range p.keys {
+		a, b = b, (a+mix64(b^k))%p.side
+	}
+	return a + b*p.side
+}
+
+// Apply evaluates π(x) for x in 0..n-1.
+func (p *Permutation) Apply(x uint64) uint64 {
+	if x >= p.n {
+		panic("prng: Permutation.Apply out of range")
+	}
+	// Cycle walking: since feistel is a bijection on 0..side²-1, iterating
+	// from a start < n must eventually return below n (expected ≈1 step
+	// because side² < 4n).
+	y := p.feistel(x)
+	for y >= p.n {
+		y = p.feistel(y)
+	}
+	return y
+}
+
+// feistelInv inverts the four-round chain: each round
+// (a,b) → (b, (a+f(b)) mod side) is undone by (a',b') → ((b'−f(a')) mod
+// side, a'), applying the keys in reverse.
+func (p *Permutation) feistelInv(y uint64) uint64 {
+	a, b := y%p.side, y/p.side
+	for i := len(p.keys) - 1; i >= 0; i-- {
+		a, b = (b+p.side-mix64(a^p.keys[i])%p.side)%p.side, a
+	}
+	return a + b*p.side
+}
+
+// Invert evaluates π⁻¹(y) for y in 0..n-1 by cycle walking backwards.
+func (p *Permutation) Invert(y uint64) uint64 {
+	if y >= p.n {
+		panic("prng: Permutation.Invert out of range")
+	}
+	x := p.feistelInv(y)
+	for x >= p.n {
+		x = p.feistelInv(x)
+	}
+	return x
+}
+
+// isqrtCeil returns ⌈√n⌉.
+func isqrtCeil(n uint64) uint64 {
+	if n <= 1 {
+		return n
+	}
+	// Newton iteration on a conservative initial guess.
+	x := uint64(1) << ((bits64Len(n-1) + 1) / 2) // x ≥ √n
+	for {
+		y := (x + n/x) / 2
+		if y >= x {
+			break
+		}
+		x = y
+	}
+	// x = ⌊√n⌋ now; round up.
+	if x*x < n {
+		x++
+	}
+	return x
+}
+
+// bits64Len returns the number of bits needed to represent v.
+func bits64Len(v uint64) uint {
+	var l uint
+	for v != 0 {
+		v >>= 1
+		l++
+	}
+	return l
+}

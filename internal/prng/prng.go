@@ -1,0 +1,67 @@
+// Package prng provides the deterministic pseudo-randomness used across
+// the library: a SplitMix64 generator for sampling, and pseudorandom
+// permutations built from Feistel networks with cycle walking as
+// described in Appendix B of the paper (following [23, 10, 25]). The
+// permutation state is tiny, so every PE can hold a replica and evaluate
+// π(i) locally without communication.
+package prng
+
+// Rng is a SplitMix64 pseudo-random number generator. The zero value is a
+// valid generator seeded with 0.
+type Rng struct {
+	state uint64
+}
+
+// New returns a generator with the given seed.
+func New(seed uint64) *Rng {
+	return &Rng{state: seed}
+}
+
+// mix64 is the SplitMix64 output function, also used as the keyed hash
+// inside Feistel rounds.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Next returns the next 64-bit pseudo-random value.
+func (r *Rng) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// Uint64n returns a pseudo-random value in 0..n-1. n must be positive.
+// (Lemire-style multiply-shift reduction; the modulo bias is irrelevant
+// at our sample sizes but we avoid it anyway.)
+func (r *Rng) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("prng: Uint64n(0)")
+	}
+	// 128-bit multiply high via math/bits-free split (keeps this file
+	// dependency-free); n < 2^63 in all our uses, so the simple approach
+	// of rejection sampling on the top bits is fine.
+	for {
+		v := r.Next()
+		// Rejection sampling to remove bias.
+		if v < (^uint64(0) - (^uint64(0) % n)) {
+			return v % n
+		}
+	}
+}
+
+// Intn returns a pseudo-random int in 0..n-1.
+func (r *Rng) Intn(n int) int {
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (r *Rng) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Fork returns a new generator deterministically derived from this one's
+// stream; useful for giving each PE an independent stream from one seed.
+func (r *Rng) Fork(salt uint64) *Rng {
+	return New(mix64(r.state ^ salt*0x9e3779b97f4a7c15))
+}

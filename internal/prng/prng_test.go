@@ -1,0 +1,190 @@
+package prng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRngDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed produced different streams at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d collisions in 1000 draws", same)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []uint64{1, 2, 3, 10, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniformish(t *testing.T) {
+	r := New(99)
+	const n, draws = 10, 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	for b, c := range counts {
+		if c < draws/n*8/10 || c > draws/n*12/10 {
+			t.Errorf("bucket %d has %d draws, expected ≈%d", b, c, draws/n)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	base := New(1)
+	f1, f2 := base.Fork(1), base.Fork(2)
+	if f1.Next() == f2.Next() {
+		t.Errorf("forks with different salts produced identical first draw")
+	}
+	// Same salt -> same stream.
+	g1, g2 := New(1).Fork(7), New(1).Fork(7)
+	for i := 0; i < 100; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatalf("same fork salt diverged at %d", i)
+		}
+	}
+}
+
+func TestIsqrtCeil(t *testing.T) {
+	cases := map[uint64]uint64{1: 1, 2: 2, 3: 2, 4: 2, 5: 3, 9: 3, 10: 4, 15: 4, 16: 4, 17: 5, 1 << 40: 1 << 20}
+	for n, want := range cases {
+		if got := isqrtCeil(n); got != want {
+			t.Errorf("isqrtCeil(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if err := quick.Check(func(n uint32) bool {
+		if n == 0 {
+			return true
+		}
+		s := isqrtCeil(uint64(n))
+		return s*s >= uint64(n) && (s-1)*(s-1) < uint64(n)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPermutationBijective exhaustively checks bijectivity for many
+// domain sizes, including non-squares, 1, and primes.
+func TestPermutationBijective(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 4, 5, 7, 16, 17, 100, 101, 255, 256, 257, 1000, 4096, 9973} {
+		p := NewPermutation(n, 1234+n)
+		seen := make([]bool, n)
+		for x := uint64(0); x < n; x++ {
+			y := p.Apply(x)
+			if y >= n {
+				t.Fatalf("n=%d: π(%d)=%d out of range", n, x, y)
+			}
+			if seen[y] {
+				t.Fatalf("n=%d: value %d hit twice (not a bijection)", n, y)
+			}
+			seen[y] = true
+		}
+	}
+}
+
+func TestPermutationBijectiveQuick(t *testing.T) {
+	if err := quick.Check(func(n uint16, seed uint64) bool {
+		size := uint64(n%5000) + 1
+		p := NewPermutation(size, seed)
+		seen := make([]bool, size)
+		for x := uint64(0); x < size; x++ {
+			y := p.Apply(x)
+			if y >= size || seen[y] {
+				return false
+			}
+			seen[y] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermutationDeterministic(t *testing.T) {
+	p1 := NewPermutation(1000, 5)
+	p2 := NewPermutation(1000, 5)
+	for x := uint64(0); x < 1000; x++ {
+		if p1.Apply(x) != p2.Apply(x) {
+			t.Fatalf("same seed, different permutation at %d", x)
+		}
+	}
+}
+
+// TestPermutationScrambles is a sanity check that the permutation is not
+// close to the identity or a simple shift.
+func TestPermutationScrambles(t *testing.T) {
+	const n = 10000
+	p := NewPermutation(n, 77)
+	fixed := 0
+	for x := uint64(0); x < n; x++ {
+		if p.Apply(x) == x {
+			fixed++
+		}
+	}
+	// A random permutation has ≈1 fixed point; allow generous slack.
+	if fixed > 20 {
+		t.Errorf("%d fixed points in a %d-element permutation", fixed, n)
+	}
+}
+
+func TestPermutationInvertRoundtrip(t *testing.T) {
+	if err := quick.Check(func(n uint16, seed uint64) bool {
+		size := uint64(n%3000) + 1
+		p := NewPermutation(size, seed)
+		for x := uint64(0); x < size; x++ {
+			if p.Invert(p.Apply(x)) != x {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermutationInvertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Invert out of range did not panic")
+		}
+	}()
+	NewPermutation(10, 1).Invert(10)
+}
+
+func TestPermutationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Apply out of range did not panic")
+		}
+	}()
+	NewPermutation(10, 1).Apply(10)
+}

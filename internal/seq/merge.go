@@ -1,0 +1,169 @@
+// Package seq provides the sequential kernels the parallel sorters are
+// built from (paper §2.2): loser-tree (tournament-tree) multiway merging
+// [20, 27, 33], super scalar sample sort partitioning with equality
+// buckets [32, App. D], and binary searches over sorted runs.
+package seq
+
+// Multiway merges k sorted runs into one sorted slice using a loser tree
+// (tournament tree), performing O(N log k) comparisons for N total
+// elements. The merge is stable across runs: on equal keys, elements from
+// runs with smaller indices come first, so merging locally sorted
+// subarrays preserves a global stable order.
+func Multiway[E any](runs [][]E, less func(a, b E) bool) []E {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]E, 0, total)
+	switch len(runs) {
+	case 0:
+		return out
+	case 1:
+		return append(out, runs[0]...)
+	case 2:
+		return mergeTwo(out, runs[0], runs[1], less)
+	}
+
+	k := len(runs)
+	K := 1
+	for K < k {
+		K <<= 1
+	}
+	pos := make([]int, k)
+	// tree[v] for internal nodes v in 1..K-1 stores the run index of the
+	// loser of the match at v (-1 = empty/exhausted).
+	tree := make([]int, K)
+
+	exhausted := func(r int) bool { return r < 0 || pos[r] >= len(runs[r]) }
+	// beats reports whether run a's head wins against run b's head:
+	// strictly smaller, or equal with a < b (stability).
+	beats := func(a, b int) bool {
+		if exhausted(a) {
+			return false
+		}
+		if exhausted(b) {
+			return true
+		}
+		x, y := runs[a][pos[a]], runs[b][pos[b]]
+		if less(x, y) {
+			return true
+		}
+		if less(y, x) {
+			return false
+		}
+		return a < b
+	}
+
+	// Build the tree bottom-up: initNode returns the winner of subtree v
+	// and records losers on the way.
+	var initNode func(v int) int
+	initNode = func(v int) int {
+		if v >= K {
+			if r := v - K; r < k && len(runs[r]) > 0 {
+				return r
+			}
+			return -1
+		}
+		wl, wr := initNode(2*v), initNode(2*v+1)
+		if beats(wl, wr) {
+			tree[v] = wr
+			return wl
+		}
+		tree[v] = wl
+		return wr
+	}
+	winner := initNode(1)
+
+	// The tree is drained when the replayed winner is exhausted (all
+	// remaining candidates lost against exhausted runs).
+	for winner >= 0 && pos[winner] < len(runs[winner]) {
+		out = append(out, runs[winner][pos[winner]])
+		pos[winner]++
+		// Replay the path from the winner's leaf to the root.
+		w := winner
+		for v := (K + winner) / 2; v >= 1; v /= 2 {
+			if beats(tree[v], w) {
+				tree[v], w = w, tree[v]
+			}
+		}
+		winner = w
+	}
+	return out
+}
+
+// Merge2 merges two sorted runs into a fresh slice (stable: ties prefer a).
+func Merge2[E any](a, b []E, less func(x, y E) bool) []E {
+	return mergeTwo(make([]E, 0, len(a)+len(b)), a, b, less)
+}
+
+// mergeTwo merges two sorted runs into out (stable: ties prefer a).
+func mergeTwo[E any](out []E, a, b []E, less func(x, y E) bool) []E {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// MultiwayOps returns the modeled compare-and-move operation count of
+// merging n elements from k runs: n·⌈log₂ k⌉ (at least n for the copy).
+func MultiwayOps(n int64, k int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	l := int64(0)
+	for v := 1; v < k; v <<= 1 {
+		l++
+	}
+	if l == 0 {
+		l = 1
+	}
+	return n * l
+}
+
+// IsSorted reports whether data is non-decreasing under less.
+func IsSorted[E any](data []E, less func(a, b E) bool) bool {
+	for i := 1; i < len(data); i++ {
+		if less(data[i], data[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// LowerBound returns the first index i in the sorted slice with
+// data[i] >= x (i.e. !less(data[i], x)).
+func LowerBound[E any](data []E, x E, less func(a, b E) bool) int {
+	lo, hi := 0, len(data)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(data[mid], x) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// UpperBound returns the first index i in the sorted slice with
+// data[i] > x (i.e. less(x, data[i])).
+func UpperBound[E any](data []E, x E, less func(a, b E) bool) int {
+	lo, hi := 0, len(data)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(x, data[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

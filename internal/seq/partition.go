@@ -1,0 +1,130 @@
+package seq
+
+// Classifier implements super scalar sample sort partitioning [32]: the
+// sorted splitters are arranged into an implicit perfect binary search
+// tree (in array layout, root at index 1) so that classifying an element
+// is a branch-free descent of ⌈log₂(m+1)⌉ levels. Padding duplicates the
+// largest splitter, and resulting over-counted buckets are clamped.
+//
+// Bucket semantics: Bucket(x) = |{i : splitters[i] ≤ x}|, so bucket i
+// holds exactly the x with splitters[i-1] ≤ x < splitters[i] (bucket 0:
+// x < splitters[0]; bucket m: x ≥ splitters[m-1]).
+type Classifier[E any] struct {
+	tree      []E // 1-indexed; tree[0] unused
+	splitters []E
+	levels    int
+	less      func(a, b E) bool
+}
+
+// NewClassifier builds a classifier from sorted splitters. At least one
+// splitter is required.
+func NewClassifier[E any](splitters []E, less func(a, b E) bool) *Classifier[E] {
+	m := len(splitters)
+	if m == 0 {
+		panic("seq: NewClassifier with no splitters")
+	}
+	size, levels := 1, 0
+	for size-1 < m {
+		size <<= 1
+		levels++
+	}
+	c := &Classifier[E]{
+		tree:      make([]E, size),
+		splitters: splitters,
+		levels:    levels,
+		less:      less,
+	}
+	// Assign the padded sorted splitter sequence to the tree in-order, so
+	// that the descent "go right iff x ≥ tree[node]" computes the rank.
+	idx := 0
+	maxSplitter := splitters[m-1]
+	var assign func(node int)
+	assign = func(node int) {
+		if node >= size {
+			return
+		}
+		assign(2 * node)
+		if idx < m {
+			c.tree[node] = splitters[idx]
+		} else {
+			c.tree[node] = maxSplitter // padding
+		}
+		idx++
+		assign(2*node + 1)
+	}
+	assign(1)
+	return c
+}
+
+// NumBuckets returns the number of range buckets (m+1).
+func (c *Classifier[E]) NumBuckets() int { return len(c.splitters) + 1 }
+
+// Levels returns the number of tree levels descended per element.
+func (c *Classifier[E]) Levels() int { return c.levels }
+
+// Bucket classifies x into 0..m.
+func (c *Classifier[E]) Bucket(x E) int {
+	node := 1
+	size := len(c.tree)
+	for node < size {
+		if c.less(x, c.tree[node]) {
+			node = 2 * node
+		} else {
+			node = 2*node + 1
+		}
+	}
+	b := node - size
+	if m := len(c.splitters); b > m {
+		// x ≥ max splitter walked past padding duplicates.
+		b = m
+	}
+	return b
+}
+
+// BucketEq classifies x into 2m+1 buckets with dedicated equality
+// buckets (App. D): bucket 2i is the open range (splitters[i-1],
+// splitters[i]), bucket 2i+1 holds elements equal to splitters[i]. Costs
+// one comparison more than Bucket.
+func (c *Classifier[E]) BucketEq(x E) int {
+	b := c.Bucket(x)
+	if b > 0 && !c.less(c.splitters[b-1], x) {
+		// x ≥ splitters[b-1] by construction; not greater -> equal.
+		return 2*(b-1) + 1
+	}
+	return 2 * b
+}
+
+// NumBucketsEq returns the number of buckets BucketEq classifies into.
+func (c *Classifier[E]) NumBucketsEq() int { return 2*len(c.splitters) + 1 }
+
+// Partition stably reorders data into bucket-contiguous layout according
+// to bucketOf (values in 0..nb-1) and returns the reordered slice
+// together with bucket boundaries: bucket b occupies out[bounds[b]:bounds[b+1]].
+func Partition[E any](data []E, nb int, bucketOf func(E) int) (out []E, bounds []int) {
+	counts := make([]int, nb+1)
+	ids := make([]int, len(data))
+	for i, x := range data {
+		b := bucketOf(x)
+		ids[i] = b
+		counts[b+1]++
+	}
+	for b := 1; b <= nb; b++ {
+		counts[b] += counts[b-1]
+	}
+	bounds = append([]int(nil), counts...)
+	out = make([]E, len(data))
+	next := counts[:nb]
+	for i, x := range data {
+		b := ids[i]
+		out[next[b]] = x
+		next[b]++
+	}
+	return out, bounds
+}
+
+// ClassifyOps returns the modeled branchless-partition operation count
+// for classifying n elements with the given classifier tree depth:
+// n·levels element-steps.
+func ClassifyOps(n int64, levels int) int64 {
+	return n * int64(levels)
+}

@@ -1,0 +1,291 @@
+package seq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func randRuns(rng *rand.Rand, k, maxLen, keyRange int) [][]int {
+	runs := make([][]int, k)
+	for i := range runs {
+		n := rng.Intn(maxLen + 1)
+		r := make([]int, n)
+		for j := range r {
+			r[j] = rng.Intn(keyRange)
+		}
+		sort.Ints(r)
+		runs[i] = r
+	}
+	return runs
+}
+
+func TestMultiwayAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{0, 1, 2, 3, 4, 5, 8, 17, 64} {
+		for trial := 0; trial < 20; trial++ {
+			runs := randRuns(rng, k, 50, 100)
+			var all []int
+			for _, r := range runs {
+				all = append(all, r...)
+			}
+			got := Multiway(runs, intLess)
+			want := append([]int(nil), all...)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: merged %d elements, want %d", k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d trial=%d: mismatch at %d: got %d want %d", k, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMultiwayStability merges runs of (key, runID) pairs with many
+// duplicate keys and checks that ties are resolved by run index.
+func TestMultiwayStability(t *testing.T) {
+	type kv struct{ key, run, pos int }
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(9)
+		runs := make([][]kv, k)
+		for r := range runs {
+			n := rng.Intn(40)
+			run := make([]kv, n)
+			for j := range run {
+				run[j] = kv{key: rng.Intn(5), run: r, pos: j}
+			}
+			sort.SliceStable(run, func(a, b int) bool { return run[a].key < run[b].key })
+			// re-stamp positions after sort so they reflect run order
+			for j := range run {
+				run[j].pos = j
+			}
+			runs[r] = run
+		}
+		out := Multiway(runs, func(a, b kv) bool { return a.key < b.key })
+		for i := 1; i < len(out); i++ {
+			a, b := out[i-1], out[i]
+			if a.key > b.key {
+				t.Fatalf("not sorted at %d", i)
+			}
+			if a.key == b.key {
+				if a.run > b.run || (a.run == b.run && a.pos > b.pos) {
+					t.Fatalf("stability violated at %d: (%d,%d,%d) before (%d,%d,%d)",
+						i, a.key, a.run, a.pos, b.key, b.run, b.pos)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiwayEmptyRuns(t *testing.T) {
+	runs := [][]int{{}, {1, 3}, {}, {2}, {}}
+	got := Multiway(runs, intLess)
+	want := []int{1, 2, 3}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if out := Multiway(nil, intLess); len(out) != 0 {
+		t.Fatalf("merging no runs gave %v", out)
+	}
+}
+
+func TestMultiwayOps(t *testing.T) {
+	if MultiwayOps(0, 4) != 0 {
+		t.Error("zero elements should cost nothing")
+	}
+	if MultiwayOps(10, 1) != 10 {
+		t.Errorf("k=1 should cost n: %d", MultiwayOps(10, 1))
+	}
+	if MultiwayOps(10, 8) != 30 {
+		t.Errorf("k=8 should cost 3n: %d", MultiwayOps(10, 8))
+	}
+	if MultiwayOps(10, 9) != 40 {
+		t.Errorf("k=9 should cost 4n: %d", MultiwayOps(10, 9))
+	}
+}
+
+func TestBounds(t *testing.T) {
+	if err := quick.Check(func(raw []uint8, x uint8) bool {
+		data := make([]int, len(raw))
+		for i, v := range raw {
+			data[i] = int(v % 16)
+		}
+		sort.Ints(data)
+		lb := LowerBound(data, int(x%16), intLess)
+		ub := UpperBound(data, int(x%16), intLess)
+		// Reference by linear scan.
+		wantLB, wantUB := 0, 0
+		for _, v := range data {
+			if v < int(x%16) {
+				wantLB++
+			}
+			if v <= int(x%16) {
+				wantUB++
+			}
+		}
+		return lb == wantLB && ub == wantUB
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted([]int{}, intLess) || !IsSorted([]int{1}, intLess) || !IsSorted([]int{1, 1, 2}, intLess) {
+		t.Error("sorted slices reported unsorted")
+	}
+	if IsSorted([]int{2, 1}, intLess) {
+		t.Error("unsorted slice reported sorted")
+	}
+}
+
+// referenceBucket computes |{i : splitters[i] <= x}| by scan.
+func referenceBucket(splitters []int, x int) int {
+	b := 0
+	for _, s := range splitters {
+		if s <= x {
+			b++
+		}
+	}
+	return b
+}
+
+func TestClassifierAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range []int{1, 2, 3, 4, 7, 8, 15, 16, 33, 100} {
+		splitters := make([]int, m)
+		for i := range splitters {
+			splitters[i] = rng.Intn(50)
+		}
+		sort.Ints(splitters)
+		c := NewClassifier(splitters, intLess)
+		if c.NumBuckets() != m+1 {
+			t.Fatalf("m=%d: NumBuckets=%d", m, c.NumBuckets())
+		}
+		for x := -1; x <= 51; x++ {
+			got := c.Bucket(x)
+			want := referenceBucket(splitters, x)
+			if got != want {
+				t.Fatalf("m=%d x=%d: Bucket=%d want %d (splitters=%v)", m, x, got, want, splitters)
+			}
+		}
+	}
+}
+
+func TestClassifierBucketEq(t *testing.T) {
+	splitters := []int{10, 20, 20, 30}
+	c := NewClassifier(splitters, intLess)
+	if c.NumBucketsEq() != 9 {
+		t.Fatalf("NumBucketsEq=%d want 9", c.NumBucketsEq())
+	}
+	cases := map[int]int{
+		5:  0,       // < 10
+		10: 1,       // == splitter 0
+		15: 2,       // (10,20)
+		20: 2*2 + 1, // == splitter 2 (ranks past both 20s; equality on the last one)
+		25: 6,       // (20,30)
+		30: 7,       // == splitter 3
+		35: 8,       // > 30
+	}
+	for x, want := range cases {
+		if got := c.BucketEq(x); got != want {
+			t.Errorf("BucketEq(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+// TestClassifierEqProperty: elements in an even bucket 2i lie strictly
+// between neighboring splitters; elements in odd bucket 2i+1 equal splitter i.
+func TestClassifierEqProperty(t *testing.T) {
+	if err := quick.Check(func(raw []uint8, xs []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		splitters := make([]int, len(raw))
+		for i, v := range raw {
+			splitters[i] = int(v % 32)
+		}
+		sort.Ints(splitters)
+		c := NewClassifier(splitters, intLess)
+		for _, xr := range xs {
+			x := int(xr % 40)
+			b := c.BucketEq(x)
+			if b%2 == 1 {
+				if splitters[(b-1)/2] != x {
+					return false
+				}
+			} else {
+				i := b / 2
+				if i > 0 && !(splitters[i-1] < x) {
+					return false
+				}
+				if i < len(splitters) && !(x < splitters[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		nb := 1 + rng.Intn(10)
+		data := make([]int, n)
+		for i := range data {
+			data[i] = rng.Intn(1000)
+		}
+		bucketOf := func(x int) int { return x % nb }
+		out, bounds := Partition(data, nb, bucketOf)
+		if len(bounds) != nb+1 || bounds[0] != 0 || bounds[nb] != n {
+			t.Fatalf("bad bounds %v for n=%d nb=%d", bounds, n, nb)
+		}
+		// Every bucket segment contains only its own elements, stably.
+		for b := 0; b < nb; b++ {
+			seg := out[bounds[b]:bounds[b+1]]
+			var wantSeg []int
+			for _, x := range data {
+				if bucketOf(x) == b {
+					wantSeg = append(wantSeg, x)
+				}
+			}
+			if len(seg) != len(wantSeg) {
+				t.Fatalf("bucket %d has %d elements, want %d", b, len(seg), len(wantSeg))
+			}
+			for i := range seg {
+				if seg[i] != wantSeg[i] {
+					t.Fatalf("bucket %d not stable at %d: got %d want %d", b, i, seg[i], wantSeg[i])
+				}
+			}
+		}
+	}
+}
+
+func TestClassifyOps(t *testing.T) {
+	if ClassifyOps(100, 5) != 500 {
+		t.Errorf("ClassifyOps wrong: %d", ClassifyOps(100, 5))
+	}
+}
+
+func TestClassifierLevels(t *testing.T) {
+	for _, tc := range []struct{ m, levels int }{{1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {15, 4}, {16, 5}} {
+		splitters := make([]int, tc.m)
+		for i := range splitters {
+			splitters[i] = i
+		}
+		c := NewClassifier(splitters, intLess)
+		if c.Levels() != tc.levels {
+			t.Errorf("m=%d: levels=%d want %d", tc.m, c.Levels(), tc.levels)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package sim
+
+import "fmt"
+
+// Comm is a communicator: an ordered group of PEs (identified by global
+// ranks) with this PE's position in it. Group-relative ranks 0..Size()-1
+// address members. Communicators are cheap, purely local values — no
+// communication is needed to split them (the paper excludes MPI
+// communicator construction from its timings for the same reason).
+type Comm struct {
+	pe    *PE
+	ranks []int // global ranks of the members, ascending
+	me    int   // index of pe in ranks
+}
+
+// World returns the communicator containing all PEs of pe's machine.
+func World(pe *PE) *Comm {
+	ranks := pe.m.worldRanks()
+	return &Comm{pe: pe, ranks: ranks, me: pe.rank}
+}
+
+// worldRanks returns the shared 0..p-1 rank slice, built lazily once.
+func (m *Machine) worldRanks() []int {
+	m.worldOnce.Do(func() {
+		m.world = make([]int, m.p)
+		for i := range m.world {
+			m.world[i] = i
+		}
+	})
+	return m.world
+}
+
+// PE returns the PE this communicator view belongs to.
+func (c *Comm) PE() *PE { return c.pe }
+
+// Size returns the number of members.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Rank returns this PE's group-relative rank.
+func (c *Comm) Rank() int { return c.me }
+
+// GlobalRank translates a group-relative rank to a machine rank.
+func (c *Comm) GlobalRank(r int) int { return c.ranks[r] }
+
+// Send sends to the member with group-relative rank `to`.
+func (c *Comm) Send(to, tag int, payload any, words int64) {
+	c.pe.Send(c.ranks[to], tag, payload, words)
+}
+
+// Recv receives from the member with group-relative rank `from`.
+func (c *Comm) Recv(from, tag int) (any, int64) {
+	return c.pe.Recv(c.ranks[from], tag)
+}
+
+// GroupSizes returns the sizes of `groups` balanced contiguous groups of
+// a communicator of the given size: sizes differ by at most one, larger
+// groups first.
+func GroupSizes(size, groups int) []int {
+	base, rem := size/groups, size%groups
+	out := make([]int, groups)
+	for g := range out {
+		out[g] = base
+		if g < rem {
+			out[g]++
+		}
+	}
+	return out
+}
+
+// SplitEqual partitions the members into `groups` balanced contiguous
+// groups (sizes differing by at most one) and returns the communicator of
+// this PE's group together with the group index.
+func (c *Comm) SplitEqual(groups int) (*Comm, int) {
+	if groups <= 0 || groups > len(c.ranks) {
+		panic(fmt.Sprintf("sim: SplitEqual(%d) on communicator of size %d", groups, len(c.ranks)))
+	}
+	starts := make([]int, groups+1)
+	sizes := GroupSizes(len(c.ranks), groups)
+	for g := 0; g < groups; g++ {
+		starts[g+1] = starts[g] + sizes[g]
+	}
+	return c.SplitStarts(starts)
+}
+
+// SplitStarts partitions the members into contiguous groups given by
+// starts: group g consists of member indices starts[g]..starts[g+1]-1,
+// with starts[0] == 0 and starts[len-1] == Size(). Empty groups are
+// allowed for groups this PE is not part of. Returns this PE's group
+// communicator and group index.
+func (c *Comm) SplitStarts(starts []int) (*Comm, int) {
+	if len(starts) < 2 || starts[0] != 0 || starts[len(starts)-1] != len(c.ranks) {
+		panic(fmt.Sprintf("sim: SplitStarts with invalid bounds %v for size %d", starts, len(c.ranks)))
+	}
+	// Locate my group by scanning; group counts are small (O(r)).
+	for g := 0; g+1 < len(starts); g++ {
+		lo, hi := starts[g], starts[g+1]
+		if c.me >= lo && c.me < hi {
+			return &Comm{pe: c.pe, ranks: c.ranks[lo:hi], me: c.me - lo}, g
+		}
+	}
+	panic("sim: SplitStarts: rank not covered by bounds")
+}
+
+// SplitModulo partitions the members into m groups by rank modulo m
+// (group g holds the members with rank ≡ g mod m — "column" groups of a
+// row-major grid). Returns this PE's group communicator and group index.
+func (c *Comm) SplitModulo(m int) (*Comm, int) {
+	if m <= 0 || m > len(c.ranks) {
+		panic(fmt.Sprintf("sim: SplitModulo(%d) on communicator of size %d", m, len(c.ranks)))
+	}
+	g := c.me % m
+	ranks := make([]int, 0, (len(c.ranks)-g+m-1)/m)
+	for i := g; i < len(c.ranks); i += m {
+		ranks = append(ranks, c.ranks[i])
+	}
+	return &Comm{pe: c.pe, ranks: ranks, me: c.me / m}, g
+}
+
+// Subset returns the communicator of members [lo, hi). This PE must be a
+// member of the subset.
+func (c *Comm) Subset(lo, hi int) *Comm {
+	if c.me < lo || c.me >= hi {
+		panic(fmt.Sprintf("sim: Subset(%d,%d) does not contain rank %d", lo, hi, c.me))
+	}
+	return &Comm{pe: c.pe, ranks: c.ranks[lo:hi], me: c.me - lo}
+}
+
+// Link classifies the network link between this PE and member `to`.
+func (c *Comm) Link(to int) LinkClass {
+	return c.pe.m.topo.Link(c.pe.rank, c.ranks[to])
+}
+
+// Span returns the widest link class occurring inside the group. For the
+// contiguous rank ranges used throughout the library this is the link
+// between the first and the last member.
+func (c *Comm) Span() LinkClass {
+	return c.pe.m.topo.Link(c.ranks[0], c.ranks[len(c.ranks)-1])
+}

@@ -1,0 +1,50 @@
+package sim
+
+// CostModel holds the calibrated constants of the α-β machine model.
+// All times are in nanoseconds of virtual time; communication volume is
+// measured in machine words, which the paper equates with the size of one
+// data element (we use 8-byte words throughout).
+type CostModel struct {
+	// Alpha is the per-message startup overhead (ns) by link class.
+	Alpha [numLinkClasses]int64
+	// Beta is the per-word transfer time (ns/word) by link class.
+	Beta [numLinkClasses]float64
+
+	// OpNS is the cost of one compare-and-move step in sorting or
+	// multiway merging (ns per element per comparison level).
+	OpNS float64
+	// PartitionOpNS is the cost of one level of branchless splitter-tree
+	// descent in super scalar sample sort partitioning (ns per element
+	// per tree level); cheaper than OpNS because it causes no branch
+	// mispredictions (paper §2.2, [32]).
+	PartitionOpNS float64
+	// ScanOpNS is the cost of a sequential scan/copy step (ns per element).
+	ScanOpNS float64
+}
+
+// DefaultCost returns constants calibrated to a SuperMUC-like machine:
+// 2.3 GHz Sandy Bridge cores, FDR10 InfiniBand (≈5 GB/s per port) inside
+// an island, and a pruned inter-island tree with a 4:1 bandwidth ratio
+// (paper §7). Words are 8 bytes.
+func DefaultCost() CostModel {
+	var c CostModel
+	c.Alpha[LinkSelf] = 100
+	c.Alpha[LinkNode] = 500     // shared-memory MPI latency ≈ 0.5 µs
+	c.Alpha[LinkIsland] = 5_000 // InfiniBand MPI latency ≈ 5 µs
+	c.Alpha[LinkCross] = 7_500  // extra hops through the pruned tree
+	c.Beta[LinkSelf] = 0.10     // memcpy, ≈80 GB/s
+	c.Beta[LinkNode] = 0.15     // ≈53 GB/s
+	c.Beta[LinkIsland] = 1.6    // ≈5 GB/s (FDR10)
+	c.Beta[LinkCross] = 6.4     // 4:1 pruned tree
+	c.OpNS = 1.5
+	c.PartitionOpNS = 0.9
+	c.ScanOpNS = 0.4
+	return c
+}
+
+// MsgNS returns the single-ported cost α + ℓ·β of a message of the given
+// number of words over the given link class. Both endpoints are charged
+// this amount.
+func (c CostModel) MsgNS(lc LinkClass, words int64) int64 {
+	return c.Alpha[lc] + int64(c.Beta[lc]*float64(words))
+}

@@ -1,0 +1,19 @@
+// Package sim implements the machine model of Axtmann et al., "Practical
+// Massively Parallel Sorting" (SPAA 2015), §2.1: a distributed-memory
+// machine of p processing elements (PEs) that communicate through
+// (symmetric) single-ported message passing, where sending a message of
+// size ℓ machine words costs time α + ℓ·β on both endpoints.
+//
+// Every PE runs as a goroutine with its own virtual clock. Messages are
+// delivered through per-PE mailboxes; both endpoints are charged the
+// single-ported α-β cost, with α and β depending on where sender and
+// receiver sit in a SuperMUC-like hierarchy (same PE, same node, same
+// island, or across islands over a 4:1 pruned tree). Local computation is
+// charged through calibrated per-operation costs (CostModel).
+//
+// The simulation is deterministic: all receives are addressed by
+// (source, tag), message queues are FIFO per (source, tag) pair, and
+// virtual time is computed with max() over sender/receiver clocks, so the
+// resulting clocks do not depend on goroutine scheduling. Algorithms run
+// for real on real data — only time is virtual.
+package sim

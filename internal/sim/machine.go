@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Machine is a simulated distributed-memory machine of p PEs.
+type Machine struct {
+	p    int
+	topo Topology
+	cost CostModel
+	pes  []*PE
+
+	worldOnce sync.Once
+	world     []int
+
+	// trace collects Send/Recv/Mark events when enabled (trace.go).
+	trace *tracer
+}
+
+// New creates a machine with p PEs, the given topology and cost model.
+func New(p int, topo Topology, cost CostModel) *Machine {
+	if p <= 0 {
+		panic(fmt.Sprintf("sim: invalid machine size p=%d", p))
+	}
+	m := &Machine{p: p, topo: topo, cost: cost}
+	m.pes = make([]*PE, p)
+	for i := range m.pes {
+		m.pes[i] = &PE{rank: i, m: m, mbox: newMailbox()}
+	}
+	return m
+}
+
+// NewDefault creates a machine with p PEs using DefaultTopology and
+// DefaultCost.
+func NewDefault(p int) *Machine {
+	return New(p, DefaultTopology(), DefaultCost())
+}
+
+// P returns the number of PEs.
+func (m *Machine) P() int { return m.p }
+
+// Topology returns the machine's topology.
+func (m *Machine) Topology() Topology { return m.topo }
+
+// PE returns the PE with the given rank. Exposed for counter inspection
+// between runs; PE methods remain bound to the goroutine running it.
+func (m *Machine) PE(rank int) *PE { return m.pes[rank] }
+
+// RunResult summarizes a bulk-synchronous program execution.
+type RunResult struct {
+	// Times[i] is PE i's virtual clock at the end of the program, in ns.
+	Times []int64
+	// MaxTime is the maximum over Times — the program's makespan.
+	MaxTime int64
+}
+
+// Run executes fn once per PE (each on its own goroutine), waits for all
+// of them, and returns the final virtual clocks. Clocks are *not* reset
+// between runs; use Reset for that. If any PE panics, Run re-panics on
+// the calling goroutine with the first panic observed.
+func (m *Machine) Run(fn func(pe *PE)) RunResult {
+	var wg sync.WaitGroup
+	wg.Add(m.p)
+	panics := make([]any, m.p)
+	for i := 0; i < m.p; i++ {
+		go func(pe *PE) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[pe.rank] = fmt.Sprintf("PE %d: %v", pe.rank, r)
+				}
+			}()
+			fn(pe)
+		}(m.pes[i])
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	res := RunResult{Times: make([]int64, m.p)}
+	for i, pe := range m.pes {
+		res.Times[i] = pe.now
+		if pe.now > res.MaxTime {
+			res.MaxTime = pe.now
+		}
+	}
+	return res
+}
+
+// Reset zeroes all virtual clocks and traffic counters. It panics if any
+// mailbox still holds undelivered messages (a protocol bug in the
+// previous program).
+func (m *Machine) Reset() {
+	for _, pe := range m.pes {
+		if n := pe.mbox.pending(); n != 0 {
+			panic(fmt.Sprintf("sim: PE %d has %d undelivered messages at Reset", pe.rank, n))
+		}
+		pe.now = 0
+		pe.ResetCounters()
+	}
+}

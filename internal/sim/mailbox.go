@@ -1,0 +1,75 @@
+package sim
+
+import "sync"
+
+// message is an in-flight point-to-point message.
+type message struct {
+	payload any
+	words   int64
+	// sentAt is the sender's virtual clock at the moment the send began.
+	// The receiver cannot complete the matching receive earlier than this.
+	sentAt int64
+}
+
+// mboxKey identifies a (source rank, tag) message queue.
+type mboxKey struct {
+	from, tag int
+}
+
+// mailbox is a PE's incoming message store. Messages are matched by
+// (source, tag) and are FIFO within each such pair, which is what makes
+// virtual time deterministic.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	queues map[mboxKey][]message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{queues: make(map[mboxKey][]message)}
+	mb.cond.L = &mb.mu
+	return mb
+}
+
+// put enqueues a message from the given source rank under the given tag.
+func (mb *mailbox) put(from, tag int, m message) {
+	k := mboxKey{from, tag}
+	mb.mu.Lock()
+	mb.queues[k] = append(mb.queues[k], m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// take blocks until a message from the given source with the given tag is
+// available and dequeues it.
+func (mb *mailbox) take(from, tag int) message {
+	k := mboxKey{from, tag}
+	mb.mu.Lock()
+	for len(mb.queues[k]) == 0 {
+		mb.cond.Wait()
+	}
+	q := mb.queues[k]
+	m := q[0]
+	if len(q) == 1 {
+		delete(mb.queues, k)
+	} else {
+		// Shift instead of re-slicing so the backing array does not pin
+		// already-consumed payloads.
+		copy(q, q[1:])
+		q[len(q)-1] = message{}
+		mb.queues[k] = q[:len(q)-1]
+	}
+	mb.mu.Unlock()
+	return m
+}
+
+// pending reports the number of undelivered messages (for leak tests).
+func (mb *mailbox) pending() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	n := 0
+	for _, q := range mb.queues {
+		n += len(q)
+	}
+	return n
+}

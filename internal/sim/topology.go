@@ -1,0 +1,96 @@
+package sim
+
+// LinkClass classifies the network distance between two PEs. The classes
+// mirror the SuperMUC hierarchy from the paper's §7: PEs (MPI processes)
+// on one node share memory, nodes within an island are connected by a
+// non-blocking tree, and islands are connected by a pruned tree with a
+// 4:1 bandwidth ratio.
+type LinkClass int
+
+const (
+	// LinkSelf is a message from a PE to itself (a memcpy).
+	LinkSelf LinkClass = iota
+	// LinkNode connects two PEs on the same node.
+	LinkNode
+	// LinkIsland connects two nodes within one island.
+	LinkIsland
+	// LinkCross connects two islands (pruned tree, 4:1 bandwidth ratio).
+	LinkCross
+	numLinkClasses
+)
+
+// String returns a short human-readable name for the link class.
+func (lc LinkClass) String() string {
+	switch lc {
+	case LinkSelf:
+		return "self"
+	case LinkNode:
+		return "node"
+	case LinkIsland:
+		return "island"
+	case LinkCross:
+		return "cross"
+	}
+	return "invalid"
+}
+
+// Topology describes the PE placement hierarchy. Ranks are mapped to
+// nodes and islands contiguously: rank r lives on node r/CoresPerNode and
+// on island node/NodesPerIsland.
+type Topology struct {
+	// CoresPerNode is the number of PEs per node (SuperMUC: 16).
+	CoresPerNode int
+	// NodesPerIsland is the number of nodes per island (SuperMUC: 512;
+	// scaled down by default so that the largest simulated machines still
+	// span several islands).
+	NodesPerIsland int
+}
+
+// DefaultTopology returns the SuperMUC-like hierarchy used by the
+// experiments: 16 PEs per node and 32 nodes (512 PEs) per island.
+func DefaultTopology() Topology {
+	return Topology{CoresPerNode: 16, NodesPerIsland: 32}
+}
+
+// FlatTopology returns a topology in which all PEs are equidistant
+// (one huge island, one PE per node). Useful for model experiments that
+// do not want hierarchy effects.
+func FlatTopology() Topology {
+	return Topology{CoresPerNode: 1, NodesPerIsland: 1 << 30}
+}
+
+// Node returns the node index hosting the given rank.
+func (t Topology) Node(rank int) int {
+	if t.CoresPerNode <= 0 {
+		return rank
+	}
+	return rank / t.CoresPerNode
+}
+
+// Island returns the island index hosting the given rank.
+func (t Topology) Island(rank int) int {
+	if t.NodesPerIsland <= 0 {
+		return 0
+	}
+	return t.Node(rank) / t.NodesPerIsland
+}
+
+// PEsPerIsland returns the number of PEs in one island.
+func (t Topology) PEsPerIsland() int {
+	return t.CoresPerNode * t.NodesPerIsland
+}
+
+// Link classifies the connection between two ranks.
+func (t Topology) Link(a, b int) LinkClass {
+	if a == b {
+		return LinkSelf
+	}
+	na, nb := t.Node(a), t.Node(b)
+	if na == nb {
+		return LinkNode
+	}
+	if na/t.NodesPerIsland == nb/t.NodesPerIsland {
+		return LinkIsland
+	}
+	return LinkCross
+}

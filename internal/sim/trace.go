@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// EventKind classifies a trace event.
+type EventKind int
+
+const (
+	// EvSend is the start of a message transmission.
+	EvSend EventKind = iota
+	// EvRecv is the completion of a message reception.
+	EvRecv
+	// EvMark is an application-defined annotation (PE.Mark).
+	EvMark
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvSend:
+		return "send"
+	case EvRecv:
+		return "recv"
+	case EvMark:
+		return "mark"
+	}
+	return "invalid"
+}
+
+// Event is one entry of a machine trace.
+type Event struct {
+	// Time is the PE's virtual clock when the event completed, ns.
+	Time int64
+	// Rank is the PE the event happened on.
+	Rank int
+	// Kind classifies the event.
+	Kind EventKind
+	// Peer is the other endpoint (sends/receives) or -1.
+	Peer int
+	// Tag is the message tag (sends/receives).
+	Tag int
+	// Words is the message size in words.
+	Words int64
+	// Label is the annotation text (marks).
+	Label string
+}
+
+// tracer collects events from all PEs. Collection is per-PE and
+// lock-free on the hot path; merging happens at Snapshot time.
+type tracer struct {
+	mu     sync.Mutex
+	perPE  [][]Event
+	active bool
+}
+
+// EnableTracing turns on event collection for subsequent runs. Tracing
+// costs real (host) time and memory, never virtual time.
+func (m *Machine) EnableTracing() {
+	if m.trace == nil {
+		m.trace = &tracer{perPE: make([][]Event, m.p)}
+	}
+	m.trace.active = true
+}
+
+// DisableTracing stops collection (existing events are kept).
+func (m *Machine) DisableTracing() {
+	if m.trace != nil {
+		m.trace.active = false
+	}
+}
+
+// ClearTrace drops all collected events.
+func (m *Machine) ClearTrace() {
+	if m.trace != nil {
+		for i := range m.trace.perPE {
+			m.trace.perPE[i] = nil
+		}
+	}
+}
+
+// Trace returns all collected events sorted by (time, rank). It must not
+// be called while a Run is in progress.
+func (m *Machine) Trace() []Event {
+	if m.trace == nil {
+		return nil
+	}
+	var all []Event
+	for _, evs := range m.trace.perPE {
+		all = append(all, evs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Time != all[j].Time {
+			return all[i].Time < all[j].Time
+		}
+		return all[i].Rank < all[j].Rank
+	})
+	return all
+}
+
+// WriteTrace dumps the trace in a compact one-line-per-event text format.
+func (m *Machine) WriteTrace(w io.Writer) error {
+	for _, ev := range m.Trace() {
+		var err error
+		switch ev.Kind {
+		case EvMark:
+			_, err = fmt.Fprintf(w, "%12d PE%-5d %-4s %s\n", ev.Time, ev.Rank, ev.Kind, ev.Label)
+		default:
+			_, err = fmt.Fprintf(w, "%12d PE%-5d %-4s peer=%-5d tag=%#x words=%d\n",
+				ev.Time, ev.Rank, ev.Kind, ev.Peer, ev.Tag, ev.Words)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// record appends an event to the PE's buffer if tracing is active.
+func (pe *PE) record(kind EventKind, peer, tag int, words int64, label string) {
+	tr := pe.m.trace
+	if tr == nil || !tr.active {
+		return
+	}
+	tr.perPE[pe.rank] = append(tr.perPE[pe.rank], Event{
+		Time: pe.now, Rank: pe.rank, Kind: kind, Peer: peer, Tag: tag, Words: words, Label: label,
+	})
+}
+
+// Mark records an application annotation in the trace (no virtual cost).
+func (pe *PE) Mark(label string) {
+	pe.record(EvMark, -1, 0, 0, label)
+}

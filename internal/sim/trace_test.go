@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceCollectsEvents(t *testing.T) {
+	m := NewDefault(2)
+	m.EnableTracing()
+	m.Run(func(pe *PE) {
+		if pe.Rank() == 0 {
+			pe.Mark("before send")
+			pe.Send(1, 7, "x", 3)
+		} else {
+			pe.Recv(0, 7)
+			pe.Mark("after recv")
+		}
+	})
+	evs := m.Trace()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4: %+v", len(evs), evs)
+	}
+	// Sorted by time: mark(t=0), send, recv, mark.
+	if evs[0].Kind != EvMark || evs[0].Rank != 0 || evs[0].Label != "before send" {
+		t.Errorf("first event wrong: %+v", evs[0])
+	}
+	var sawSend, sawRecv bool
+	for _, ev := range evs {
+		switch ev.Kind {
+		case EvSend:
+			sawSend = true
+			if ev.Rank != 0 || ev.Peer != 1 || ev.Tag != 7 || ev.Words != 3 {
+				t.Errorf("send event wrong: %+v", ev)
+			}
+		case EvRecv:
+			sawRecv = true
+			if ev.Rank != 1 || ev.Peer != 0 || ev.Words != 3 {
+				t.Errorf("recv event wrong: %+v", ev)
+			}
+		}
+	}
+	if !sawSend || !sawRecv {
+		t.Errorf("missing send/recv events")
+	}
+	// Events are time-ordered.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Errorf("trace not time-sorted at %d", i)
+		}
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	m := NewDefault(2)
+	m.Run(func(pe *PE) {
+		if pe.Rank() == 0 {
+			pe.Send(1, 1, nil, 1)
+		} else {
+			pe.Recv(0, 1)
+		}
+	})
+	if evs := m.Trace(); len(evs) != 0 {
+		t.Errorf("tracing collected %d events while disabled", len(evs))
+	}
+}
+
+func TestTraceDisableAndClear(t *testing.T) {
+	m := NewDefault(2)
+	m.EnableTracing()
+	m.Run(func(pe *PE) { pe.Mark("a") })
+	m.DisableTracing()
+	m.Run(func(pe *PE) { pe.Mark("b") })
+	evs := m.Trace()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2 (only while enabled)", len(evs))
+	}
+	m.ClearTrace()
+	if len(m.Trace()) != 0 {
+		t.Errorf("ClearTrace left events behind")
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	m := NewDefault(2)
+	m.EnableTracing()
+	m.Run(func(pe *PE) {
+		if pe.Rank() == 0 {
+			pe.Mark("phase start")
+			pe.Send(1, 0x42, nil, 5)
+		} else {
+			pe.Recv(0, 0x42)
+		}
+	})
+	var buf bytes.Buffer
+	if err := m.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"phase start", "send", "recv", "tag=0x42", "words=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{EvSend: "send", EvRecv: "recv", EvMark: "mark"} {
+		if k.String() != want {
+			t.Errorf("EventKind(%d) = %q want %q", k, k.String(), want)
+		}
+	}
+}

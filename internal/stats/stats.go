@@ -1,0 +1,61 @@
+// Package stats provides the small summary statistics used by the
+// experiment harness (medians over repetitions, five-number summaries
+// for the Figure 12 distributions).
+package stats
+
+import "sort"
+
+// Median returns the median of xs (the lower-middle element for even
+// lengths, matching "median of five measurements" in §7.2). Panics on
+// empty input.
+func Median(xs []int64) int64 {
+	if len(xs) == 0 {
+		panic("stats: median of empty slice")
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
+}
+
+// Summary is a five-number summary of a sample.
+type Summary struct {
+	Min, Q1, Median, Q3, Max int64
+}
+
+// Summarize computes the five-number summary (nearest-rank quartiles).
+func Summarize(xs []int64) Summary {
+	if len(xs) == 0 {
+		panic("stats: summary of empty slice")
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := len(s)
+	return Summary{
+		Min:    s[0],
+		Q1:     s[(n-1)/4],
+		Median: s[(n-1)/2],
+		Q3:     s[(n-1)*3/4],
+		Max:    s[n-1],
+	}
+}
+
+// MedianF returns the median of float64s.
+func MedianF(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: median of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
+}
+
+// MaxI64 returns the maximum.
+func MaxI64(xs []int64) int64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

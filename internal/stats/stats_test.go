@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		want int64
+	}{
+		{[]int64{5}, 5},
+		{[]int64{3, 1}, 1},
+		{[]int64{3, 1, 2}, 2},
+		{[]int64{9, 1, 8, 2}, 2},
+		{[]int64{5, 4, 3, 2, 1}, 3},
+	}
+	for _, tc := range cases {
+		if got := Median(tc.in); got != tc.want {
+			t.Errorf("Median(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []int64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int64{7, 1, 5, 3, 9})
+	if s.Min != 1 || s.Median != 5 || s.Max != 9 || s.Q1 != 3 || s.Q3 != 7 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	one := Summarize([]int64{4})
+	if one.Min != 4 || one.Max != 4 || one.Median != 4 {
+		t.Errorf("single-element summary = %+v", one)
+	}
+}
+
+func TestSummaryOrderingProperty(t *testing.T) {
+	if err := quick.Check(func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]int64, len(raw))
+		for i, v := range raw {
+			xs[i] = int64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianF(t *testing.T) {
+	if got := MedianF([]float64{2.5, 1.5, 3.5}); got != 2.5 {
+		t.Errorf("MedianF = %f", got)
+	}
+}
+
+func TestMaxI64(t *testing.T) {
+	if got := MaxI64([]int64{3, 9, 1}); got != 9 {
+		t.Errorf("MaxI64 = %d", got)
+	}
+}
+
+func TestMedianPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Median(nil)
+}

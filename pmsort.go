@@ -1,0 +1,211 @@
+// Package pmsort is a Go reproduction of Axtmann, Bingmann, Sanders,
+// Schulz: "Practical Massively Parallel Sorting" (SPAA 2015): multi-level
+// AMS-sort (adaptive multi-level sample sort) and RLM-sort (recurse-last
+// multiway mergesort), together with every building block the paper
+// describes — multisequence selection, fast work-inefficient sorting,
+// scalable data delivery, optimal bucket grouping — running on a
+// deterministic simulated distributed-memory machine with the paper's
+// single-ported α-β cost model (§2.1) and a SuperMUC-like topology.
+//
+// Quick start:
+//
+//	cl := pmsort.New(64) // 64 PEs
+//	outs := make([][]uint64, cl.P())
+//	cl.Run(func(pe *pmsort.PE) {
+//		data := makeMyLocalData(pe.Rank())
+//		sorted, _ := pmsort.AMSSort(pmsort.World(pe), data,
+//			func(a, b uint64) bool { return a < b },
+//			pmsort.Config{Levels: 2})
+//		outs[pe.Rank()] = sorted
+//	})
+//
+// Algorithms execute for real on real data; only time is virtual, charged
+// per message (α + ℓ·β by link class) and per local operation. See
+// DESIGN.md for the model and EXPERIMENTS.md for the reproduced results.
+package pmsort
+
+import (
+	"io"
+
+	"pmsort/internal/baseline"
+	"pmsort/internal/core"
+	"pmsort/internal/delivery"
+	"pmsort/internal/msel"
+	"pmsort/internal/sim"
+)
+
+// Re-exported simulator types. A PE is one processing element of the
+// simulated machine; a Comm is a communicator (group of PEs).
+type (
+	// PE is a processing element bound to the goroutine running it.
+	PE = sim.PE
+	// Comm is an ordered group of PEs with this PE's position in it.
+	Comm = sim.Comm
+	// Topology places PEs into nodes and islands.
+	Topology = sim.Topology
+	// CostModel holds the α-β and local-operation cost constants.
+	CostModel = sim.CostModel
+	// RunResult reports the virtual clocks after a Run.
+	RunResult = sim.RunResult
+	// Config tunes the sorting algorithms (levels, sampling factors,
+	// delivery strategy, tie-breaking).
+	Config = core.Config
+	// Stats reports per-phase virtual times and balance of a run.
+	Stats = core.Stats
+	// Phase identifies one of the four measured phases (§7.1).
+	Phase = core.Phase
+	// DeliveryOptions selects the data redistribution algorithm (§4.3).
+	DeliveryOptions = delivery.Options
+	// DeliveryStrategy is one of the §4.3 redistribution algorithms.
+	DeliveryStrategy = delivery.Strategy
+)
+
+// Phases, in the order the paper's figures stack them.
+const (
+	PhaseSplitterSelection = core.PhaseSplitterSelection
+	PhaseBucketProcessing  = core.PhaseBucketProcessing
+	PhaseDataDelivery      = core.PhaseDataDelivery
+	PhaseLocalSort         = core.PhaseLocalSort
+	NumPhases              = core.NumPhases
+)
+
+// Delivery strategies (§4.3, §4.3.1, Appendix A).
+const (
+	DeliverySimple             = delivery.Simple
+	DeliveryRandomized         = delivery.Randomized
+	DeliveryRandomizedAdvanced = delivery.RandomizedAdvanced
+	DeliveryDeterministic      = delivery.Deterministic
+)
+
+// DefaultTopology returns the SuperMUC-like hierarchy (16 PEs per node,
+// 32 nodes per island).
+func DefaultTopology() Topology { return sim.DefaultTopology() }
+
+// FlatTopology returns a hierarchy-free placement (one island).
+func FlatTopology() Topology { return sim.FlatTopology() }
+
+// DefaultCost returns the calibrated cost constants.
+func DefaultCost() CostModel { return sim.DefaultCost() }
+
+// Cluster is a simulated distributed-memory machine.
+type Cluster struct {
+	m *sim.Machine
+}
+
+// New creates a cluster of p PEs with the default topology and costs.
+func New(p int) *Cluster {
+	return &Cluster{m: sim.NewDefault(p)}
+}
+
+// NewCustom creates a cluster with explicit topology and cost model.
+func NewCustom(p int, topo Topology, cost CostModel) *Cluster {
+	return &Cluster{m: sim.New(p, topo, cost)}
+}
+
+// P returns the number of PEs.
+func (cl *Cluster) P() int { return cl.m.P() }
+
+// Run executes fn once per PE (each on its own goroutine) and returns
+// the final virtual clocks.
+func (cl *Cluster) Run(fn func(pe *PE)) RunResult { return cl.m.Run(fn) }
+
+// Reset zeroes all virtual clocks and counters between runs.
+func (cl *Cluster) Reset() { cl.m.Reset() }
+
+// PEInfo returns the PE with the given rank for counter inspection
+// between runs.
+func (cl *Cluster) PEInfo(rank int) *PE { return cl.m.PE(rank) }
+
+// Event is one entry of a message/annotation trace.
+type Event = sim.Event
+
+// EventKind classifies a trace event.
+type EventKind = sim.EventKind
+
+// Trace event kinds.
+const (
+	EvSend = sim.EvSend
+	EvRecv = sim.EvRecv
+	EvMark = sim.EvMark
+)
+
+// EnableTracing starts recording every send, receive, and PE.Mark with
+// its virtual timestamp (host-time cost only, no virtual cost).
+func (cl *Cluster) EnableTracing() { cl.m.EnableTracing() }
+
+// DisableTracing stops recording (existing events are kept).
+func (cl *Cluster) DisableTracing() { cl.m.DisableTracing() }
+
+// ClearTrace drops all recorded events.
+func (cl *Cluster) ClearTrace() { cl.m.ClearTrace() }
+
+// Trace returns the recorded events sorted by (time, rank).
+func (cl *Cluster) Trace() []Event { return cl.m.Trace() }
+
+// WriteTrace dumps the trace in a one-line-per-event text format.
+func (cl *Cluster) WriteTrace(w io.Writer) error { return cl.m.WriteTrace(w) }
+
+// World returns the communicator containing all PEs of pe's cluster.
+func World(pe *PE) *Comm { return sim.World(pe) }
+
+// PlanLevels returns the per-level group counts used by the weak-scaling
+// experiments (Table 1).
+func PlanLevels(p, k int) []int { return core.PlanLevels(p, k) }
+
+// AMSSort sorts the distributed data with adaptive multi-level sample
+// sort (§6). Collective: all PEs of c must call it with identical cfg.
+func AMSSort[E any](c *Comm, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
+	return core.AMSSort(c, data, less, cfg)
+}
+
+// RLMSort sorts the distributed data with recurse-last multiway
+// mergesort (§5); the output is perfectly balanced.
+func RLMSort[E any](c *Comm, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
+	return core.RLMSort(c, data, less, cfg)
+}
+
+// GVSampleSort is the single-level, centralized-splitter baseline (§3).
+func GVSampleSort[E any](c *Comm, data []E, less func(a, b E) bool, seed uint64) ([]E, *Stats) {
+	return baseline.GVSampleSort(c, data, less, seed)
+}
+
+// MPSort is the MP-sort style single-level baseline (§7.3).
+func MPSort[E any](c *Comm, data []E, less func(a, b E) bool, seed uint64) ([]E, *Stats) {
+	return baseline.MPSort(c, data, less, seed)
+}
+
+// BitonicSort is Batcher's bitonic sort over the PEs (p must be a power
+// of two) — the log²p-communication extreme the paper's §1 motivates
+// against.
+func BitonicSort[E any](c *Comm, data []E, less func(a, b E) bool, seed uint64) ([]E, *Stats) {
+	return baseline.BitonicSort(c, data, less, seed)
+}
+
+// HistogramSort is the Solomonik-Kale style single-level hybrid (§3);
+// tol is the splitter rank tolerance as a fraction of n/p (≤0: 5%).
+func HistogramSort[E any](c *Comm, data []E, less func(a, b E) bool, tol float64, seed uint64) ([]E, *Stats) {
+	return baseline.HistogramSort(c, data, less, tol, seed)
+}
+
+// HCQuicksort is hypercube parallel quicksort (p must be a power of
+// two) — fast but without balance or duplicate-key guarantees.
+func HCQuicksort[E any](c *Comm, data []E, less func(a, b E) bool, seed uint64) ([]E, *Stats) {
+	return baseline.HCQuicksort(c, data, less, seed)
+}
+
+// Multiselect finds, for each target global rank, a split position of
+// this PE's locally sorted slice such that the positions sum to the
+// target across PEs (multisequence selection, §4.1 — one of the paper's
+// building blocks of independent interest). Collective call.
+func Multiselect[E any](c *Comm, local []E, targets []int64, less func(a, b E) bool, seed uint64) []int {
+	return msel.Select(c, local, targets, less, seed)
+}
+
+// Deliver redistributes pieces[j] to the j-th of len(pieces) balanced
+// contiguous PE groups so that every group member receives an equal
+// share (§4.3); the strategy in opt trades robustness against worst-case
+// piece-size distributions. Collective call. Returns the received
+// chunks.
+func Deliver[E any](c *Comm, pieces [][]E, opt DeliveryOptions) [][]E {
+	return delivery.Deliver(c, pieces, opt)
+}
