@@ -2,10 +2,16 @@
 // §3), at benchmark-friendly scale (p ≤ 256). Every benchmark reports
 // the *simulated* time as the custom metric "simms/op" next to the real
 // host time; the full-scale tables are produced by cmd/sortbench.
+//
+// The BenchmarkNative* group is different: it runs the native
+// shared-memory backend, so ns/op there is real sorting speed — the
+// wall-clock trajectory future PRs improve against the
+// BenchmarkNativeSortSlice one-core reference.
 package pmsort
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"pmsort/internal/core"
@@ -122,6 +128,73 @@ func BenchmarkAlltoall(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			benchRun(b, expt.Spec{Algo: expt.AMS, P: 128, PerPE: 1_000, Levels: 1, Seed: 9,
 				Delivery: delivery.Options{Exchange: exch}})
+		})
+	}
+}
+
+// benchNativeN is the fixed total input size of the native strong-
+// scaling benchmarks (1M words = 8 MB).
+const benchNativeN = 1 << 20
+
+// nativeLocals cuts one deterministic input of benchNativeN elements
+// into p per-PE slices.
+func nativeLocals(p int, seed uint64) [][]uint64 {
+	perPE := benchNativeN / p
+	locals := make([][]uint64, p)
+	for rank := 0; rank < p; rank++ {
+		locals[rank] = workload.Local(workload.Uniform, seed, p, perPE, rank)
+	}
+	return locals
+}
+
+// BenchmarkNativeSortSlice is the one-core sequential reference: a
+// single sort.Slice over the whole benchNativeN-element input.
+func BenchmarkNativeSortSlice(b *testing.B) {
+	b.SetBytes(benchNativeN * 8)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		data := workload.Local(workload.Uniform, uint64(i), 1, benchNativeN, 0)
+		b.StartTimer()
+		sort.Slice(data, func(x, y int) bool { return data[x] < data[y] })
+	}
+}
+
+// BenchmarkNativeAMS sorts the same fixed input with AMS-sort on the
+// native backend at several p (strong scaling). On a multicore host the
+// ns/op ratio against BenchmarkNativeSortSlice is the real speedup;
+// past p = GOMAXPROCS the goroutine-PEs time-share cores.
+func BenchmarkNativeAMS(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.SetBytes(benchNativeN * 8)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				locals := nativeLocals(p, uint64(i))
+				cl := NewNative(p)
+				b.StartTimer()
+				cl.Run(func(c Communicator) {
+					_, _ = AMSSort(c, locals[c.Rank()], u64Less, Config{Levels: 1, Seed: 42})
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkNativeRLM is the RLM-sort counterpart of BenchmarkNativeAMS
+// (perfectly balanced output, merge-based bucket processing).
+func BenchmarkNativeRLM(b *testing.B) {
+	for _, p := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.SetBytes(benchNativeN * 8)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				locals := nativeLocals(p, uint64(i))
+				cl := NewNative(p)
+				b.StartTimer()
+				cl.Run(func(c Communicator) {
+					_, _ = RLMSort(c, locals[c.Rank()], u64Less, Config{Levels: 1, Seed: 42})
+				})
+			}
 		})
 	}
 }

@@ -1,6 +1,8 @@
 // Command sortbench regenerates every table and figure of the paper's
-// evaluation section (§7, Appendix E) on the simulated machine. See
-// DESIGN.md §3 for the experiment index and EXPERIMENTS.md for recorded
+// evaluation section (§7, Appendix E) on the simulated machine, and
+// compares the simulated backend against the native shared-memory
+// backend (virtual time next to wall-clock time). See DESIGN.md §3 for
+// the experiment index and EXPERIMENTS.md for recorded
 // paper-vs-measured results.
 //
 // Usage:
@@ -9,6 +11,7 @@
 //	sortbench -experiment table2 -reps 5
 //	sortbench -experiment fig8 -ps 512,2048 -perpe 1000,10000
 //	sortbench -experiment fig10 -p 256 -n 10000
+//	sortbench -experiment backends -ntotal 100000  # sim virtual vs native wall-clock
 //	sortbench -quick                          # small grids for a smoke run
 package main
 
@@ -42,13 +45,14 @@ func parseInts(s string) []int {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1|table2|fig7|fig8|fig10|fig11|fig12|compare|delivery|alltoall|all")
+		experiment = flag.String("experiment", "all", "table1|table2|fig7|fig8|fig10|fig11|fig12|compare|delivery|alltoall|backends|all")
 		psFlag     = flag.String("ps", "", "comma-separated PE counts (default 512,2048,8192)")
 		perpeFlag  = flag.String("perpe", "", "comma-separated n/p values (default 1000,10000,100000)")
 		reps       = flag.Int("reps", 3, "repetitions per configuration (paper: 5)")
 		seed       = flag.Uint64("seed", 42, "base random seed")
 		sweepP     = flag.Int("p", 256, "PE count for the fig10/fig11 sweeps")
 		sweepN     = flag.Int("n", 10000, "n/p for the fig10/fig11 sweeps")
+		nativeN    = flag.Int("ntotal", 200_000, "TOTAL element count for the backends experiment (split over p)")
 		quick      = flag.Bool("quick", false, "small grids for a fast smoke run")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 	)
@@ -108,6 +112,19 @@ func main() {
 	section("compare", func() { expt.Compare(w, opt) })
 	section("delivery", func() { expt.DeliveryAblation(w, min(opt.Ps[len(opt.Ps)-1], 512), 1000, *reps, *seed, progress) })
 	section("alltoall", func() { expt.AlltoallAblation(w, nil, 1000, *reps, *seed, progress) })
+	// The sim-vs-native backend comparison runs real goroutines, so its
+	// PE counts follow the host, not the simulated grids.
+	section("backends", func() {
+		ps := []int{1, 2, 4, 8, 16}
+		n := *nativeN
+		if *quick {
+			ps = []int{1, 2, 4}
+			if n == 200_000 {
+				n = 20_000
+			}
+		}
+		expt.Backends(w, ps, n, *reps, *seed, progress)
+	})
 }
 
 func min(a, b int) int {

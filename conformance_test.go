@@ -1,0 +1,165 @@
+package pmsort
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// conformanceCase is one sorter driven through both backends.
+type conformanceCase struct {
+	name string
+	run  func(c Communicator, data []uint64) []uint64
+}
+
+// conformanceCases covers AMS, RLM, and one baseline, as different
+// exercise profiles: AMS with tie-breaking on duplicate-heavy data (all
+// of sampling, fwis, grouping, delivery), RLM (multisequence selection,
+// multiway merging), and GV-sample-sort (centralized splitters, direct
+// all-to-all).
+func conformanceCases() []conformanceCase {
+	return []conformanceCase{
+		{"AMS", func(c Communicator, d []uint64) []uint64 {
+			out, _ := AMSSort(c, d, u64Less, Config{Levels: 2, Seed: 11, TieBreak: true})
+			return out
+		}},
+		{"RLM", func(c Communicator, d []uint64) []uint64 {
+			out, _ := RLMSort(c, d, u64Less, Config{Levels: 2, Seed: 11})
+			return out
+		}},
+		{"GV", func(c Communicator, d []uint64) []uint64 {
+			out, _ := GVSampleSort(c, d, u64Less, 11)
+			return out
+		}},
+	}
+}
+
+// conformanceInput builds deterministic per-PE inputs with heavy key
+// duplication (so tie-breaking paths run).
+func conformanceInput(p, perPE int) [][]uint64 {
+	locals := make([][]uint64, p)
+	rng := rand.New(rand.NewSource(1234))
+	for rank := range locals {
+		loc := make([]uint64, perPE)
+		for i := range loc {
+			loc[i] = rng.Uint64() % 512
+		}
+		locals[rank] = loc
+	}
+	return locals
+}
+
+// TestBackendConformance asserts that the simulated and the native
+// backend produce byte-identical globally sorted output from the same
+// seeded input: every collective is deterministic, so the backend must
+// not influence a single element's placement.
+func TestBackendConformance(t *testing.T) {
+	const p, perPE = 8, 300
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			locals := conformanceInput(p, perPE)
+
+			simOuts := make([][]uint64, p)
+			cl := New(p)
+			cl.Run(func(pe *PE) {
+				simOuts[pe.Rank()] = tc.run(World(pe), append([]uint64(nil), locals[pe.Rank()]...))
+			})
+
+			natOuts := make([][]uint64, p)
+			ncl := NewNative(p)
+			if ncl.P() != p {
+				t.Fatalf("NewNative(%d).P() = %d", p, ncl.P())
+			}
+			ncl.Run(func(c Communicator) {
+				natOuts[c.Rank()] = tc.run(c, append([]uint64(nil), locals[c.Rank()]...))
+			})
+
+			total := 0
+			for rank := 0; rank < p; rank++ {
+				if len(simOuts[rank]) != len(natOuts[rank]) {
+					t.Fatalf("PE %d: sim has %d elements, native %d",
+						rank, len(simOuts[rank]), len(natOuts[rank]))
+				}
+				for i := range simOuts[rank] {
+					if simOuts[rank][i] != natOuts[rank][i] {
+						t.Fatalf("PE %d element %d: sim %d != native %d",
+							rank, i, simOuts[rank][i], natOuts[rank][i])
+					}
+				}
+				total += len(simOuts[rank])
+			}
+			if total != p*perPE {
+				t.Fatalf("lost elements: %d of %d", total, p*perPE)
+			}
+		})
+	}
+}
+
+// TestNativeGloballySorted validates the native backend's output
+// contract on its own (ordering across PE boundaries and permutation
+// preservation), independent of the simulator.
+func TestNativeGloballySorted(t *testing.T) {
+	const p, perPE = 6, 500
+	locals := conformanceInput(p, perPE)
+	outs := make([][]uint64, p)
+	ncl := NewNative(p)
+	elapsed := ncl.Run(func(c Communicator) {
+		out, st := AMSSort(c, append([]uint64(nil), locals[c.Rank()]...), u64Less,
+			Config{Levels: 1, Seed: 7, TieBreak: true})
+		if st.TotalNS < 0 {
+			t.Errorf("PE %d: negative wall-clock total %d", c.Rank(), st.TotalNS)
+		}
+		outs[c.Rank()] = out
+	})
+	if elapsed <= 0 {
+		t.Errorf("Run reported non-positive makespan %v", elapsed)
+	}
+	var prev uint64
+	total := 0
+	for rank, out := range outs {
+		for i, v := range out {
+			if v < prev {
+				t.Fatalf("order violation at PE %d index %d", rank, i)
+			}
+			prev = v
+		}
+		total += len(out)
+	}
+	if total != p*perPE {
+		t.Fatalf("lost elements: %d of %d", total, p*perPE)
+	}
+}
+
+// TestNativeBuildingBlocks drives Multiselect and Deliver through the
+// native backend — the public building blocks must be backend-neutral
+// too.
+func TestNativeBuildingBlocks(t *testing.T) {
+	const p = 6
+	ncl := NewNative(p)
+	ncl.Run(func(c Communicator) {
+		local := make([]uint64, 10)
+		for i := range local {
+			local[i] = uint64(c.Rank()*10 + i)
+		}
+		pos := Multiselect(c, local, []int64{30}, u64Less, 5)
+		want := 0
+		if c.Rank() < 3 {
+			want = 10
+		}
+		if len(pos) != 1 || pos[0] != want {
+			t.Errorf("PE %d: Multiselect = %v, want [%d]", c.Rank(), pos, want)
+		}
+		pieces := [][]uint64{{1}, {2, 3, 4}}
+		chunks := Deliver(c, pieces, DeliveryOptions{Strategy: DeliveryDeterministic, Seed: 5})
+		total := 0
+		for _, ch := range chunks {
+			total += len(ch)
+		}
+		want = 2
+		if c.Rank() >= p/2 {
+			want = 6
+		}
+		if total != want {
+			t.Errorf("PE %d received %d elements, want %d", c.Rank(), total, want)
+		}
+	})
+}

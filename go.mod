@@ -1,0 +1,3 @@
+module pmsort
+
+go 1.22

@@ -18,26 +18,26 @@ import (
 	"sort"
 
 	"pmsort/internal/coll"
+	"pmsort/internal/comm"
 	"pmsort/internal/core"
 	"pmsort/internal/msel"
 	"pmsort/internal/prng"
 	"pmsort/internal/seq"
-	"pmsort/internal/sim"
 )
 
 // GVSampleSort sorts with single-level sample sort and centralized
 // splitter selection. Oversampling a defaults to 16·log₂(p)+1 samples
 // per PE. The output imbalance is whatever the splitters give — there is
 // no overpartitioning rescue.
-func GVSampleSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, seed uint64) ([]E, *core.Stats) {
-	pe := c.PE()
+func GVSampleSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, seed uint64) ([]E, *core.Stats) {
+	cost := c.Cost()
 	p := c.Size()
 	stats := &core.Stats{MaxImbalance: 1, Levels: 1}
 	start := coll.TimedBarrier(c)
 	if p == 1 {
 		sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
-		pe.ChargeSortOps(int64(len(data)))
-		stats.PhaseNS[core.PhaseLocalSort] += pe.Now() - start
+		cost.SortOps(int64(len(data)))
+		stats.PhaseNS[core.PhaseLocalSort] += cost.Now() - start
 		stats.TotalNS = coll.TimedBarrier(c) - start
 		return data, stats
 	}
@@ -62,7 +62,7 @@ func GVSampleSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, seed uin
 	if gathered != nil {
 		all := flatten(gathered)
 		sort.Slice(all, func(i, j int) bool { return less(all[i], all[j]) })
-		pe.ChargeSortOps(int64(len(all))) // the sequential bottleneck
+		cost.SortOps(int64(len(all))) // the sequential bottleneck
 		splitters = make([]E, 0, p-1)
 		for j := 1; j < p; j++ {
 			splitters = append(splitters, all[j*len(all)/p])
@@ -78,8 +78,8 @@ func GVSampleSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, seed uin
 	if len(splitters) > 0 {
 		cls := seq.NewClassifier(splitters, less)
 		parted, bounds = seq.Partition(data, p, cls.Bucket)
-		pe.ChargePartitionOps(seq.ClassifyOps(int64(len(data)), cls.Levels()))
-		pe.ChargeScan(2 * int64(len(data)))
+		cost.PartitionOps(seq.ClassifyOps(int64(len(data)), cls.Levels()))
+		cost.Scan(2 * int64(len(data)))
 	} else {
 		parted, bounds = data, make([]int, p+1)
 		for i := 1; i <= p; i++ {
@@ -103,13 +103,13 @@ func GVSampleSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, seed uin
 	for _, chunk := range in {
 		recv = append(recv, chunk...)
 	}
-	pe.ChargeScan(int64(n))
+	cost.Scan(int64(n))
 	t3 := coll.TimedBarrier(c)
 	stats.PhaseNS[core.PhaseDataDelivery] += t3 - t2
 
 	// Local sort of the received buckets.
 	sort.Slice(recv, func(i, j int) bool { return less(recv[i], recv[j]) })
-	pe.ChargeSortOps(int64(len(recv)))
+	cost.SortOps(int64(len(recv)))
 	t4 := coll.TimedBarrier(c)
 	stats.PhaseNS[core.PhaseLocalSort] += t4 - t3
 	stats.TotalNS = t4 - start
@@ -121,15 +121,15 @@ func GVSampleSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, seed uin
 // message delivery, and a final local sort from scratch instead of a
 // merge of the received runs — the design §7.3 shows does not scale for
 // small inputs.
-func MPSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, seed uint64) ([]E, *core.Stats) {
-	pe := c.PE()
+func MPSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, seed uint64) ([]E, *core.Stats) {
+	cost := c.Cost()
 	p := c.Size()
 	stats := &core.Stats{MaxImbalance: 1, Levels: 1}
 	start := coll.TimedBarrier(c)
 
 	// Initial local sort.
 	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
-	pe.ChargeSortOps(int64(len(data)))
+	cost.SortOps(int64(len(data)))
 	t0 := coll.TimedBarrier(c)
 	stats.PhaseNS[core.PhaseLocalSort] += t0 - start
 	if p == 1 {
@@ -169,7 +169,7 @@ func MPSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, seed uint64) (
 		recv = append(recv, chunk...)
 	}
 	sort.Slice(recv, func(i, j int) bool { return less(recv[i], recv[j]) })
-	pe.ChargeSortOps(int64(len(recv)))
+	cost.SortOps(int64(len(recv)))
 	t3 := coll.TimedBarrier(c)
 	stats.PhaseNS[core.PhaseBucketProcessing] += t3 - t2
 	stats.TotalNS = t3 - start
@@ -180,9 +180,9 @@ func MPSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, seed uint64) (
 // PE sorts locally, then log²(p) compare-split rounds exchange whole
 // sequences with hypercube partners. p must be a power of two. Per-PE
 // element counts are preserved exactly.
-func BitonicSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, _ uint64) ([]E, *core.Stats) {
+func BitonicSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, _ uint64) ([]E, *core.Stats) {
 	const tagBitonic = 0x7e0001
-	pe := c.PE()
+	cost := c.Cost()
 	p := c.Size()
 	if p&(p-1) != 0 {
 		panic("baseline: BitonicSort requires a power-of-two number of PEs")
@@ -191,7 +191,7 @@ func BitonicSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, _ uint64)
 	start := coll.TimedBarrier(c)
 
 	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
-	pe.ChargeSortOps(int64(len(data)))
+	cost.SortOps(int64(len(data)))
 	t0 := coll.TimedBarrier(c)
 	stats.PhaseNS[core.PhaseLocalSort] += t0 - start
 
@@ -205,7 +205,7 @@ func BitonicSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, _ uint64)
 			pl, _ := c.Recv(partner, tagBitonic)
 			other := pl.([]E)
 			merged := seq.Merge2(cur, other, less)
-			pe.ChargeOps(int64(len(merged)))
+			cost.Ops(int64(len(merged)))
 			// Preserve my element count: low keeps the smallest len(cur),
 			// high keeps the largest len(cur).
 			if keepLow {

@@ -5,13 +5,14 @@ import (
 	"sort"
 	"testing"
 
+	"pmsort/internal/comm"
 	"pmsort/internal/core"
 	"pmsort/internal/sim"
 )
 
 func intLess(a, b int) bool { return a < b }
 
-type sorterFn func(c *sim.Comm, data []int, less func(a, b int) bool, seed uint64) ([]int, *core.Stats)
+type sorterFn func(c comm.Communicator, data []int, less func(a, b int) bool, seed uint64) ([]int, *core.Stats)
 
 func runBaseline(p int, locals [][]int, fn sorterFn) [][]int {
 	m := sim.NewDefault(p)

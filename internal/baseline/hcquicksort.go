@@ -4,10 +4,10 @@ import (
 	"sort"
 
 	"pmsort/internal/coll"
+	"pmsort/internal/comm"
 	"pmsort/internal/core"
 	"pmsort/internal/prng"
 	"pmsort/internal/seq"
-	"pmsort/internal/sim"
 )
 
 const tagHCQ = 0x7e0002
@@ -21,8 +21,8 @@ const tagHCQ = 0x7e0002
 // PE sorts what it holds. The data is moved log p times and the output
 // balance depends on pivot quality — both weaknesses the paper's
 // algorithms remove. p must be a power of two.
-func HCQuicksort[E any](c *sim.Comm, data []E, less func(a, b E) bool, seed uint64) ([]E, *core.Stats) {
-	pe := c.PE()
+func HCQuicksort[E any](c comm.Communicator, data []E, less func(a, b E) bool, seed uint64) ([]E, *core.Stats) {
+	cost := c.Cost()
 	p := c.Size()
 	if p&(p-1) != 0 {
 		panic("baseline: HCQuicksort requires a power-of-two number of PEs")
@@ -32,7 +32,7 @@ func HCQuicksort[E any](c *sim.Comm, data []E, less func(a, b E) bool, seed uint
 
 	// Local sort once up front so medians and splits are O(log) each.
 	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
-	pe.ChargeSortOps(int64(len(data)))
+	cost.SortOps(int64(len(data)))
 	t0 := coll.TimedBarrier(c)
 	stats.PhaseNS[core.PhaseLocalSort] += t0 - start
 
@@ -42,7 +42,7 @@ func HCQuicksort[E any](c *sim.Comm, data []E, less func(a, b E) bool, seed uint
 	for sub.Size() > 1 {
 		stats.Levels++
 		q := sub.Size()
-		tSel0 := pe.Now()
+		tSel0 := cost.Now()
 
 		// Pivot: median of the members' local medians, via gossip of
 		// (median, weight) pairs — cheap and classic. Empty PEs abstain.
@@ -65,19 +65,19 @@ func HCQuicksort[E any](c *sim.Comm, data []E, less func(a, b E) bool, seed uint
 		havePivot := len(cands) > 0
 		if havePivot {
 			sort.Slice(cands, func(i, j int) bool { return less(cands[i], cands[j]) })
-			pe.ChargeSortOps(int64(len(cands)))
+			cost.SortOps(int64(len(cands)))
 			pivot = cands[len(cands)/2]
 		}
 		_ = rng.Next() // keep the stream aligned across rounds
-		stats.PhaseNS[core.PhaseSplitterSelection] += pe.Now() - tSel0
+		stats.PhaseNS[core.PhaseSplitterSelection] += cost.Now() - tSel0
 
 		// Split at the pivot and swap halves along the top dimension:
 		// lower subcube keeps < pivot, upper keeps ≥ pivot.
-		tEx0 := pe.Now()
+		tEx0 := cost.Now()
 		cut := 0
 		if havePivot {
 			cut = seq.LowerBound(cur, pivot, less)
-			pe.ChargeOps(16)
+			cost.Ops(16)
 		}
 		half := q / 2
 		low := sub.Rank() < half
@@ -95,9 +95,9 @@ func HCQuicksort[E any](c *sim.Comm, data []E, less func(a, b E) bool, seed uint
 		pl, _ := sub.Recv(partner, tagHCQ)
 		got := pl.([]E)
 		merged := seq.Merge2(keep, got, less)
-		pe.ChargeOps(int64(len(merged)))
+		cost.Ops(int64(len(merged)))
 		cur = merged
-		stats.PhaseNS[core.PhaseDataDelivery] += pe.Now() - tEx0
+		stats.PhaseNS[core.PhaseDataDelivery] += cost.Now() - tEx0
 
 		if low {
 			sub = sub.Subset(0, half)

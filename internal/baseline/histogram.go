@@ -4,10 +4,10 @@ import (
 	"sort"
 
 	"pmsort/internal/coll"
+	"pmsort/internal/comm"
 	"pmsort/internal/core"
 	"pmsort/internal/prng"
 	"pmsort/internal/seq"
-	"pmsort/internal/sim"
 )
 
 // HistogramSort implements the single-level histogram-based sorter in
@@ -20,8 +20,8 @@ import (
 //
 // tol is the rank tolerance as a fraction of n/p (their evaluation uses
 // a few percent); tol ≤ 0 defaults to 0.05.
-func HistogramSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, tol float64, seed uint64) ([]E, *core.Stats) {
-	pe := c.PE()
+func HistogramSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, tol float64, seed uint64) ([]E, *core.Stats) {
+	cost := c.Cost()
 	p := c.Size()
 	stats := &core.Stats{MaxImbalance: 1, Levels: 1}
 	start := coll.TimedBarrier(c)
@@ -32,7 +32,7 @@ func HistogramSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, tol flo
 	// Local sort (their algorithm works on sorted local arrays so that
 	// histograms are binary searches).
 	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
-	pe.ChargeSortOps(int64(len(data)))
+	cost.SortOps(int64(len(data)))
 	t0 := coll.TimedBarrier(c)
 	stats.PhaseNS[core.PhaseLocalSort] += t0 - start
 	if p == 1 {
@@ -122,7 +122,7 @@ func HistogramSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, tol flo
 			}
 			localPos[j] = seq.LowerBound(data, cands[j].val, less)
 			counts[j] = int64(localPos[j])
-			pe.ChargeOps(int64(16))
+			cost.Ops(int64(16))
 		}
 		ranks := coll.Allreduce(c, counts, int64(p-1), addVec)
 
@@ -189,7 +189,7 @@ func HistogramSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, tol flo
 
 	// Merge the received sorted runs (the mergesort half of the hybrid).
 	merged := seq.Multiway(in, less)
-	pe.ChargeOps(seq.MultiwayOps(int64(len(merged)), len(in)))
+	cost.Ops(seq.MultiwayOps(int64(len(merged)), len(in)))
 	t3 := coll.TimedBarrier(c)
 	stats.PhaseNS[core.PhaseBucketProcessing] += t3 - t2
 	stats.TotalNS = t3 - start

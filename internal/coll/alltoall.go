@@ -1,13 +1,13 @@
 package coll
 
-import "pmsort/internal/sim"
+import "pmsort/internal/comm"
 
 // AlltoallI64 exchanges one int64 with every member (v[i] goes to member
 // i) using the Bruck algorithm: ⌈log₂ p⌉ rounds of aggregated messages of
 // ≤ ⌈p/2⌉ words instead of p startups. Returns the received vector
 // indexed by source rank. This is how all-to-allv implementations
 // exchange their counts up front.
-func AlltoallI64(c *sim.Comm, v []int64) []int64 {
+func AlltoallI64(c comm.Communicator, v []int64) []int64 {
 	p, r := c.Size(), c.Rank()
 	if len(v) != p {
 		panic("coll: AlltoallI64 vector length != group size")
@@ -70,20 +70,20 @@ func wordsOf[T any](items []T, itemWords func(T) int64) int64 {
 // payload distribution (the behaviour of the IBM mpich2 implementation
 // the paper compares against in §7.1). out[i] is moved to member i;
 // the result is indexed by source rank, with out[me] passed through.
-func AlltoallvDirect[T any](c *sim.Comm, out [][]T) [][]T {
+func AlltoallvDirect[T any](c comm.Communicator, out [][]T) [][]T {
 	return AlltoallvDirectFunc(c, out, nil)
 }
 
 // AlltoallvDirectFunc is AlltoallvDirect with an explicit per-item word
 // size (nil means one word per item).
-func AlltoallvDirectFunc[T any](c *sim.Comm, out [][]T, itemWords func(T) int64) [][]T {
+func AlltoallvDirectFunc[T any](c comm.Communicator, out [][]T, itemWords func(T) int64) [][]T {
 	p, r := c.Size(), c.Rank()
 	if len(out) != p {
 		panic("coll: AlltoallvDirect buffer count != group size")
 	}
 	in := make([][]T, p)
 	in[r] = out[r]
-	c.PE().ChargeScan(wordsOf(out[r], itemWords))
+	c.Cost().Scan(wordsOf(out[r], itemWords))
 	for i := 1; i < p; i++ {
 		to := (r + i) % p
 		c.Send(to, tagAlltoallv, out[to], wordsOf(out[to], itemWords))
@@ -103,13 +103,13 @@ func AlltoallvDirectFunc[T any](c *sim.Comm, out [][]T, itemWords func(T) int64)
 // direct algorithm — empty messages are omitted entirely. Message counts
 // are exchanged up front with a Bruck all-to-all (log p aggregated
 // messages). The result is indexed by source rank.
-func Alltoallv1Factor[T any](c *sim.Comm, out [][]T) [][]T {
+func Alltoallv1Factor[T any](c comm.Communicator, out [][]T) [][]T {
 	return Alltoallv1FactorFunc(c, out, nil)
 }
 
 // Alltoallv1FactorFunc is Alltoallv1Factor with an explicit per-item word
 // size (nil means one word per item).
-func Alltoallv1FactorFunc[T any](c *sim.Comm, out [][]T, itemWords func(T) int64) [][]T {
+func Alltoallv1FactorFunc[T any](c comm.Communicator, out [][]T, itemWords func(T) int64) [][]T {
 	p, r := c.Size(), c.Rank()
 	if len(out) != p {
 		panic("coll: Alltoallv1Factor buffer count != group size")
@@ -125,7 +125,7 @@ func Alltoallv1FactorFunc[T any](c *sim.Comm, out [][]T, itemWords func(T) int64
 
 	in := make([][]T, p)
 	in[r] = out[r]
-	c.PE().ChargeScan(wordsOf(out[r], itemWords))
+	c.Cost().Scan(wordsOf(out[r], itemWords))
 
 	exchange := func(partner int) {
 		if len(out[partner]) > 0 {

@@ -1,6 +1,6 @@
 package coll
 
-import "pmsort/internal/sim"
+import "pmsort/internal/comm"
 
 const (
 	tagRabScatter = 0x7c1001
@@ -16,7 +16,7 @@ const (
 // reduction the paper's [30] citation calls for, relevant for the long
 // bucket-size vectors of overpartitioned AMS-sort. Other shapes fall
 // back to the binomial-tree Allreduce. The result is freshly allocated.
-func AllreduceSumI64(c *sim.Comm, vec []int64) []int64 {
+func AllreduceSumI64(c comm.Communicator, vec []int64) []int64 {
 	p := c.Size()
 	addVec := func(a, b []int64) []int64 {
 		out := make([]int64, len(a))
@@ -31,7 +31,7 @@ func AllreduceSumI64(c *sim.Comm, vec []int64) []int64 {
 	if p&(p-1) != 0 || len(vec) < p {
 		return Allreduce(c, vec, int64(len(vec)), addVec)
 	}
-	pe := c.PE()
+	cost := c.Cost()
 	rank := c.Rank()
 	cur := append([]int64(nil), vec...)
 	lo, hi := 0, len(cur)
@@ -61,7 +61,7 @@ func AllreduceSumI64(c *sim.Comm, vec []int64) []int64 {
 		for i, v := range in {
 			cur[lo+i] += v
 		}
-		pe.ChargeScan(int64(len(in)))
+		cost.Scan(int64(len(in)))
 	}
 
 	// Allgather by recursive doubling: exchange ever-growing segments.
@@ -76,7 +76,7 @@ func AllreduceSumI64(c *sim.Comm, vec []int64) []int64 {
 		pl, _ := c.Recv(partner, tagRabGather)
 		in := pl.(seg)
 		copy(cur[in.lo:], in.data)
-		pe.ChargeScan(int64(len(in.data)))
+		cost.Scan(int64(len(in.data)))
 		if in.lo < lo {
 			lo = in.lo
 		}
@@ -94,7 +94,7 @@ func AllreduceSumI64(c *sim.Comm, vec []int64) []int64 {
 // itself rides on the first chunk; the rest are cost carriers of the
 // remaining words, exactly like the fragments of a real implementation).
 // chunks < 2 degenerates to the binomial Bcast.
-func BcastPipelined[T any](c *sim.Comm, root int, val T, words int64, chunks int) T {
+func BcastPipelined[T any](c comm.Communicator, root int, val T, words int64, chunks int) T {
 	p := c.Size()
 	if p == 1 {
 		return val

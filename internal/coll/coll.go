@@ -17,8 +17,8 @@
 package coll
 
 import (
+	"pmsort/internal/comm"
 	"pmsort/internal/seq"
-	"pmsort/internal/sim"
 )
 
 // Tag space for collectives. Each operation uses its own tag; repeated
@@ -46,7 +46,7 @@ func hBit(p int) int {
 
 // Bcast broadcasts root's value to all members along a binomial tree and
 // returns it. The returned value is shared across PEs: read-only.
-func Bcast[T any](c *sim.Comm, root int, val T, words int64) T {
+func Bcast[T any](c comm.Communicator, root int, val T, words int64) T {
 	p := c.Size()
 	if p == 1 {
 		return val
@@ -72,7 +72,7 @@ func Bcast[T any](c *sim.Comm, root int, val T, words int64) T {
 
 // Reduce combines all members' values with op along a binomial tree.
 // The result is returned at root (ok=true); other PEs get ok=false.
-func Reduce[T any](c *sim.Comm, root int, val T, words int64, op func(a, b T) T) (T, bool) {
+func Reduce[T any](c comm.Communicator, root int, val T, words int64, op func(a, b T) T) (T, bool) {
 	p := c.Size()
 	if p == 1 {
 		return val, true
@@ -101,7 +101,7 @@ func Reduce[T any](c *sim.Comm, root int, val T, words int64, op func(a, b T) T)
 // Allreduce combines all members' values with op and returns the result
 // on every PE (reduce to rank 0, then broadcast). The result is shared:
 // read-only.
-func Allreduce[T any](c *sim.Comm, val T, words int64, op func(a, b T) T) T {
+func Allreduce[T any](c comm.Communicator, val T, words int64, op func(a, b T) T) T {
 	red, ok := Reduce(c, 0, val, words, op)
 	if !ok {
 		// Non-root PEs receive the result in the broadcast below.
@@ -115,7 +115,7 @@ func Allreduce[T any](c *sim.Comm, val T, words int64, op func(a, b T) T) T {
 // op using a dissemination schedule (⌈log₂ p⌉ rounds). Rank 0 has no
 // prefix (ok=false). Results are fresh values (safe to mutate) as long as
 // op is pure.
-func ExScan[T any](c *sim.Comm, val T, words int64, op func(a, b T) T) (T, bool) {
+func ExScan[T any](c comm.Communicator, val T, words int64, op func(a, b T) T) (T, bool) {
 	p, r := c.Size(), c.Rank()
 	incl := val // inclusive prefix over the ranks covered so far
 	var ex T
@@ -143,7 +143,7 @@ func ExScan[T any](c *sim.Comm, val T, words int64, op func(a, b T) T) (T, bool)
 
 // ScanTotal returns the exclusive prefix (ok=false at rank 0) and the
 // total over all members (broadcast from the last rank).
-func ScanTotal[T any](c *sim.Comm, val T, words int64, op func(a, b T) T) (prefix T, total T, ok bool) {
+func ScanTotal[T any](c comm.Communicator, val T, words int64, op func(a, b T) T) (prefix T, total T, ok bool) {
 	prefix, ok = ExScan(c, val, words, op)
 	incl := val
 	if ok {
@@ -161,7 +161,7 @@ type gchunk[T any] struct {
 
 // Gatherv gathers the members' slices at root along a binomial tree.
 // At root it returns a slice indexed by member rank; other PEs get nil.
-func Gatherv[T any](c *sim.Comm, root int, local []T) [][]T {
+func Gatherv[T any](c comm.Communicator, root int, local []T) [][]T {
 	type chunk = gchunk[T]
 	p := c.Size()
 	if p == 1 {
@@ -195,7 +195,7 @@ func Gatherv[T any](c *sim.Comm, root int, local []T) [][]T {
 // Allgatherv gathers every member's slice on every member (gather at
 // rank 0 + broadcast). The result is indexed by rank and shared:
 // read-only.
-func Allgatherv[T any](c *sim.Comm, local []T) [][]T {
+func Allgatherv[T any](c comm.Communicator, local []T) [][]T {
 	all := Gatherv(c, 0, local)
 	var total int64
 	if c.Rank() == 0 {
@@ -213,7 +213,7 @@ func Allgatherv[T any](c *sim.Comm, local []T) [][]T {
 // 0, multiway-merges, and broadcasts. The result is freshly allocated on
 // each PE for the hypercube path and shared on the fallback path:
 // read-only either way.
-func AllgatherMerge[T any](c *sim.Comm, local []T, less func(a, b T) bool) []T {
+func AllgatherMerge[T any](c comm.Communicator, local []T, less func(a, b T) bool) []T {
 	p := c.Size()
 	if p == 1 {
 		return local
@@ -226,7 +226,7 @@ func AllgatherMerge[T any](c *sim.Comm, local []T, less func(a, b T) bool) []T {
 			pl, _ := c.Recv(partner, tagGossip)
 			other := pl.([]T)
 			merged := seq.Merge2(cur, other, less)
-			c.PE().ChargeOps(int64(len(merged)))
+			c.Cost().Ops(int64(len(merged)))
 			cur = merged
 		}
 		return cur
@@ -235,7 +235,7 @@ func AllgatherMerge[T any](c *sim.Comm, local []T, less func(a, b T) bool) []T {
 	var merged []T
 	if runs != nil {
 		merged = seq.Multiway(runs, less)
-		c.PE().ChargeOps(seq.MultiwayOps(int64(len(merged)), len(runs)))
+		c.Cost().Ops(seq.MultiwayOps(int64(len(merged)), len(runs)))
 	}
 	return Bcast(c, 0, merged, int64(lenTotal(runs)))
 }
@@ -250,7 +250,7 @@ func lenTotal[T any](runs [][]T) int {
 
 // Barrier synchronizes all members with a dissemination barrier
 // (⌈log₂ p⌉ rounds of single-word messages).
-func Barrier(c *sim.Comm) {
+func Barrier(c comm.Communicator) {
 	p, r := c.Size(), c.Rank()
 	for d := 1; d < p; d <<= 1 {
 		c.Send((r+d)%p, tagBarrier, nil, 1)
@@ -258,15 +258,17 @@ func Barrier(c *sim.Comm) {
 	}
 }
 
-// TimedBarrier synchronizes all members and their virtual clocks: every
-// member leaves at the identical virtual time max(clocks) + the modeled
-// cost of a dissemination barrier over the group's widest link. Returns
-// the common exit time. Used to delimit algorithm phases exactly like
-// the MPI_Barrier calls in the paper's measurements (§7.1).
-func TimedBarrier(c *sim.Comm) int64 {
-	pe := c.PE()
+// TimedBarrier synchronizes all members and their clocks and returns
+// the common exit time. On the simulated backend every member leaves at
+// the identical virtual time max(clocks) + the modeled cost of a
+// dissemination barrier over the group's widest link — phases are
+// delimited exactly like the MPI_Barrier calls in the paper's
+// measurements (§7.1). On real backends the allreduce synchronizes for
+// real and the entry time is returned unchanged.
+func TimedBarrier(c comm.Communicator) int64 {
+	h := c.Cost()
 	if c.Size() == 1 {
-		return pe.Now()
+		return h.BarrierSync(h.Now())
 	}
 	maxOp := func(a, b int64) int64 {
 		if a > b {
@@ -274,15 +276,8 @@ func TimedBarrier(c *sim.Comm) int64 {
 		}
 		return b
 	}
-	entry := Allreduce(c, pe.Now(), 1, maxOp)
-	// Replace the allreduce's internal cost with the modeled barrier exit
-	// time so all clocks agree exactly.
-	span := c.Span()
-	rounds := int64(0)
-	for d := 1; d < c.Size(); d <<= 1 {
-		rounds++
-	}
-	exit := entry + 2*rounds*pe.Cost().Alpha[span]
-	pe.SyncTo(exit)
-	return exit
+	entry := Allreduce(c, h.Now(), 1, maxOp)
+	// Replace the allreduce's internal cost with the backend's modeled
+	// barrier exit time so all clocks agree exactly.
+	return h.BarrierSync(entry)
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 
+	"pmsort/internal/comm"
 	"pmsort/internal/sim"
 )
 
@@ -179,7 +180,7 @@ func TestAlltoallI64(t *testing.T) {
 	})
 }
 
-func alltoallvCheck(t *testing.T, c *sim.Comm, impl func(*sim.Comm, [][]int) [][]int) {
+func alltoallvCheck(t *testing.T, c *sim.Comm, impl func(comm.Communicator, [][]int) [][]int) {
 	t.Helper()
 	p := c.Size()
 	out := make([][]int, p)
@@ -240,7 +241,7 @@ func TestAlltoallv1Factor(t *testing.T) {
 // while the direct algorithm always pays p-1 startups.
 func TestOneFactorSkipsEmpties(t *testing.T) {
 	const p = 16
-	run := func(impl func(*sim.Comm, [][]int) [][]int) (maxMsgs int64) {
+	run := func(impl func(comm.Communicator, [][]int) [][]int) (maxMsgs int64) {
 		m := sim.NewDefault(p)
 		m.Run(func(pe *sim.PE) {
 			c := sim.World(pe)

@@ -1,0 +1,201 @@
+// Package comm defines the backend-neutral communication interface the
+// sorting algorithms are written against. A Communicator is an ordered
+// group of processing elements with point-to-point messaging and cheap,
+// purely local group splitting — the subset of MPI the paper's
+// algorithms need. Two backends implement it:
+//
+//   - internal/sim: the deterministic virtual-time simulator with the
+//     paper's single-ported α-β cost model. Cost annotations advance the
+//     virtual clock; nothing runs at hardware speed.
+//   - internal/native: p goroutines of one process exchanging data
+//     through channels, with no virtual-time bookkeeping. Cost
+//     annotations are no-ops; Now reads the wall clock, so the same
+//     phase-timing code reports real elapsed time.
+//
+// Everything above point-to-point — the collectives in internal/coll,
+// data delivery, multisequence selection, AMS-sort, RLM-sort, and all
+// baselines — is generic over this interface, so an algorithm written
+// once runs simulated (for model experiments at 10k+ PEs) and native
+// (for real multicore sorting) without change. See DESIGN.md §6.
+package comm
+
+import "time"
+
+// Communicator is an ordered group of PEs (members) with this PE's
+// position in it. Group-relative ranks 0..Size()-1 address members.
+// A Communicator value is bound to the goroutine running its PE; its
+// methods must not be called from other goroutines. Splitting is a
+// purely local operation — no communication happens (the paper excludes
+// MPI communicator construction from its timings for the same reason).
+type Communicator interface {
+	// Size returns the number of members.
+	Size() int
+	// Rank returns this PE's group-relative rank.
+	Rank() int
+	// GlobalRank translates a group-relative rank to a backend-global
+	// rank (the PE numbering of the machine the group was split from).
+	GlobalRank(r int) int
+
+	// Send transmits a message to the member with group-relative rank
+	// `to`. Sends are eager and buffered: they never block on the
+	// receiver. Payload ownership transfers to the receiver. words is
+	// the modeled message size in machine words (8 bytes ≙ one element);
+	// backends without a cost model ignore it.
+	Send(to, tag int, payload any, words int64)
+	// Recv blocks until the message with the given tag from the member
+	// with group-relative rank `from` arrives and returns its payload
+	// and declared size in words. Messages between one (sender, tag)
+	// pair are delivered FIFO.
+	Recv(from, tag int) (payload any, words int64)
+
+	// SplitEqual partitions the members into `groups` balanced
+	// contiguous groups (sizes differing by at most one, larger groups
+	// first) and returns the communicator of this PE's group together
+	// with the group index.
+	SplitEqual(groups int) (Communicator, int)
+	// SplitStarts partitions the members into contiguous groups given by
+	// starts: group g consists of member indices starts[g]..starts[g+1]-1,
+	// with starts[0] == 0 and starts[len-1] == Size(). Returns this PE's
+	// group communicator and group index.
+	SplitStarts(starts []int) (Communicator, int)
+	// SplitModulo partitions the members into m groups by rank modulo m
+	// (group g holds the members with rank ≡ g mod m — "column" groups
+	// of a row-major grid). Returns this PE's group communicator and
+	// group index.
+	SplitModulo(m int) (Communicator, int)
+	// Subset returns the communicator of members [lo, hi). This PE must
+	// be a member of the subset.
+	Subset(lo, hi int) Communicator
+
+	// Cost returns this PE's cost-annotation hook. The simulator charges
+	// annotations against the virtual clock; other backends ignore them.
+	Cost() Cost
+}
+
+// Cost is the cost-annotation hook of a Communicator. Algorithms
+// annotate their local work through it; the simulated backend turns the
+// annotations into virtual time under its calibrated cost model, while
+// real backends implement them as no-ops (real work costs real time all
+// by itself). Now and BarrierSync double as the clock the phase
+// statistics are measured on — virtual in the simulator, wall in the
+// native backend — so Stats code is backend-neutral too.
+type Cost interface {
+	// Ops annotates n compare-and-move operations (sorting, merging).
+	Ops(n int64)
+	// PartitionOps annotates n branchless partition steps
+	// (element × splitter-tree level).
+	PartitionOps(n int64)
+	// Scan annotates n sequential scan/copy steps.
+	Scan(n int64)
+	// SortOps annotates comparison-sorting n elements
+	// (n · ⌈log₂ n⌉ compare-and-move operations).
+	SortOps(n int64)
+	// Now returns this PE's clock in nanoseconds (virtual time in the
+	// simulator, wall time since the run started in real backends).
+	Now() int64
+	// BarrierSync finalizes a timed barrier whose members agreed on the
+	// common entry time `entry` (the maximum of their clocks) and
+	// returns the barrier's exit time. The simulator replaces the
+	// barrier's internal message costs with a modeled, globally
+	// identical exit time; real backends return entry unchanged.
+	BarrierSync(entry int64) int64
+}
+
+// WallClock is the Cost implementation for backends that run at real
+// hardware speed: all annotations are no-ops and Now reads the wall
+// clock relative to Epoch, so the backend-neutral phase statistics
+// report real elapsed nanoseconds.
+type WallClock struct {
+	Epoch time.Time
+}
+
+// Ops is a no-op: real compare-and-moves cost real time by themselves.
+func (WallClock) Ops(int64) {}
+
+// PartitionOps is a no-op.
+func (WallClock) PartitionOps(int64) {}
+
+// Scan is a no-op.
+func (WallClock) Scan(int64) {}
+
+// SortOps is a no-op.
+func (WallClock) SortOps(int64) {}
+
+// Now returns the wall-clock nanoseconds elapsed since Epoch.
+func (w WallClock) Now() int64 { return time.Since(w.Epoch).Nanoseconds() }
+
+// BarrierSync returns entry unchanged: the collective that computed it
+// already synchronized the members for real.
+func (WallClock) BarrierSync(entry int64) int64 { return entry }
+
+// GroupSizes returns the sizes of `groups` balanced contiguous groups
+// of a communicator of the given size: sizes differ by at most one,
+// larger groups first. It is the sizing rule behind every backend's
+// SplitEqual and is exported so that algorithms (data delivery) can
+// compute group geometry without communication.
+func GroupSizes(size, groups int) []int {
+	base, rem := size/groups, size%groups
+	out := make([]int, groups)
+	for g := range out {
+		out[g] = base
+		if g < rem {
+			out[g]++
+		}
+	}
+	return out
+}
+
+// The split geometry below is shared by all backends: the conformance
+// contract (byte-identical output across backends) requires them to
+// agree on group shapes exactly, so the rank-window computations live
+// here once and the backends only wrap the resulting windows in their
+// own communicator types.
+
+// EqualStarts returns the member-index boundaries of `groups` balanced
+// contiguous groups of a communicator of the given size (the starts
+// vector SplitEqual feeds to SplitStarts). ok is false for an invalid
+// group count.
+func EqualStarts(size, groups int) (starts []int, ok bool) {
+	if groups <= 0 || groups > size {
+		return nil, false
+	}
+	sizes := GroupSizes(size, groups)
+	starts = make([]int, groups+1)
+	for g := 0; g < groups; g++ {
+		starts[g+1] = starts[g] + sizes[g]
+	}
+	return starts, true
+}
+
+// SplitBounds locates member me in the contiguous partition given by
+// starts over a communicator of the given size: it returns the member
+// window [lo, hi) and group index g of me's group. ok is false when the
+// bounds are malformed or do not cover me.
+func SplitBounds(starts []int, size, me int) (lo, hi, g int, ok bool) {
+	if len(starts) < 2 || starts[0] != 0 || starts[len(starts)-1] != size {
+		return 0, 0, 0, false
+	}
+	// Locate my group by scanning; group counts are small (O(r)).
+	for g := 0; g+1 < len(starts); g++ {
+		lo, hi := starts[g], starts[g+1]
+		if me >= lo && me < hi {
+			return lo, hi, g, true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// ModuloRanks strides the member rank list into the modulo-m group of
+// member me: it returns the global ranks of me's group, me's rank
+// within it, and the group index. ok is false for an invalid m.
+func ModuloRanks(ranks []int, me, m int) (sub []int, newMe, g int, ok bool) {
+	if m <= 0 || m > len(ranks) {
+		return nil, 0, 0, false
+	}
+	g = me % m
+	sub = make([]int, 0, (len(ranks)-g+m-1)/m)
+	for i := g; i < len(ranks); i += m {
+		sub = append(sub, ranks[i])
+	}
+	return sub, me / m, g, true
+}

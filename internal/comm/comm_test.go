@@ -1,0 +1,50 @@
+package comm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGroupSizes(t *testing.T) {
+	for size := 1; size <= 40; size++ {
+		for groups := 1; groups <= size; groups++ {
+			sizes := GroupSizes(size, groups)
+			if len(sizes) != groups {
+				t.Fatalf("GroupSizes(%d,%d): %d groups", size, groups, len(sizes))
+			}
+			sum, minSz, maxSz := 0, size, 0
+			for g, s := range sizes {
+				sum += s
+				if s < minSz {
+					minSz = s
+				}
+				if s > maxSz {
+					maxSz = s
+				}
+				// Larger groups first.
+				if g > 0 && s > sizes[g-1] {
+					t.Fatalf("GroupSizes(%d,%d): not non-increasing: %v", size, groups, sizes)
+				}
+			}
+			if sum != size || maxSz-minSz > 1 {
+				t.Fatalf("GroupSizes(%d,%d) = %v", size, groups, sizes)
+			}
+		}
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	w := WallClock{Epoch: time.Now()}
+	t0 := w.Now()
+	// Annotations are free: a petaop must not advance anything by much.
+	w.Ops(1 << 50)
+	w.PartitionOps(1 << 50)
+	w.Scan(1 << 50)
+	w.SortOps(1 << 50)
+	if got := w.BarrierSync(987); got != 987 {
+		t.Errorf("BarrierSync(987) = %d", got)
+	}
+	if w.Now() < t0 {
+		t.Error("wall clock went backwards")
+	}
+}

@@ -5,12 +5,12 @@ import (
 	"sort"
 
 	"pmsort/internal/coll"
+	"pmsort/internal/comm"
 	"pmsort/internal/delivery"
 	"pmsort/internal/fwis"
 	"pmsort/internal/grouping"
 	"pmsort/internal/prng"
 	"pmsort/internal/seq"
-	"pmsort/internal/sim"
 )
 
 // tagged is a sample or splitter key with its origin stamp, giving the
@@ -42,7 +42,7 @@ func taggedLess[E any](less func(a, b E) bool) func(a, b tagged[E]) bool {
 // permutation — locally sorted, with no element on PE i larger than any
 // element on PE i+1 — together with phase statistics. The output may be
 // imbalanced by the overpartitioning tolerance (Lemma 2).
-func AMSSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
+func AMSSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
 	cfg = validate(cfg)
 	plan := cfg.Rs
 	if plan == nil {
@@ -55,14 +55,14 @@ func AMSSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, cfg Config) (
 	return out, stats
 }
 
-func amsLevel[E any](c *sim.Comm, data []E, less func(a, b E) bool, cfg Config, plan []int, level int, stats *Stats) []E {
-	pe := c.PE()
+func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg Config, plan []int, level int, stats *Stats) []E {
+	cost := c.Cost()
 	if c.Size() == 1 {
 		// Base case: sort locally (the "local sort" phase).
-		t0 := pe.Now()
+		t0 := cost.Now()
 		sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
-		pe.ChargeSortOps(int64(len(data)))
-		stats.PhaseNS[PhaseLocalSort] += pe.Now() - t0
+		cost.SortOps(int64(len(data)))
+		stats.PhaseNS[PhaseLocalSort] += cost.Now() - t0
 		stats.Levels = level
 		return data
 	}
@@ -115,7 +115,7 @@ func amsLevel[E any](c *sim.Comm, data []E, less func(a, b E) bool, cfg Config, 
 		taken[j] = true
 		sample = append(sample, tagged[E]{key: data[j], pe: int32(c.Rank()), idx: int32(j)})
 	}
-	pe.ChargeScan(int64(share))
+	cost.Scan(int64(share))
 
 	tLess := taggedLess(less)
 	sorter := fwis.New(c, sample, tLess)
@@ -142,7 +142,7 @@ func amsLevel[E any](c *sim.Comm, data []E, less func(a, b E) bool, cfg Config, 
 		maxLoad, starts = grouping.OptimalLParallel(c, globalSizes, r)
 	} else {
 		maxLoad, starts = grouping.OptimalL(globalSizes, r)
-		pe.ChargeScan(int64(len(globalSizes)) * 8) // ≈ log(br) scans
+		cost.Scan(int64(len(globalSizes)) * 8) // ≈ log(br) scans
 	}
 	if imb := float64(maxLoad) * float64(r) / float64(n); imb > stats.MaxImbalance {
 		stats.MaxImbalance = imb
@@ -167,7 +167,7 @@ func amsLevel[E any](c *sim.Comm, data []E, less func(a, b E) bool, cfg Config, 
 	for _, ch := range chunks {
 		next = append(next, ch...)
 	}
-	pe.ChargeScan(int64(total))
+	cost.Scan(int64(total))
 	t3 := coll.TimedBarrier(c)
 	stats.PhaseNS[PhaseDataDelivery] += t3 - t2
 
@@ -180,8 +180,8 @@ func amsLevel[E any](c *sim.Comm, data []E, less func(a, b E) bool, cfg Config, 
 // folded back to br-1 boundaries by (PE, position) comparison against the
 // splitter's tag) and reorders it bucket-contiguously. It returns the
 // local bucket sizes, the bucket boundaries, and the reordered data.
-func amsPartition[E any](c *sim.Comm, data []E, splitters []tagged[E], less func(a, b E) bool, cfg Config) ([]int64, []int, []E) {
-	pe := c.PE()
+func amsPartition[E any](c comm.Communicator, data []E, splitters []tagged[E], less func(a, b E) bool, cfg Config) ([]int64, []int, []E) {
+	cost := c.Cost()
 	nb := len(splitters) + 1
 	if len(splitters) == 0 {
 		// Degenerate: a single bucket.
@@ -221,8 +221,8 @@ func amsPartition[E any](c *sim.Comm, data []E, splitters []tagged[E], less func
 		idx++
 		return bkt
 	})
-	pe.ChargePartitionOps(seq.ClassifyOps(int64(len(data)), cls.Levels()))
-	pe.ChargeScan(2 * int64(len(data)))
+	cost.PartitionOps(seq.ClassifyOps(int64(len(data)), cls.Levels()))
+	cost.Scan(2 * int64(len(data)))
 	sizes := make([]int64, nb)
 	for bkt := 0; bkt < nb; bkt++ {
 		sizes[bkt] = int64(bounds[bkt+1] - bounds[bkt])

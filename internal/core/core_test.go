@@ -5,13 +5,14 @@ import (
 	"sort"
 	"testing"
 
+	"pmsort/internal/comm"
 	"pmsort/internal/delivery"
 	"pmsort/internal/sim"
 )
 
 func intLess(a, b int) bool { return a < b }
 
-type sorterFn func(c *sim.Comm, data []int, less func(a, b int) bool, cfg Config) ([]int, *Stats)
+type sorterFn func(c comm.Communicator, data []int, less func(a, b int) bool, cfg Config) ([]int, *Stats)
 
 // runSorter executes a distributed sorter and returns the per-PE outputs
 // and stats.

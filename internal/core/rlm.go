@@ -4,10 +4,10 @@ import (
 	"sort"
 
 	"pmsort/internal/coll"
+	"pmsort/internal/comm"
 	"pmsort/internal/delivery"
 	"pmsort/internal/msel"
 	"pmsort/internal/seq"
-	"pmsort/internal/sim"
 )
 
 // RLMSort sorts the distributed data with recurse-last multiway
@@ -17,29 +17,29 @@ import (
 // by multisequence selection, moves the data, and merges the received
 // sorted runs. The output is perfectly balanced: every PE ends up with
 // ⌊n/p⌋ or ⌈n/p⌉ elements.
-func RLMSort[E any](c *sim.Comm, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
+func RLMSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
 	cfg = validate(cfg)
 	plan := cfg.Rs
 	if plan == nil {
 		plan = PlanLevels(c.Size(), cfg.Levels)
 	}
-	pe := c.PE()
+	cost := c.Cost()
 	stats := &Stats{MaxImbalance: 1}
 	start := coll.TimedBarrier(c)
 
 	// Initial local sort (the "local sort" phase of Figure 8).
-	t0 := pe.Now()
+	t0 := cost.Now()
 	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
-	pe.ChargeSortOps(int64(len(data)))
-	stats.PhaseNS[PhaseLocalSort] += pe.Now() - t0
+	cost.SortOps(int64(len(data)))
+	stats.PhaseNS[PhaseLocalSort] += cost.Now() - t0
 
 	out := rlmLevel(c, data, less, cfg, plan, 0, stats)
 	stats.TotalNS = coll.TimedBarrier(c) - start
 	return out, stats
 }
 
-func rlmLevel[E any](c *sim.Comm, data []E, less func(a, b E) bool, cfg Config, plan []int, level int, stats *Stats) []E {
-	pe := c.PE()
+func rlmLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg Config, plan []int, level int, stats *Stats) []E {
+	cost := c.Cost()
 	if c.Size() == 1 {
 		stats.Levels = level
 		return data
@@ -76,7 +76,7 @@ func rlmLevel[E any](c *sim.Comm, data []E, less func(a, b E) bool, cfg Config, 
 	// The received chunks are sorted runs; merge instead of re-sorting
 	// ("we do not want to ignore the information already available", §5).
 	merged := seq.Multiway(chunks, less)
-	pe.ChargeOps(seq.MultiwayOps(int64(len(merged)), len(chunks)))
+	cost.Ops(seq.MultiwayOps(int64(len(merged)), len(chunks)))
 	t3 := coll.TimedBarrier(c)
 	stats.PhaseNS[PhaseBucketProcessing] += t3 - t2
 

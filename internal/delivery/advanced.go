@@ -4,8 +4,8 @@ import (
 	"math"
 
 	"pmsort/internal/coll"
+	"pmsort/internal/comm"
 	"pmsort/internal/prng"
-	"pmsort/internal/sim"
 )
 
 // delegDesc describes one delegated size-s sub-piece (Appendix A).
@@ -37,11 +37,11 @@ type delegReply struct {
 //     origins.
 //  4. Origins then send the actual data to the PEs owning those position
 //     ranges, through the permuted PE numbering of the first stage.
-func planAdvanced[E any](c *sim.Comm, pieces [][]E, opt Options) [][]chunk[E] {
+func planAdvanced[E any](c comm.Communicator, pieces [][]E, opt Options) [][]chunk[E] {
 	r := len(pieces)
 	p := c.Size()
 	gg := geometry(p, r)
-	pe := c.PE()
+	cost := c.Cost()
 
 	sizes := make([]int64, r)
 	for j, piece := range pieces {
@@ -143,7 +143,7 @@ func planAdvanced[E any](c *sim.Comm, pieces [][]E, opt Options) [][]chunk[E] {
 		j := rng.Intn(i + 1)
 		slots[i], slots[j] = slots[j], slots[i]
 	}
-	pe.ChargeScan(int64(len(slots)))
+	cost.Scan(int64(len(slots)))
 
 	// Enumerate group positions of my slots with one vector prefix sum in
 	// permuted PE order (stage 1 randomization).

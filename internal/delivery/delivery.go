@@ -27,7 +27,7 @@ import (
 	"fmt"
 
 	"pmsort/internal/coll"
-	"pmsort/internal/sim"
+	"pmsort/internal/comm"
 )
 
 // Strategy selects the redistribution algorithm.
@@ -95,7 +95,7 @@ func chunkWords[E any](ch chunk[E]) int64 { return int64(len(ch.data)) + 1 }
 // called collectively by all members of c with the same options. The
 // result is the list of chunks received by this PE, each a contiguous
 // slice of some sender's (sorted, if the sender sorted it) piece.
-func Deliver[E any](c *sim.Comm, pieces [][]E, opt Options) [][]E {
+func Deliver[E any](c comm.Communicator, pieces [][]E, opt Options) [][]E {
 	r := len(pieces)
 	if r == 0 || r > c.Size() {
 		panic(fmt.Sprintf("delivery: %d pieces for %d PEs", r, c.Size()))
@@ -133,7 +133,7 @@ type groupGeometry struct {
 }
 
 func geometry(p, r int) groupGeometry {
-	sizes := sim.GroupSizes(p, r)
+	sizes := comm.GroupSizes(p, r)
 	starts := make([]int, r+1)
 	for g := 0; g < r; g++ {
 		starts[g+1] = starts[g] + sizes[g]

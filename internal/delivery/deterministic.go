@@ -4,7 +4,7 @@ import (
 	"sort"
 
 	"pmsort/internal/coll"
-	"pmsort/internal/sim"
+	"pmsort/internal/comm"
 )
 
 // desc describes one piece to the group-local assignment computation.
@@ -48,7 +48,7 @@ const (
 // instead of the EREW-style distributed Batcher merge; the computed
 // assignment is identical and the O(r) receive bound of Theorem 1 is
 // unchanged (and asserted by tests).
-func planDeterministic[E any](c *sim.Comm, pieces [][]E, opt Options) [][]chunk[E] {
+func planDeterministic[E any](c comm.Communicator, pieces [][]E, opt Options) [][]chunk[E] {
 	r := len(pieces)
 	p := c.Size()
 	me := c.Rank()
@@ -116,7 +116,7 @@ func planDeterministic[E any](c *sim.Comm, pieces [][]E, opt Options) [][]chunk[
 	}
 	allDescs := flatten(coll.Allgatherv(groupComm, myDescs))
 	sort.Slice(allDescs, func(a, b int) bool { return allDescs[a].sender < allDescs[b].sender })
-	c.PE().ChargeScan(int64(len(allDescs)) * 3)
+	c.Cost().Scan(int64(len(allDescs)) * 3)
 
 	// Identical group-local assignment computation on every member.
 	g := gg.size(myGroup)
@@ -164,7 +164,7 @@ func planDeterministic[E any](c *sim.Comm, pieces [][]E, opt Options) [][]chunk[
 			assignments = append(assignments, assignment{d.sender, d.group, spans})
 		}
 	}
-	c.PE().ChargeScan(int64(len(larges)))
+	c.Cost().Scan(int64(len(larges)))
 
 	// Managers reply the spans to the origins; an origin expects exactly
 	// one reply per large piece, from the (known) manager of that group.

@@ -2,8 +2,8 @@ package delivery
 
 import (
 	"pmsort/internal/coll"
+	"pmsort/internal/comm"
 	"pmsort/internal/prng"
-	"pmsort/internal/sim"
 )
 
 const tagPermScan = 0x7d0002
@@ -14,7 +14,7 @@ const tagPermScan = 0x7d0002
 // degenerates to rank order. The dissemination schedule runs on virtual
 // ranks v = π(rank); neighbours are translated back through π⁻¹, so the
 // cost stays O((α + r·β) log p).
-func permutedScanTotal(c *sim.Comm, vec []int64, perm *prng.Permutation) (prefix, total []int64) {
+func permutedScanTotal(c comm.Communicator, vec []int64, perm *prng.Permutation) (prefix, total []int64) {
 	p := c.Size()
 	r := len(vec)
 	if p == 1 {
@@ -46,7 +46,7 @@ func permutedScanTotal(c *sim.Comm, vec []int64, perm *prng.Permutation) (prefix
 
 // senderPerm returns the permutation of the PE numbering used for the
 // prefix-sum enumeration, or nil for the Simple strategy.
-func senderPerm(c *sim.Comm, opt Options) *prng.Permutation {
+func senderPerm(c comm.Communicator, opt Options) *prng.Permutation {
 	if opt.Strategy == Simple || c.Size() == 1 {
 		return nil
 	}
@@ -61,7 +61,7 @@ func senderPerm(c *sim.Comm, opt Options) *prng.Permutation {
 // per-PE quota. Randomized enumerates the senders in pseudorandom order,
 // which breaks up runs of consecutively numbered PEs contributing tiny
 // pieces (the §4.3/Fig. 3 worst case).
-func planPrefixSum[E any](c *sim.Comm, pieces [][]E, opt Options) [][]chunk[E] {
+func planPrefixSum[E any](c comm.Communicator, pieces [][]E, opt Options) [][]chunk[E] {
 	r := len(pieces)
 	p := c.Size()
 	gg := geometry(p, r)
@@ -84,6 +84,6 @@ func planPrefixSum[E any](c *sim.Comm, pieces [][]E, opt Options) [][]chunk[E] {
 			out[target] = append(out[target], chunk[E]{data: piece[from-base : to-base]})
 		})
 	}
-	c.PE().ChargeScan(int64(r))
+	c.Cost().Scan(int64(r))
 	return out
 }

@@ -1,0 +1,74 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"pmsort/internal/workload"
+)
+
+// Backends compares the two communication backends on AMS-sort under
+// strong scaling: one fixed input of n elements is split over p PEs and
+// sorted on the simulated backend (reporting virtual α-β time) and on
+// the native shared-memory backend (reporting wall-clock time), next to
+// a single sort.Slice over the whole input on one core — the sequential
+// reference every native number is a speedup against. Wall-clock
+// numbers take the minimum over reps runs; virtual time is
+// deterministic and measured once. Real speedup saturates around
+// p = GOMAXPROCS; beyond that the goroutine-PEs time-share cores.
+func Backends(w io.Writer, ps []int, n, reps int, seed uint64, progress io.Writer) {
+	if reps < 1 {
+		reps = 1
+	}
+	fmt.Fprintf(w, "Backends: AMS-sort simulated vs native shared-memory, n=%d total, GOMAXPROCS=%d (wall: min of %d)\n",
+		n, runtime.GOMAXPROCS(0), reps)
+	fmt.Fprintf(w, "%-6s %-2s %-8s %13s %16s %15s %8s\n",
+		"p", "k", "n/p", "sim-virt(ms)", "native-wall(ms)", "1core-wall(ms)", "speedup")
+
+	// Sequential reference: one core sorting the whole input.
+	var seqNS int64 = 1<<63 - 1
+	for rep := 0; rep < reps; rep++ {
+		all := workload.Local(workload.Uniform, seed, 1, n, 0)
+		t0 := time.Now()
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		if ns := time.Since(t0).Nanoseconds(); ns < seqNS {
+			seqNS = ns
+		}
+	}
+
+	for _, p := range ps {
+		perPE := n / p
+		if perPE == 0 {
+			continue
+		}
+		k := 1
+		if p > 16 {
+			k = 2
+		}
+		spec := Spec{Algo: AMS, P: p, PerPE: perPE, Levels: k, Seed: seed}
+		if progress != nil {
+			fmt.Fprintf(progress, "# backends p=%d sim\n", p)
+		}
+		simRes := Run(spec)
+
+		var nativeNS int64 = 1<<63 - 1
+		for rep := 0; rep < reps; rep++ {
+			if progress != nil {
+				fmt.Fprintf(progress, "# backends p=%d native rep %d/%d\n", p, rep+1, reps)
+			}
+			if ns := RunNative(spec).SortNS; ns < nativeNS {
+				nativeNS = ns
+			}
+		}
+
+		fmt.Fprintf(w, "%-6d %-2d %-8d %13.3f %16.3f %15.3f %8.2f\n",
+			p, k, perPE,
+			float64(simRes.TotalNS)/1e6,
+			float64(nativeNS)/1e6,
+			float64(seqNS)/1e6,
+			float64(seqNS)/float64(nativeNS))
+	}
+}

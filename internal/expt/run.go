@@ -1,9 +1,9 @@
 // Package expt runs the paper's evaluation (§7, Appendix E): weak
 // scaling for Table 2 / Figures 7, 8, 12, the overpartitioning sweeps of
 // Figures 10 and 11, the §7.3 comparison against single-level sorters,
-// and the delivery/all-to-all ablations. Every run validates its output
-// (locally sorted, globally ordered across PEs, permutation preserved)
-// before reporting times.
+// the delivery/all-to-all ablations, and the sim-vs-native backend
+// comparison. Every run validates its output (locally sorted, globally
+// ordered across PEs, permutation preserved) before reporting times.
 package expt
 
 import (
@@ -12,8 +12,10 @@ import (
 
 	"pmsort/internal/baseline"
 	"pmsort/internal/coll"
+	"pmsort/internal/comm"
 	"pmsort/internal/core"
 	"pmsort/internal/delivery"
+	"pmsort/internal/native"
 	"pmsort/internal/seq"
 	"pmsort/internal/sim"
 	"pmsort/internal/workload"
@@ -74,6 +76,17 @@ type Spec struct {
 	Delivery      delivery.Options
 }
 
+func (spec Spec) config() core.Config {
+	return core.Config{
+		Levels:        spec.Levels,
+		Oversampling:  spec.Oversampling,
+		Overpartition: spec.Overpartition,
+		Seed:          spec.Seed,
+		TieBreak:      spec.TieBreak,
+		Delivery:      spec.Delivery,
+	}
+}
+
 // Result reports one validated run.
 type Result struct {
 	// TotalNS is the makespan (max over PEs) in virtual ns.
@@ -90,19 +103,68 @@ type Result struct {
 
 const tagValidate = 0x7f0001
 
-// Run executes and validates one run. It panics if the output is not a
-// globally sorted permutation of the input.
+// runAlgo dispatches the spec's algorithm on any backend.
+func runAlgo(c comm.Communicator, spec Spec, data []uint64) ([]uint64, *core.Stats) {
+	less := func(a, b uint64) bool { return a < b }
+	switch spec.Algo {
+	case AMS:
+		return core.AMSSort(c, data, less, spec.config())
+	case RLM:
+		return core.RLMSort(c, data, less, spec.config())
+	case MP:
+		return baseline.MPSort(c, data, less, spec.Seed)
+	case GV:
+		return baseline.GVSampleSort(c, data, less, spec.Seed)
+	case Bitonic:
+		return baseline.BitonicSort(c, data, less, spec.Seed)
+	case Hist:
+		return baseline.HistogramSort(c, data, less, 0.05, spec.Seed)
+	case HCQ:
+		return baseline.HCQuicksort(c, data, less, spec.Seed)
+	default:
+		panic("expt: unknown algorithm")
+	}
+}
+
+// validate panics unless out is this PE's slice of a globally sorted
+// permutation of the input. Collective; backend-neutral.
+func validate(c comm.Communicator, inCount int64, out []uint64) {
+	less := func(a, b uint64) bool { return a < b }
+	if !seq.IsSorted(out, less) {
+		panic(fmt.Sprintf("expt: PE %d output not locally sorted", c.Rank()))
+	}
+	// Count preservation.
+	totalIn := coll.Allreduce(c, inCount, 1, func(a, b int64) int64 { return a + b })
+	totalOut := coll.Allreduce(c, int64(len(out)), 1, func(a, b int64) int64 { return a + b })
+	if totalIn != totalOut {
+		panic(fmt.Sprintf("expt: element count changed %d -> %d", totalIn, totalOut))
+	}
+	// Boundary order: my max must not exceed the next PE's min.
+	var myMax uint64
+	if len(out) > 0 {
+		myMax = out[len(out)-1]
+	}
+	// Propagate the running maximum left-to-right so empty PEs pass
+	// their predecessor's max along.
+	if c.Rank() > 0 {
+		pl, _ := c.Recv(c.Rank()-1, tagValidate)
+		prevMax := pl.(uint64)
+		if len(out) > 0 && out[0] < prevMax {
+			panic(fmt.Sprintf("expt: PE %d starts below PE %d's max", c.Rank(), c.Rank()-1))
+		}
+		if len(out) == 0 || myMax < prevMax {
+			myMax = prevMax
+		}
+	}
+	if c.Rank() < c.Size()-1 {
+		c.Send(c.Rank()+1, tagValidate, myMax, 1)
+	}
+}
+
+// Run executes and validates one run on the simulated backend. It panics
+// if the output is not a globally sorted permutation of the input.
 func Run(spec Spec) Result {
 	m := sim.NewDefault(spec.P)
-	less := func(a, b uint64) bool { return a < b }
-	cfg := core.Config{
-		Levels:        spec.Levels,
-		Oversampling:  spec.Oversampling,
-		Overpartition: spec.Overpartition,
-		Seed:          spec.Seed,
-		TieBreak:      spec.TieBreak,
-		Delivery:      spec.Delivery,
-	}
 	var res Result
 	outLens := make([]int64, spec.P)
 	allStats := make([]*core.Stats, spec.P)
@@ -112,62 +174,13 @@ func Run(spec Spec) Result {
 		c := sim.World(pe)
 		data := workload.Local(spec.Kind, spec.Seed, spec.P, spec.PerPE, pe.Rank())
 		inCount := int64(len(data))
-		var out []uint64
-		var st *core.Stats
-		switch spec.Algo {
-		case AMS:
-			out, st = core.AMSSort(c, data, less, cfg)
-		case RLM:
-			out, st = core.RLMSort(c, data, less, cfg)
-		case MP:
-			out, st = baseline.MPSort(c, data, less, spec.Seed)
-		case GV:
-			out, st = baseline.GVSampleSort(c, data, less, spec.Seed)
-		case Bitonic:
-			out, st = baseline.BitonicSort(c, data, less, spec.Seed)
-		case Hist:
-			out, st = baseline.HistogramSort(c, data, less, 0.05, spec.Seed)
-		case HCQ:
-			out, st = baseline.HCQuicksort(c, data, less, spec.Seed)
-		default:
-			panic("expt: unknown algorithm")
-		}
+		out, st := runAlgo(c, spec, data)
 		allStats[pe.Rank()] = st
 		outLens[pe.Rank()] = int64(len(out))
 		msgs[pe.Rank()] = pe.MsgsRecv
 
 		// Validation (outside the timed region — stats are captured).
-		if !seq.IsSorted(out, less) {
-			panic(fmt.Sprintf("expt: PE %d output not locally sorted", pe.Rank()))
-		}
-		// Count preservation.
-		totalIn := coll.Allreduce(c, inCount, 1, func(a, b int64) int64 { return a + b })
-		totalOut := coll.Allreduce(c, int64(len(out)), 1, func(a, b int64) int64 { return a + b })
-		if totalIn != totalOut {
-			panic(fmt.Sprintf("expt: element count changed %d -> %d", totalIn, totalOut))
-		}
-		// Boundary order: my max must not exceed the next PE's min.
-		var myMax uint64
-		if len(out) > 0 {
-			myMax = out[len(out)-1]
-		} else {
-			myMax = 0
-		}
-		// Propagate the running maximum left-to-right so empty PEs pass
-		// their predecessor's max along.
-		if pe.Rank() > 0 {
-			pl, _ := c.Recv(pe.Rank()-1, tagValidate)
-			prevMax := pl.(uint64)
-			if len(out) > 0 && out[0] < prevMax {
-				panic(fmt.Sprintf("expt: PE %d starts below PE %d's max", pe.Rank(), pe.Rank()-1))
-			}
-			if len(out) == 0 || myMax < prevMax {
-				myMax = prevMax
-			}
-		}
-		if pe.Rank() < spec.P-1 {
-			c.Send(pe.Rank()+1, tagValidate, myMax, 1)
-		}
+		validate(c, inCount, out)
 	})
 
 	n := int64(spec.P) * int64(spec.PerPE)
@@ -192,6 +205,66 @@ func Run(spec Spec) Result {
 		}
 		if msgs[rank] > res.MaxMsgsRecv {
 			res.MaxMsgsRecv = msgs[rank]
+		}
+	}
+	return res
+}
+
+// NativeResult reports one validated run on the native shared-memory
+// backend. All times are wall-clock nanoseconds.
+type NativeResult struct {
+	// WallNS is the wall-clock makespan of the whole Run (including
+	// input generation and validation overheads outside the sort).
+	WallNS int64
+	// SortNS is the largest per-PE Stats.TotalNS — the wall-clock time
+	// of the sort proper, barrier to barrier.
+	SortNS int64
+	// PhaseNS is the per-phase maximum over PEs.
+	PhaseNS [core.NumPhases]int64
+	// OutImbalance is max_PE |out|·p/n.
+	OutImbalance float64
+}
+
+// RunNative executes and validates one run on the native backend (p
+// goroutines, real data movement, no virtual time). It panics if the
+// output is not a globally sorted permutation of the input.
+func RunNative(spec Spec) NativeResult {
+	m := native.New(spec.P)
+	var res NativeResult
+	outLens := make([]int64, spec.P)
+	allStats := make([]*core.Stats, spec.P)
+	// Generate inputs up front so the measured region is dominated by
+	// sorting, not by the workload generator.
+	locals := make([][]uint64, spec.P)
+	for rank := range locals {
+		locals[rank] = workload.Local(spec.Kind, spec.Seed, spec.P, spec.PerPE, rank)
+	}
+	dur := m.Run(func(c comm.Communicator) {
+		data := locals[c.Rank()]
+		inCount := int64(len(data))
+		out, st := runAlgo(c, spec, data)
+		allStats[c.Rank()] = st
+		outLens[c.Rank()] = int64(len(out))
+		validate(c, inCount, out)
+	})
+	res.WallNS = dur.Nanoseconds()
+
+	n := int64(spec.P) * int64(spec.PerPE)
+	for rank := 0; rank < spec.P; rank++ {
+		st := allStats[rank]
+		if st.TotalNS > res.SortNS {
+			res.SortNS = st.TotalNS
+		}
+		for ph := 0; ph < int(core.NumPhases); ph++ {
+			if st.PhaseNS[ph] > res.PhaseNS[ph] {
+				res.PhaseNS[ph] = st.PhaseNS[ph]
+			}
+		}
+		if n > 0 {
+			imb := float64(outLens[rank]) * float64(spec.P) / float64(n)
+			if imb > res.OutImbalance {
+				res.OutImbalance = imb
+			}
 		}
 	}
 	return res

@@ -17,7 +17,7 @@ import (
 	"sort"
 
 	"pmsort/internal/coll"
-	"pmsort/internal/sim"
+	"pmsort/internal/comm"
 )
 
 // GridDims factors p into a×b with a ≤ b and a the largest divisor of p
@@ -41,7 +41,7 @@ func GridDims(p int) (a, b int) {
 // that callers can both extract elements by rank and query ranks of
 // local elements.
 type Sorter[E any] struct {
-	comm    *sim.Comm
+	comm    comm.Communicator
 	less    func(a, b E) bool
 	colData []E     // sorted union of this PE's column inputs
 	ranks   []int64 // global rank of each colData element
@@ -51,13 +51,13 @@ type Sorter[E any] struct {
 // New sorts the union of the members' local slices. All members must
 // call it collectively. The local slice need not be sorted; it is sorted
 // in place.
-func New[E any](c *sim.Comm, local []E, less func(a, b E) bool) *Sorter[E] {
-	pe := c.PE()
+func New[E any](c comm.Communicator, local []E, less func(a, b E) bool) *Sorter[E] {
+	cost := c.Cost()
 	p := c.Size()
 	a, b := GridDims(p)
 
 	sort.Slice(local, func(i, j int) bool { return less(local[i], local[j]) })
-	pe.ChargeSortOps(int64(len(local)))
+	cost.SortOps(int64(len(local)))
 
 	rowComm, _ := c.SplitEqual(a)  // row = groups of b consecutive ranks
 	colComm, _ := c.SplitModulo(b) // column = ranks with equal rank mod b
@@ -76,7 +76,7 @@ func New[E any](c *sim.Comm, local []E, less func(a, b E) bool) *Sorter[E] {
 		}
 		localRanks[i] = int64(j)
 	}
-	pe.ChargeOps(int64(len(colData) + len(rowData)))
+	cost.Ops(int64(len(colData) + len(rowData)))
 
 	// Summing the partial ranks over the column (i.e. over all rows)
 	// yields global ranks, because the row unions partition the input.

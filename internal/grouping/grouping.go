@@ -8,7 +8,7 @@ package grouping
 
 import (
 	"pmsort/internal/coll"
-	"pmsort/internal/sim"
+	"pmsort/internal/comm"
 )
 
 // Scan greedily packs the buckets into consecutive groups of total size
@@ -99,7 +99,7 @@ func OptimalL(sizes []int64, r int) (L int64, starts []int) {
 // all-reduce tightens the bounds to actually-occurring group sizes. All
 // members return the same optimal L and boundaries. The bucket-size
 // vector must be identical on all members (it comes from an all-reduce).
-func OptimalLParallel(c *sim.Comm, sizes []int64, r int) (L int64, starts []int) {
+func OptimalLParallel(c comm.Communicator, sizes []int64, r int) (L int64, starts []int) {
 	var total, maxBucket int64
 	for _, s := range sizes {
 		total += s
@@ -139,7 +139,7 @@ func OptimalLParallel(c *sim.Comm, sizes []int64, r int) (L int64, starts []int)
 		} else {
 			my.fail = minZ - 1 // all L ≤ minZ-1 infeasible
 		}
-		c.PE().ChargeScan(int64(len(sizes)))
+		c.Cost().Scan(int64(len(sizes)))
 		res := coll.Allreduce(c, my, 2, combine)
 		lo, hi = res.fail+1, res.succ
 		if lo > hi {

@@ -17,9 +17,9 @@ package msel
 
 import (
 	"pmsort/internal/coll"
+	"pmsort/internal/comm"
 	"pmsort/internal/prng"
 	"pmsort/internal/seq"
-	"pmsort/internal/sim"
 )
 
 // pivotSlot carries a pivot candidate through the pick-one all-reduce.
@@ -33,13 +33,13 @@ type pivotSlot[E any] struct {
 // pos[t] with Σ_PEs pos[t] = targets[t]. The collective must be called by
 // all members of c with identical targets and seed; local must be sorted
 // under less.
-func Select[E any](c *sim.Comm, local []E, targets []int64, less func(a, b E) bool, seed uint64) []int {
+func Select[E any](c comm.Communicator, local []E, targets []int64, less func(a, b E) bool, seed uint64) []int {
 	r := len(targets)
 	pos := make([]int, r)
 	if r == 0 {
 		return pos
 	}
-	pe := c.PE()
+	cost := c.Cost()
 	rng := prng.New(seed) // identical stream on every PE
 
 	lo := make([]int, r)
@@ -136,7 +136,7 @@ func Select[E any](c *sim.Comm, local []E, targets []int64, less func(a, b E) bo
 			ub[t] = lo[t] + seq.UpperBound(act, pivots[t].val, less)
 			counts[t] = int64(lb[t] - lo[t])
 			counts[r+t] = int64(ub[t] - lo[t])
-			pe.ChargeOps(2 * int64(1+bitsLen(len(act))))
+			cost.Ops(2 * int64(1+bitsLen(len(act))))
 		}
 		sums := coll.Allreduce(c, counts, int64(2*r), addVec)
 

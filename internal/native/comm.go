@@ -1,0 +1,89 @@
+package native
+
+import (
+	"fmt"
+
+	"pmsort/internal/comm"
+)
+
+// Comm is the native backend's communicator: an ordered group of
+// goroutine-PEs with this PE's position in it. Splitting is purely
+// local, exactly like the simulator's.
+type Comm struct {
+	pe    *pe
+	ranks []int // global ranks of the members, ascending by construction
+	me    int   // index of pe in ranks
+}
+
+var _ comm.Communicator = (*Comm)(nil)
+
+// Size returns the number of members.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Rank returns this PE's group-relative rank.
+func (c *Comm) Rank() int { return c.me }
+
+// GlobalRank translates a group-relative rank to a machine rank.
+func (c *Comm) GlobalRank(r int) int { return c.ranks[r] }
+
+// Send hands the payload to the member with group-relative rank `to`.
+// The payload moves by reference — no copy — and ownership transfers to
+// the receiver. words is ignored (no cost model).
+func (c *Comm) Send(to, tag int, payload any, words int64) {
+	target := c.ranks[to]
+	if target < 0 || target >= c.pe.m.p {
+		panic(fmt.Sprintf("native: send from PE %d to invalid rank %d (p=%d)", c.pe.rank, target, c.pe.m.p))
+	}
+	c.pe.m.pes[target].mbox.put(c.pe.rank, tag, envelope{payload: payload, words: words})
+}
+
+// Recv blocks until the message with the given tag from the member with
+// group-relative rank `from` arrives.
+func (c *Comm) Recv(from, tag int) (any, int64) {
+	e := c.pe.mbox.take(c.ranks[from], tag)
+	return e.payload, e.words
+}
+
+// SplitEqual partitions the members into `groups` balanced contiguous
+// groups and returns this PE's group communicator and group index.
+func (c *Comm) SplitEqual(groups int) (comm.Communicator, int) {
+	starts, ok := comm.EqualStarts(len(c.ranks), groups)
+	if !ok {
+		panic(fmt.Sprintf("native: SplitEqual(%d) on communicator of size %d", groups, len(c.ranks)))
+	}
+	return c.SplitStarts(starts)
+}
+
+// SplitStarts partitions the members into contiguous groups given by
+// starts (see comm.Communicator). Returns this PE's group communicator
+// and group index.
+func (c *Comm) SplitStarts(starts []int) (comm.Communicator, int) {
+	lo, hi, g, ok := comm.SplitBounds(starts, len(c.ranks), c.me)
+	if !ok {
+		panic(fmt.Sprintf("native: SplitStarts with invalid bounds %v for size %d rank %d", starts, len(c.ranks), c.me))
+	}
+	return &Comm{pe: c.pe, ranks: c.ranks[lo:hi], me: c.me - lo}, g
+}
+
+// SplitModulo partitions the members into m groups by rank modulo m and
+// returns this PE's group communicator and group index.
+func (c *Comm) SplitModulo(m int) (comm.Communicator, int) {
+	ranks, me, g, ok := comm.ModuloRanks(c.ranks, c.me, m)
+	if !ok {
+		panic(fmt.Sprintf("native: SplitModulo(%d) on communicator of size %d", m, len(c.ranks)))
+	}
+	return &Comm{pe: c.pe, ranks: ranks, me: me}, g
+}
+
+// Subset returns the communicator of members [lo, hi). This PE must be
+// a member of the subset.
+func (c *Comm) Subset(lo, hi int) comm.Communicator {
+	if c.me < lo || c.me >= hi {
+		panic(fmt.Sprintf("native: Subset(%d,%d) does not contain rank %d", lo, hi, c.me))
+	}
+	return &Comm{pe: c.pe, ranks: c.ranks[lo:hi], me: c.me - lo}
+}
+
+// Cost returns the wall-clock hook: annotations are free, Now reads
+// real elapsed time since the Run started.
+func (c *Comm) Cost() comm.Cost { return comm.WallClock{Epoch: c.pe.m.epoch} }

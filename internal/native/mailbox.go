@@ -1,0 +1,85 @@
+package native
+
+import "sync"
+
+// envelope is an in-flight point-to-point message.
+type envelope struct {
+	payload any
+	words   int64
+}
+
+// mbKey identifies a (source rank, tag) message queue.
+type mbKey struct {
+	from, tag int
+}
+
+// mailbox is a PE's incoming message store. Messages are matched by
+// (source, tag) and are FIFO within each such pair — the same matching
+// contract as the simulator's mailbox. Senders never block (eager,
+// unbounded buffering); the single receiver — the goroutine running the
+// owning PE — parks on a capacity-1 wake channel between queue scans.
+type mailbox struct {
+	mu     sync.Mutex
+	queues map[mbKey][]envelope
+	// wake carries "something arrived" tokens to the single receiver.
+	// put sets it after enqueuing, so a receiver that found its queue
+	// empty and then blocks is always woken; spurious tokens only cause
+	// one extra scan.
+	wake chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{
+		queues: make(map[mbKey][]envelope),
+		wake:   make(chan struct{}, 1),
+	}
+}
+
+// put enqueues a message from the given source rank under the given tag.
+func (mb *mailbox) put(from, tag int, e envelope) {
+	k := mbKey{from, tag}
+	mb.mu.Lock()
+	mb.queues[k] = append(mb.queues[k], e)
+	mb.mu.Unlock()
+	select {
+	case mb.wake <- struct{}{}:
+	default: // token already pending; the receiver will rescan anyway
+	}
+}
+
+// take blocks until a message from the given source with the given tag
+// is available and dequeues it. Must only be called by the owning PE's
+// goroutine.
+func (mb *mailbox) take(from, tag int) envelope {
+	k := mbKey{from, tag}
+	for {
+		mb.mu.Lock()
+		if q := mb.queues[k]; len(q) > 0 {
+			e := q[0]
+			if len(q) == 1 {
+				delete(mb.queues, k)
+			} else {
+				// Shift instead of re-slicing so the backing array does
+				// not pin already-consumed payloads.
+				copy(q, q[1:])
+				q[len(q)-1] = envelope{}
+				mb.queues[k] = q[:len(q)-1]
+			}
+			mb.mu.Unlock()
+			return e
+		}
+		mb.mu.Unlock()
+		<-mb.wake
+	}
+}
+
+// pending reports the number of undelivered messages (for leak tests).
+func (mb *mailbox) pending() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	n := 0
+	for _, q := range mb.queues {
+		n += len(q)
+	}
+	return n
+}

@@ -1,0 +1,95 @@
+// Package native is the shared-memory backend of comm.Communicator:
+// a machine of p PEs realized as p goroutines of the current process,
+// exchanging data through channel-signalled mailboxes, with zero
+// virtual-time bookkeeping. The identical generic algorithms that run
+// on the simulator (internal/sim) sort real data at real multicore
+// speed here — cost annotations are no-ops and the phase statistics
+// read the wall clock instead of a virtual one.
+//
+// Messages hand over payload ownership by pointer (slices are not
+// copied), which is exactly the shared-memory advantage the backend
+// exists to exploit; the collectives' read-only conventions (see
+// internal/coll) make that safe.
+package native
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pmsort/internal/comm"
+)
+
+// Machine is a shared-memory machine of p PEs (goroutines).
+type Machine struct {
+	p     int
+	pes   []*pe
+	epoch time.Time
+
+	worldOnce sync.Once
+	world     []int
+}
+
+// pe is one processing element. Its mailbox is drained only by the
+// goroutine running the PE.
+type pe struct {
+	rank int
+	m    *Machine
+	mbox *mailbox
+}
+
+// New creates a machine with p PEs.
+func New(p int) *Machine {
+	if p <= 0 {
+		panic(fmt.Sprintf("native: invalid machine size p=%d", p))
+	}
+	m := &Machine{p: p}
+	m.pes = make([]*pe, p)
+	for i := range m.pes {
+		m.pes[i] = &pe{rank: i, m: m, mbox: newMailbox()}
+	}
+	return m
+}
+
+// P returns the number of PEs.
+func (m *Machine) P() int { return m.p }
+
+// worldRanks returns the shared 0..p-1 rank slice, built lazily once.
+func (m *Machine) worldRanks() []int {
+	m.worldOnce.Do(func() {
+		m.world = make([]int, m.p)
+		for i := range m.world {
+			m.world[i] = i
+		}
+	})
+	return m.world
+}
+
+// Run executes fn once per PE, each on its own goroutine, handing every
+// PE its world communicator. It returns the wall-clock makespan of the
+// whole program. If any PE panics, Run re-panics on the calling
+// goroutine with the first panic observed.
+func (m *Machine) Run(fn func(c comm.Communicator)) time.Duration {
+	m.epoch = time.Now()
+	var wg sync.WaitGroup
+	wg.Add(m.p)
+	panics := make([]any, m.p)
+	for i := 0; i < m.p; i++ {
+		go func(p *pe) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[p.rank] = fmt.Sprintf("PE %d: %v", p.rank, r)
+				}
+			}()
+			fn(&Comm{pe: p, ranks: m.worldRanks(), me: p.rank})
+		}(m.pes[i])
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	return time.Since(m.epoch)
+}

@@ -1,17 +1,27 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"pmsort/internal/comm"
+)
 
 // Comm is a communicator: an ordered group of PEs (identified by global
 // ranks) with this PE's position in it. Group-relative ranks 0..Size()-1
 // address members. Communicators are cheap, purely local values — no
 // communication is needed to split them (the paper excludes MPI
 // communicator construction from its timings for the same reason).
+//
+// Comm is the simulated backend of comm.Communicator: messages cost
+// virtual α + ℓ·β time by link class, and the cost hook charges local
+// work against the virtual clock.
 type Comm struct {
 	pe    *PE
 	ranks []int // global ranks of the members, ascending
 	me    int   // index of pe in ranks
 }
+
+var _ comm.Communicator = (*Comm)(nil)
 
 // World returns the communicator containing all PEs of pe's machine.
 func World(pe *PE) *Comm {
@@ -56,28 +66,16 @@ func (c *Comm) Recv(from, tag int) (any, int64) {
 // a communicator of the given size: sizes differ by at most one, larger
 // groups first.
 func GroupSizes(size, groups int) []int {
-	base, rem := size/groups, size%groups
-	out := make([]int, groups)
-	for g := range out {
-		out[g] = base
-		if g < rem {
-			out[g]++
-		}
-	}
-	return out
+	return comm.GroupSizes(size, groups)
 }
 
 // SplitEqual partitions the members into `groups` balanced contiguous
 // groups (sizes differing by at most one) and returns the communicator of
 // this PE's group together with the group index.
-func (c *Comm) SplitEqual(groups int) (*Comm, int) {
-	if groups <= 0 || groups > len(c.ranks) {
+func (c *Comm) SplitEqual(groups int) (comm.Communicator, int) {
+	starts, ok := comm.EqualStarts(len(c.ranks), groups)
+	if !ok {
 		panic(fmt.Sprintf("sim: SplitEqual(%d) on communicator of size %d", groups, len(c.ranks)))
-	}
-	starts := make([]int, groups+1)
-	sizes := GroupSizes(len(c.ranks), groups)
-	for g := 0; g < groups; g++ {
-		starts[g+1] = starts[g] + sizes[g]
 	}
 	return c.SplitStarts(starts)
 }
@@ -87,43 +85,42 @@ func (c *Comm) SplitEqual(groups int) (*Comm, int) {
 // with starts[0] == 0 and starts[len-1] == Size(). Empty groups are
 // allowed for groups this PE is not part of. Returns this PE's group
 // communicator and group index.
-func (c *Comm) SplitStarts(starts []int) (*Comm, int) {
-	if len(starts) < 2 || starts[0] != 0 || starts[len(starts)-1] != len(c.ranks) {
-		panic(fmt.Sprintf("sim: SplitStarts with invalid bounds %v for size %d", starts, len(c.ranks)))
+func (c *Comm) SplitStarts(starts []int) (comm.Communicator, int) {
+	lo, hi, g, ok := comm.SplitBounds(starts, len(c.ranks), c.me)
+	if !ok {
+		panic(fmt.Sprintf("sim: SplitStarts with invalid bounds %v for size %d rank %d", starts, len(c.ranks), c.me))
 	}
-	// Locate my group by scanning; group counts are small (O(r)).
-	for g := 0; g+1 < len(starts); g++ {
-		lo, hi := starts[g], starts[g+1]
-		if c.me >= lo && c.me < hi {
-			return &Comm{pe: c.pe, ranks: c.ranks[lo:hi], me: c.me - lo}, g
-		}
-	}
-	panic("sim: SplitStarts: rank not covered by bounds")
+	return &Comm{pe: c.pe, ranks: c.ranks[lo:hi], me: c.me - lo}, g
 }
 
 // SplitModulo partitions the members into m groups by rank modulo m
 // (group g holds the members with rank ≡ g mod m — "column" groups of a
 // row-major grid). Returns this PE's group communicator and group index.
-func (c *Comm) SplitModulo(m int) (*Comm, int) {
-	if m <= 0 || m > len(c.ranks) {
+func (c *Comm) SplitModulo(m int) (comm.Communicator, int) {
+	ranks, me, g, ok := comm.ModuloRanks(c.ranks, c.me, m)
+	if !ok {
 		panic(fmt.Sprintf("sim: SplitModulo(%d) on communicator of size %d", m, len(c.ranks)))
 	}
-	g := c.me % m
-	ranks := make([]int, 0, (len(c.ranks)-g+m-1)/m)
-	for i := g; i < len(c.ranks); i += m {
-		ranks = append(ranks, c.ranks[i])
-	}
-	return &Comm{pe: c.pe, ranks: ranks, me: c.me / m}, g
+	return &Comm{pe: c.pe, ranks: ranks, me: me}, g
 }
 
 // Subset returns the communicator of members [lo, hi). This PE must be a
 // member of the subset.
-func (c *Comm) Subset(lo, hi int) *Comm {
+func (c *Comm) Subset(lo, hi int) comm.Communicator {
+	return c.subset(lo, hi)
+}
+
+// subset is Subset with the concrete return type (for sim-internal use).
+func (c *Comm) subset(lo, hi int) *Comm {
 	if c.me < lo || c.me >= hi {
 		panic(fmt.Sprintf("sim: Subset(%d,%d) does not contain rank %d", lo, hi, c.me))
 	}
 	return &Comm{pe: c.pe, ranks: c.ranks[lo:hi], me: c.me - lo}
 }
+
+// Cost returns the hook charging cost annotations against this PE's
+// virtual clock under the machine's cost model.
+func (c *Comm) Cost() comm.Cost { return costHook{c} }
 
 // Link classifies the network link between this PE and member `to`.
 func (c *Comm) Link(to int) LinkClass {
@@ -135,4 +132,27 @@ func (c *Comm) Link(to int) LinkClass {
 // between the first and the last member.
 func (c *Comm) Span() LinkClass {
 	return c.pe.m.topo.Link(c.ranks[0], c.ranks[len(c.ranks)-1])
+}
+
+// costHook implements comm.Cost by charging the virtual clock.
+type costHook struct{ c *Comm }
+
+func (h costHook) Ops(n int64)          { h.c.pe.ChargeOps(n) }
+func (h costHook) PartitionOps(n int64) { h.c.pe.ChargePartitionOps(n) }
+func (h costHook) Scan(n int64)         { h.c.pe.ChargeScan(n) }
+func (h costHook) SortOps(n int64)      { h.c.pe.ChargeSortOps(n) }
+func (h costHook) Now() int64           { return h.c.pe.Now() }
+
+// BarrierSync replaces a timed barrier's internal message costs with the
+// modeled exit time entry + 2·⌈log₂ p⌉·α over the group's widest link,
+// setting all members' clocks to the identical value (§7.1: phases are
+// delimited by MPI_Barrier calls in the paper's measurements).
+func (h costHook) BarrierSync(entry int64) int64 {
+	rounds := int64(0)
+	for d := 1; d < h.c.Size(); d <<= 1 {
+		rounds++
+	}
+	exit := entry + 2*rounds*h.c.pe.Cost().Alpha[h.c.Span()]
+	h.c.pe.SyncTo(exit)
+	return exit
 }

@@ -50,13 +50,13 @@ func TestSpan(t *testing.T) {
 			t.Errorf("world span = %v, want cross (2 islands)", got)
 		}
 		if pe.Rank() < 4 {
-			node := world.Subset(0, 4)
+			node := world.subset(0, 4)
 			if got := node.Span(); got != LinkNode {
 				t.Errorf("node span = %v", got)
 			}
 		}
 		if pe.Rank() < 8 {
-			island := world.Subset(0, 8)
+			island := world.subset(0, 8)
 			if got := island.Span(); got != LinkIsland {
 				t.Errorf("island span = %v", got)
 			}

@@ -3,43 +3,82 @@
 // AMS-sort (adaptive multi-level sample sort) and RLM-sort (recurse-last
 // multiway mergesort), together with every building block the paper
 // describes — multisequence selection, fast work-inefficient sorting,
-// scalable data delivery, optimal bucket grouping — running on a
-// deterministic simulated distributed-memory machine with the paper's
-// single-ported α-β cost model (§2.1) and a SuperMUC-like topology.
+// scalable data delivery, optimal bucket grouping.
 //
-// Quick start:
+// The algorithms are written against a pluggable Communicator interface
+// and run on two backends:
 //
-//	cl := pmsort.New(64) // 64 PEs
+//   - the simulated cluster (New/NewCustom): a deterministic
+//     distributed-memory machine with the paper's single-ported α-β cost
+//     model (§2.1) and a SuperMUC-like topology. Algorithms execute for
+//     real on real data; only time is virtual, charged per message
+//     (α + ℓ·β by link class) and per local operation — model
+//     experiments at 10k+ PEs finish in host seconds.
+//   - the native cluster (NewNative): p goroutines of this process
+//     exchanging data through channels with zero virtual-time
+//     bookkeeping, so the identical algorithms sort real data at real
+//     multicore speed, and phase statistics report wall-clock time.
+//
+// Quick start, simulated (virtual time, any p):
+//
+//	cl := pmsort.New(64) // 64 simulated PEs
 //	outs := make([][]uint64, cl.P())
 //	cl.Run(func(pe *pmsort.PE) {
 //		data := makeMyLocalData(pe.Rank())
-//		sorted, _ := pmsort.AMSSort(pmsort.World(pe), data,
+//		sorted, st := pmsort.AMSSort(pmsort.World(pe), data,
 //			func(a, b uint64) bool { return a < b },
 //			pmsort.Config{Levels: 2})
 //		outs[pe.Rank()] = sorted
+//		_ = st.TotalNS // virtual nanoseconds under the α-β model
 //	})
 //
-// Algorithms execute for real on real data; only time is virtual, charged
-// per message (α + ℓ·β by link class) and per local operation. See
-// DESIGN.md for the model and EXPERIMENTS.md for the reproduced results.
+// Quick start, native (wall-clock time, p ≈ GOMAXPROCS):
+//
+//	ncl := pmsort.NewNative(8) // 8 goroutine-PEs
+//	outs := make([][]uint64, ncl.P())
+//	elapsed := ncl.Run(func(c pmsort.Communicator) {
+//		data := makeMyLocalData(c.Rank())
+//		sorted, _ := pmsort.AMSSort(c, data,
+//			func(a, b uint64) bool { return a < b },
+//			pmsort.Config{Levels: 1})
+//		outs[c.Rank()] = sorted
+//	})
+//	_ = elapsed // real time for the whole distributed sort
+//
+// Both backends produce bit-identical output for identical inputs and
+// seeds (every collective is deterministic), which the conformance
+// tests assert. See DESIGN.md for the cost model and the
+// Communicator/backend architecture, and EXPERIMENTS.md for the
+// reproduced results.
 package pmsort
 
 import (
 	"io"
+	"time"
 
 	"pmsort/internal/baseline"
+	"pmsort/internal/comm"
 	"pmsort/internal/core"
 	"pmsort/internal/delivery"
 	"pmsort/internal/msel"
+	"pmsort/internal/native"
 	"pmsort/internal/sim"
 )
 
-// Re-exported simulator types. A PE is one processing element of the
-// simulated machine; a Comm is a communicator (group of PEs).
+// Re-exported communication and simulator types. A Communicator is an
+// ordered group of PEs with this PE's position in it — the backend-
+// neutral interface every algorithm accepts; a PE is one processing
+// element of the simulated machine.
 type (
-	// PE is a processing element bound to the goroutine running it.
+	// Communicator is the pluggable communication interface (see
+	// DESIGN.md §6): Size/Rank/GlobalRank, point-to-point Send/Recv,
+	// local group splitting, and a cost-annotation hook the simulator
+	// charges and other backends ignore.
+	Communicator = comm.Communicator
+	// PE is a processing element bound to the goroutine running it
+	// (simulated backend).
 	PE = sim.PE
-	// Comm is an ordered group of PEs with this PE's position in it.
+	// Comm is the simulated backend's communicator.
 	Comm = sim.Comm
 	// Topology places PEs into nodes and islands.
 	Topology = sim.Topology
@@ -50,7 +89,8 @@ type (
 	// Config tunes the sorting algorithms (levels, sampling factors,
 	// delivery strategy, tie-breaking).
 	Config = core.Config
-	// Stats reports per-phase virtual times and balance of a run.
+	// Stats reports per-phase times and balance of a run (virtual ns on
+	// the simulated backend, wall-clock ns on the native one).
 	Stats = core.Stats
 	// Phase identifies one of the four measured phases (§7.1).
 	Phase = core.Phase
@@ -116,6 +156,30 @@ func (cl *Cluster) Reset() { cl.m.Reset() }
 // between runs.
 func (cl *Cluster) PEInfo(rank int) *PE { return cl.m.PE(rank) }
 
+// NativeCluster is a real shared-memory machine: p goroutines of this
+// process exchanging data through channels, with no virtual-time
+// bookkeeping. The same generic algorithms sort real data at real
+// multicore speed on it; Stats report wall-clock nanoseconds.
+type NativeCluster struct {
+	m *native.Machine
+}
+
+// NewNative creates a native cluster of p goroutine-PEs. Throughput
+// saturates around p = GOMAXPROCS; larger p still works (goroutines
+// time-share cores).
+func NewNative(p int) *NativeCluster {
+	return &NativeCluster{m: native.New(p)}
+}
+
+// P returns the number of PEs.
+func (cl *NativeCluster) P() int { return cl.m.P() }
+
+// Run executes fn once per PE (each on its own goroutine), handing
+// every PE its world communicator, and returns the wall-clock makespan.
+func (cl *NativeCluster) Run(fn func(c Communicator)) time.Duration {
+	return cl.m.Run(fn)
+}
+
 // Event is one entry of a message/annotation trace.
 type Event = sim.Event
 
@@ -154,42 +218,42 @@ func PlanLevels(p, k int) []int { return core.PlanLevels(p, k) }
 
 // AMSSort sorts the distributed data with adaptive multi-level sample
 // sort (§6). Collective: all PEs of c must call it with identical cfg.
-func AMSSort[E any](c *Comm, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
+func AMSSort[E any](c Communicator, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
 	return core.AMSSort(c, data, less, cfg)
 }
 
 // RLMSort sorts the distributed data with recurse-last multiway
 // mergesort (§5); the output is perfectly balanced.
-func RLMSort[E any](c *Comm, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
+func RLMSort[E any](c Communicator, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
 	return core.RLMSort(c, data, less, cfg)
 }
 
 // GVSampleSort is the single-level, centralized-splitter baseline (§3).
-func GVSampleSort[E any](c *Comm, data []E, less func(a, b E) bool, seed uint64) ([]E, *Stats) {
+func GVSampleSort[E any](c Communicator, data []E, less func(a, b E) bool, seed uint64) ([]E, *Stats) {
 	return baseline.GVSampleSort(c, data, less, seed)
 }
 
 // MPSort is the MP-sort style single-level baseline (§7.3).
-func MPSort[E any](c *Comm, data []E, less func(a, b E) bool, seed uint64) ([]E, *Stats) {
+func MPSort[E any](c Communicator, data []E, less func(a, b E) bool, seed uint64) ([]E, *Stats) {
 	return baseline.MPSort(c, data, less, seed)
 }
 
 // BitonicSort is Batcher's bitonic sort over the PEs (p must be a power
 // of two) — the log²p-communication extreme the paper's §1 motivates
 // against.
-func BitonicSort[E any](c *Comm, data []E, less func(a, b E) bool, seed uint64) ([]E, *Stats) {
+func BitonicSort[E any](c Communicator, data []E, less func(a, b E) bool, seed uint64) ([]E, *Stats) {
 	return baseline.BitonicSort(c, data, less, seed)
 }
 
 // HistogramSort is the Solomonik-Kale style single-level hybrid (§3);
 // tol is the splitter rank tolerance as a fraction of n/p (≤0: 5%).
-func HistogramSort[E any](c *Comm, data []E, less func(a, b E) bool, tol float64, seed uint64) ([]E, *Stats) {
+func HistogramSort[E any](c Communicator, data []E, less func(a, b E) bool, tol float64, seed uint64) ([]E, *Stats) {
 	return baseline.HistogramSort(c, data, less, tol, seed)
 }
 
 // HCQuicksort is hypercube parallel quicksort (p must be a power of
 // two) — fast but without balance or duplicate-key guarantees.
-func HCQuicksort[E any](c *Comm, data []E, less func(a, b E) bool, seed uint64) ([]E, *Stats) {
+func HCQuicksort[E any](c Communicator, data []E, less func(a, b E) bool, seed uint64) ([]E, *Stats) {
 	return baseline.HCQuicksort(c, data, less, seed)
 }
 
@@ -197,7 +261,7 @@ func HCQuicksort[E any](c *Comm, data []E, less func(a, b E) bool, seed uint64) 
 // this PE's locally sorted slice such that the positions sum to the
 // target across PEs (multisequence selection, §4.1 — one of the paper's
 // building blocks of independent interest). Collective call.
-func Multiselect[E any](c *Comm, local []E, targets []int64, less func(a, b E) bool, seed uint64) []int {
+func Multiselect[E any](c Communicator, local []E, targets []int64, less func(a, b E) bool, seed uint64) []int {
 	return msel.Select(c, local, targets, less, seed)
 }
 
@@ -206,6 +270,6 @@ func Multiselect[E any](c *Comm, local []E, targets []int64, less func(a, b E) b
 // share (§4.3); the strategy in opt trades robustness against worst-case
 // piece-size distributions. Collective call. Returns the received
 // chunks.
-func Deliver[E any](c *Comm, pieces [][]E, opt DeliveryOptions) [][]E {
+func Deliver[E any](c Communicator, pieces [][]E, opt DeliveryOptions) [][]E {
 	return delivery.Deliver(c, pieces, opt)
 }
