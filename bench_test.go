@@ -12,11 +12,13 @@ package pmsort
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"testing"
 
 	"pmsort/internal/core"
 	"pmsort/internal/delivery"
 	"pmsort/internal/expt"
+	"pmsort/internal/wire"
 	"pmsort/internal/workload"
 )
 
@@ -205,6 +207,166 @@ func BenchmarkWorkloads(b *testing.B) {
 		b.Run(kind.String(), func(b *testing.B) {
 			benchRun(b, expt.Spec{Algo: expt.AMS, P: 64, PerPE: 5_000, Levels: 2, Seed: 10,
 				Kind: kind, TieBreak: true})
+		})
+	}
+}
+
+// BenchmarkWireEncode measures the wire codec's serialization
+// throughput for bulk element slices (the dominant payload of the TCP
+// backend's data-delivery phase). bytes/s ≈ encode GB/s.
+func BenchmarkWireEncode(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("u64s-%d", n), func(b *testing.B) {
+			payload := workload.Local(workload.Uniform, 1, 1, n, 0)
+			w := wire.NewWriter()
+			buf, err := w.AppendPayload(nil, payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(8 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf, err = w.AppendPayload(buf[:0], payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireDecode measures deserialization throughput for bulk
+// element slices.
+func BenchmarkWireDecode(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("u64s-%d", n), func(b *testing.B) {
+			payload := workload.Local(workload.Uniform, 1, 1, n, 0)
+			w := wire.NewWriter()
+			buf, err := w.AppendPayload(nil, payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := wire.NewReader()
+			if _, _, err := r.DecodePayload(buf); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(8 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := r.DecodePayload(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireRoundtripTagged measures the structural (reflection-
+// compiled) codec on the tagged sample slices of splitter selection —
+// the hot non-bulk payload.
+func BenchmarkWireRoundtripTagged(b *testing.B) {
+	type tag struct {
+		key uint64
+		pe  int32
+		idx int32
+	}
+	wire.Register[[]tag]()
+	const n = 1 << 12
+	payload := make([]tag, n)
+	for i := range payload {
+		payload[i] = tag{key: uint64(i) * 0x9e3779b97f4a7c15, pe: int32(i % 64), idx: int32(i)}
+	}
+	w, r := wire.NewWriter(), wire.NewReader()
+	buf, err := w.AppendPayload(nil, payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := r.DecodePayload(buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(16 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = w.AppendPayload(buf[:0], payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := r.DecodePayload(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCPCluster runs AMS-sort on an in-process loopback TCP
+// cluster (real sockets, real serialization; the ranks share this
+// process's cores, so treat it as a transport benchmark, not a scaling
+// one).
+func BenchmarkTCPCluster(b *testing.B) {
+	const p = 4
+	for _, perPE := range []int{1_000, 25_000} {
+		b.Run(fmt.Sprintf("ams-p%d-n%d", p, perPE), func(b *testing.B) {
+			addrs, err := expt.ReserveLoopbackAddrs(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			clusters := make([]*TCPCluster, p)
+			var wg sync.WaitGroup
+			for rank := 0; rank < p; rank++ {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					cl, err := NewTCP(rank, addrs)
+					if err != nil {
+						b.Errorf("rank %d: %v", rank, err)
+						return
+					}
+					clusters[rank] = cl
+				}(rank)
+			}
+			wg.Wait()
+			if b.Failed() {
+				return
+			}
+			defer func() {
+				b.StopTimer()
+				// Close concurrently, like real rank processes do: a
+				// closing endpoint waits for its peers' EOFs.
+				var cwg sync.WaitGroup
+				for _, cl := range clusters {
+					cwg.Add(1)
+					go func(cl *TCPCluster) {
+						defer cwg.Done()
+						cl.Close()
+					}(cl)
+				}
+				cwg.Wait()
+			}()
+			locals := make([][]uint64, p)
+			for rank := range locals {
+				locals[rank] = workload.Local(workload.Uniform, 42, p, perPE, rank)
+			}
+			b.SetBytes(int64(8 * p * perPE))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var run sync.WaitGroup
+				for rank := 0; rank < p; rank++ {
+					run.Add(1)
+					go func(rank int) {
+						defer run.Done()
+						_, err := clusters[rank].Run(func(c Communicator) {
+							data := append([]uint64(nil), locals[rank]...)
+							_, _ = AMSSort(c, data, u64Less, Config{Levels: 1, Seed: 42 + uint64(i)})
+						})
+						if err != nil {
+							b.Errorf("rank %d: %v", rank, err)
+						}
+					}(rank)
+				}
+				run.Wait()
+				if b.Failed() {
+					return
+				}
+			}
 		})
 	}
 }

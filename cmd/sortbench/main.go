@@ -11,7 +11,7 @@
 //	sortbench -experiment table2 -reps 5
 //	sortbench -experiment fig8 -ps 512,2048 -perpe 1000,10000
 //	sortbench -experiment fig10 -p 256 -n 10000
-//	sortbench -experiment backends -ntotal 100000  # sim virtual vs native wall-clock
+//	sortbench -experiment backends -ntotal 100000  # sim vs native vs TCP cluster
 //	sortbench -quick                          # small grids for a smoke run
 package main
 
@@ -44,6 +44,9 @@ func parseInts(s string) []int {
 }
 
 func main() {
+	// A sortbench process doubles as one rank of the TCP cluster the
+	// backends experiment launches (one re-execution per rank).
+	expt.MaybeRunTCPChild()
 	var (
 		experiment = flag.String("experiment", "all", "table1|table2|fig7|fig8|fig10|fig11|fig12|compare|delivery|alltoall|backends|all")
 		psFlag     = flag.String("ps", "", "comma-separated PE counts (default 512,2048,8192)")
@@ -54,6 +57,7 @@ func main() {
 		sweepN     = flag.Int("n", 10000, "n/p for the fig10/fig11 sweeps")
 		nativeN    = flag.Int("ntotal", 200_000, "TOTAL element count for the backends experiment (split over p)")
 		quick      = flag.Bool("quick", false, "small grids for a fast smoke run")
+		noTCP      = flag.Bool("notcp", false, "skip the multi-process TCP row of the backends experiment")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -123,7 +127,7 @@ func main() {
 				n = 20_000
 			}
 		}
-		expt.Backends(w, ps, n, *reps, *seed, progress)
+		expt.Backends(w, ps, n, *reps, *seed, !*noTCP, progress)
 	})
 }
 

@@ -1,0 +1,222 @@
+// Command sortnode runs one rank of a multi-process pmsort TCP cluster
+// (backend 3), or — with -launch — brings up a whole loopback cluster
+// of itself for a quick multi-process run on one machine.
+//
+// One rank per machine (run the same command on every host, with the
+// same -peers list and that host's -rank):
+//
+//	sortnode -rank 0 -peers host0:9000,host1:9000,host2:9000,host3:9000 -algo ams -n 1000000
+//	sortnode -rank 1 -peers host0:9000,host1:9000,host2:9000,host3:9000 -algo ams -n 1000000
+//	...
+//
+// Whole cluster on loopback (4 processes, auto-assigned ports):
+//
+//	sortnode -launch -p 4 -algo ams -kind uniform -n 100000 -levels 2
+//
+// Every rank generates its slice of the workload deterministically,
+// sorts it collectively with the chosen algorithm, validates the global
+// order and permutation across the cluster, and prints its wall-clock
+// phase breakdown. With -out, the rank's sorted output is written as
+// little-endian uint64s for external byte-comparison against the
+// simulated and native backends.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+
+	"pmsort"
+	"pmsort/internal/core"
+	"pmsort/internal/expt"
+	"pmsort/internal/workload"
+)
+
+var algos = map[string]expt.Algo{
+	"ams":     expt.AMS,
+	"rlm":     expt.RLM,
+	"gv":      expt.GV,
+	"mp":      expt.MP,
+	"bitonic": expt.Bitonic,
+	"hist":    expt.Hist,
+	"hcq":     expt.HCQ,
+}
+
+var kinds = map[string]workload.Kind{
+	"uniform":       workload.Uniform,
+	"skewed":        workload.Skewed,
+	"dup-heavy":     workload.DupHeavy,
+	"sorted":        workload.Sorted,
+	"reverse":       workload.Reverse,
+	"almost-sorted": workload.AlmostSorted,
+	"one-pe":        workload.OnePE,
+}
+
+func main() {
+	var (
+		rank     = flag.Int("rank", -1, "this process's rank (index into -peers)")
+		peersStr = flag.String("peers", "", "comma-separated host:port list, one per rank, identical on every rank")
+		launch   = flag.Bool("launch", false, "launch a whole loopback cluster of -p sortnode processes instead of being one rank")
+		p        = flag.Int("p", 4, "cluster size for -launch")
+		algoStr  = flag.String("algo", "ams", "ams|rlm|gv|mp|bitonic|hist|hcq")
+		kindStr  = flag.String("kind", "uniform", "uniform|skewed|dup-heavy|sorted|reverse|almost-sorted|one-pe")
+		n        = flag.Int("n", 100_000, "elements per rank (one-pe: per rank of the total, all placed on rank 0)")
+		levels   = flag.Int("levels", 2, "recursion levels k for ams/rlm")
+		seed     = flag.Uint64("seed", 42, "workload and algorithm seed")
+		tieBreak = flag.Bool("tiebreak", true, "enable implicit (PE, position) tie-breaking (ams)")
+		outPath  = flag.String("out", "", "write this rank's sorted output as little-endian uint64s to this file")
+		quiet    = flag.Bool("quiet", false, "suppress the per-rank summary line")
+	)
+	flag.Parse()
+
+	algo, ok := algos[*algoStr]
+	if !ok {
+		fatalf("unknown -algo %q", *algoStr)
+	}
+	kind, ok := kinds[*kindStr]
+	if !ok {
+		fatalf("unknown -kind %q", *kindStr)
+	}
+
+	if *launch {
+		os.Exit(launchCluster(*p, *outPath, flag.CommandLine))
+	}
+
+	peers := splitList(*peersStr)
+	if len(peers) == 0 {
+		fatalf("-peers is required (or use -launch)")
+	}
+	if *rank < 0 || *rank >= len(peers) {
+		fatalf("-rank %d outside the %d-entry peer list", *rank, len(peers))
+	}
+
+	spec := expt.Spec{
+		Algo:     algo,
+		P:        len(peers),
+		PerPE:    *n,
+		Levels:   *levels,
+		Kind:     kind,
+		Seed:     *seed,
+		TieBreak: *tieBreak,
+	}
+
+	cl, err := pmsort.NewTCP(*rank, peers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer cl.Close()
+
+	var out []uint64
+	var st *core.Stats
+	elapsed, err := cl.Run(func(c pmsort.Communicator) {
+		out, st = expt.RunOn(c, spec)
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if !*quiet {
+		fmt.Printf("rank %d/%d: %v %s n/p=%d sorted+validated in %v (sort %.3fms: select %.3f, buckets %.3f, delivery %.3f, local %.3f), %d elements out\n",
+			*rank, len(peers), algo, kind, *n, elapsed.Round(1000),
+			float64(st.TotalNS)/1e6,
+			float64(st.PhaseNS[core.PhaseSplitterSelection])/1e6,
+			float64(st.PhaseNS[core.PhaseBucketProcessing])/1e6,
+			float64(st.PhaseNS[core.PhaseDataDelivery])/1e6,
+			float64(st.PhaseNS[core.PhaseLocalSort])/1e6,
+			len(out))
+	}
+	if *outPath != "" {
+		if err := writeU64s(*outPath, out); err != nil {
+			fatalf("writing -out: %v", err)
+		}
+	}
+}
+
+// launchCluster re-executes this binary once per rank on auto-assigned
+// loopback ports, forwarding every explicitly set flag except the
+// cluster-topology ones. A -out path fans out to one file per rank
+// (path.rank0, path.rank1, ...).
+func launchCluster(p int, outPath string, fs *flag.FlagSet) int {
+	if p < 1 {
+		fatalf("-launch needs -p >= 1")
+	}
+	addrs, err := expt.ReserveLoopbackAddrs(p)
+	if err != nil {
+		fatalf("reserving ports: %v", err)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("locating own executable: %v", err)
+	}
+	var common []string
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "launch", "p", "rank", "peers", "out":
+			return
+		}
+		common = append(common, "-"+f.Name+"="+f.Value.String())
+	})
+	peerList := strings.Join(addrs, ",")
+
+	cmds := make([]*exec.Cmd, p)
+	for rank := 0; rank < p; rank++ {
+		args := append([]string{
+			"-rank", strconv.Itoa(rank),
+			"-peers", peerList,
+		}, common...)
+		if outPath != "" {
+			args = append(args, "-out", fmt.Sprintf("%s.rank%d", outPath, rank))
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds {
+				if c != nil {
+					_ = c.Process.Kill()
+				}
+			}
+			fatalf("starting rank %d: %v", rank, err)
+		}
+		cmds[rank] = cmd
+	}
+	status := 0
+	for rank, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "sortnode: rank %d: %v\n", rank, err)
+			status = 1
+		}
+	}
+	return status
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func writeU64s(path string, vals []uint64) error {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], v)
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sortnode: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -3,6 +3,8 @@ package pmsort
 import (
 	"math/rand"
 	"testing"
+
+	"pmsort/internal/workload"
 )
 
 // conformanceCase is one sorter driven through both backends.
@@ -91,6 +93,154 @@ func TestBackendConformance(t *testing.T) {
 				t.Fatalf("lost elements: %d of %d", total, p*perPE)
 			}
 		})
+	}
+}
+
+// conformanceKinds is every input distribution the workload package
+// generates. The sweep below runs each one through both in-process
+// backends: the distributions exercise disjoint robustness paths
+// (duplicate-heavy tie-breaking, skew, presortedness, and — OnePE — the
+// case where every rank but 0 starts with an empty/nil local slice).
+func conformanceKinds() []workload.Kind {
+	return []workload.Kind{
+		workload.Uniform, workload.Skewed, workload.DupHeavy,
+		workload.Sorted, workload.Reverse, workload.AlmostSorted,
+		workload.OnePE,
+	}
+}
+
+// TestBackendConformanceAllKinds sweeps every workload distribution
+// through the simulated and native backends and asserts byte-identical
+// output for AMS, RLM, and GV-sample-sort — not just the one input
+// profile of TestBackendConformance.
+func TestBackendConformanceAllKinds(t *testing.T) {
+	const p, perPE = 6, 200
+	for _, kind := range conformanceKinds() {
+		for _, tc := range conformanceCases() {
+			t.Run(kind.String()+"/"+tc.name, func(t *testing.T) {
+				locals := make([][]uint64, p)
+				for rank := range locals {
+					locals[rank] = workload.Local(kind, 99, p, perPE, rank)
+				}
+
+				simOuts := make([][]uint64, p)
+				cl := New(p)
+				cl.Run(func(pe *PE) {
+					simOuts[pe.Rank()] = tc.run(World(pe), append([]uint64(nil), locals[pe.Rank()]...))
+				})
+
+				natOuts := make([][]uint64, p)
+				ncl := NewNative(p)
+				ncl.Run(func(c Communicator) {
+					natOuts[c.Rank()] = tc.run(c, append([]uint64(nil), locals[c.Rank()]...))
+				})
+
+				total, want := 0, 0
+				var prev uint64
+				for rank := 0; rank < p; rank++ {
+					want += len(locals[rank])
+					if len(simOuts[rank]) != len(natOuts[rank]) {
+						t.Fatalf("PE %d: sim has %d elements, native %d",
+							rank, len(simOuts[rank]), len(natOuts[rank]))
+					}
+					for i := range simOuts[rank] {
+						if simOuts[rank][i] != natOuts[rank][i] {
+							t.Fatalf("PE %d element %d: sim %d != native %d",
+								rank, i, simOuts[rank][i], natOuts[rank][i])
+						}
+						if simOuts[rank][i] < prev {
+							t.Fatalf("PE %d element %d: global order violated", rank, i)
+						}
+						prev = simOuts[rank][i]
+					}
+					total += len(simOuts[rank])
+				}
+				if total != want {
+					t.Fatalf("lost elements: %d of %d", total, want)
+				}
+			})
+		}
+	}
+}
+
+// TestNilLocalInputs pins down the OnePE contract: workload.Local
+// returns nil (not just empty) on every rank but 0, and every sorter —
+// AMS, RLM, and all baselines — must accept nil local slices on both
+// in-process backends without panicking or losing elements.
+func TestNilLocalInputs(t *testing.T) {
+	const p, perPE = 4, 120 // power of two: bitonic and hcq require it
+	for rank := 1; rank < p; rank++ {
+		if loc := workload.Local(workload.OnePE, 3, p, perPE, rank); loc != nil {
+			t.Fatalf("workload.Local(OnePE) on rank %d = %v, want nil", rank, loc)
+		}
+	}
+	sorters := []struct {
+		name string
+		run  func(c Communicator, d []uint64) []uint64
+	}{
+		{"AMS", func(c Communicator, d []uint64) []uint64 {
+			out, _ := AMSSort(c, d, u64Less, Config{Levels: 2, Seed: 5, TieBreak: true})
+			return out
+		}},
+		{"RLM", func(c Communicator, d []uint64) []uint64 {
+			out, _ := RLMSort(c, d, u64Less, Config{Levels: 2, Seed: 5})
+			return out
+		}},
+		{"GV", func(c Communicator, d []uint64) []uint64 {
+			out, _ := GVSampleSort(c, d, u64Less, 5)
+			return out
+		}},
+		{"MP", func(c Communicator, d []uint64) []uint64 {
+			out, _ := MPSort(c, d, u64Less, 5)
+			return out
+		}},
+		{"Bitonic", func(c Communicator, d []uint64) []uint64 {
+			out, _ := BitonicSort(c, d, u64Less, 5)
+			return out
+		}},
+		{"Histogram", func(c Communicator, d []uint64) []uint64 {
+			out, _ := HistogramSort(c, d, u64Less, 0.05, 5)
+			return out
+		}},
+		{"HCQuicksort", func(c Communicator, d []uint64) []uint64 {
+			out, _ := HCQuicksort(c, d, u64Less, 5)
+			return out
+		}},
+	}
+	backends := []struct {
+		name string
+		run  func(fn func(c Communicator))
+	}{
+		{"sim", func(fn func(c Communicator)) {
+			New(p).Run(func(pe *PE) { fn(World(pe)) })
+		}},
+		{"native", func(fn func(c Communicator)) {
+			NewNative(p).Run(fn)
+		}},
+	}
+	for _, s := range sorters {
+		for _, b := range backends {
+			t.Run(s.name+"/"+b.name, func(t *testing.T) {
+				outs := make([][]uint64, p)
+				b.run(func(c Communicator) {
+					outs[c.Rank()] = s.run(c, workload.Local(workload.OnePE, 3, p, perPE, c.Rank()))
+				})
+				total := 0
+				var prev uint64
+				for rank, out := range outs {
+					for i, v := range out {
+						if v < prev {
+							t.Fatalf("order violation at PE %d index %d", rank, i)
+						}
+						prev = v
+					}
+					total += len(out)
+				}
+				if total != p*perPE {
+					t.Fatalf("lost elements: %d of %d", total, p*perPE)
+				}
+			})
+		}
 	}
 }
 

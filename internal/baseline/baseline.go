@@ -23,13 +23,26 @@ import (
 	"pmsort/internal/msel"
 	"pmsort/internal/prng"
 	"pmsort/internal/seq"
+	"pmsort/internal/wire"
 )
+
+// registerWire registers every payload type the baselines can put on a
+// serializing backend for element type E. Idempotent; every baseline
+// entry point calls it before its first message.
+func registerWire[E any]() {
+	coll.RegisterWire[E]()
+	coll.RegisterWire[med[E]]() // hc-quicksort gossips (median, weight) pairs
+	wire.Register[probeSlot[E]]()
+	wire.Register[[]probeSlot[E]]()
+	msel.RegisterWire[E]()
+}
 
 // GVSampleSort sorts with single-level sample sort and centralized
 // splitter selection. Oversampling a defaults to 16·log₂(p)+1 samples
 // per PE. The output imbalance is whatever the splitters give — there is
 // no overpartitioning rescue.
 func GVSampleSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, seed uint64) ([]E, *core.Stats) {
+	registerWire[E]()
 	cost := c.Cost()
 	p := c.Size()
 	stats := &core.Stats{MaxImbalance: 1, Levels: 1}
@@ -122,6 +135,7 @@ func GVSampleSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, 
 // merge of the received runs — the design §7.3 shows does not scale for
 // small inputs.
 func MPSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, seed uint64) ([]E, *core.Stats) {
+	registerWire[E]()
 	cost := c.Cost()
 	p := c.Size()
 	stats := &core.Stats{MaxImbalance: 1, Levels: 1}
@@ -182,6 +196,7 @@ func MPSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, seed u
 // element counts are preserved exactly.
 func BitonicSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, _ uint64) ([]E, *core.Stats) {
 	const tagBitonic = 0x7e0001
+	registerWire[E]()
 	cost := c.Cost()
 	p := c.Size()
 	if p&(p-1) != 0 {

@@ -12,6 +12,13 @@ import (
 
 const tagHCQ = 0x7e0002
 
+// med is a (median, weight) gossip pair of HCQuicksort's pivot
+// selection; ok=false means the PE abstained (empty local data).
+type med[E any] struct {
+	val E
+	ok  bool
+}
+
 // HCQuicksort is hypercube parallel quicksort [19, 21] — the classic
 // O(log² p)-startup algorithm that §6 positions AMS-sort as a
 // generalization of (AMS with r=O(1) per level behaves like it, but with
@@ -27,6 +34,7 @@ func HCQuicksort[E any](c comm.Communicator, data []E, less func(a, b E) bool, s
 	if p&(p-1) != 0 {
 		panic("baseline: HCQuicksort requires a power-of-two number of PEs")
 	}
+	registerWire[E]()
 	stats := &core.Stats{MaxImbalance: 1, Levels: 0}
 	start := coll.TimedBarrier(c)
 
@@ -46,15 +54,11 @@ func HCQuicksort[E any](c comm.Communicator, data []E, less func(a, b E) bool, s
 
 		// Pivot: median of the members' local medians, via gossip of
 		// (median, weight) pairs — cheap and classic. Empty PEs abstain.
-		type med struct {
-			val E
-			ok  bool
-		}
-		my := med{}
+		my := med[E]{}
 		if len(cur) > 0 {
-			my = med{val: cur[len(cur)/2], ok: true}
+			my = med[E]{val: cur[len(cur)/2], ok: true}
 		}
-		meds := coll.Allgatherv(sub, []med{my})
+		meds := coll.Allgatherv(sub, []med[E]{my})
 		var cands []E
 		for _, m := range meds {
 			if len(m) == 1 && m[0].ok {

@@ -21,6 +21,7 @@ import (
 // tol is the rank tolerance as a fraction of n/p (their evaluation uses
 // a few percent); tol ≤ 0 defaults to 0.05.
 func HistogramSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, tol float64, seed uint64) ([]E, *core.Stats) {
+	registerWire[E]()
 	cost := c.Cost()
 	p := c.Size()
 	stats := &core.Stats{MaxImbalance: 1, Levels: 1}

@@ -8,6 +8,13 @@ const (
 	tagPipeBcast  = 0x7c1003
 )
 
+// seg is one offset-stamped segment of the recursive-doubling allgather
+// of AllreduceSumI64 (package-scoped so the wire codec can name it).
+type seg struct {
+	lo   int
+	data []int64
+}
+
 // AllreduceSumI64 computes the element-wise vector sum on every member.
 // For power-of-two groups and vectors of at least one element per member
 // it uses Rabenseifner's algorithm (reduce-scatter by recursive halving,
@@ -65,10 +72,6 @@ func AllreduceSumI64(c comm.Communicator, vec []int64) []int64 {
 	}
 
 	// Allgather by recursive doubling: exchange ever-growing segments.
-	type seg struct {
-		lo   int
-		data []int64
-	}
 	for d := 1; d < p; d <<= 1 {
 		partner := rank ^ d
 		out := seg{lo: lo, data: append([]int64(nil), cur[lo:hi]...)}

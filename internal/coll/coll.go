@@ -19,7 +19,30 @@ package coll
 import (
 	"pmsort/internal/comm"
 	"pmsort/internal/seq"
+	"pmsort/internal/wire"
 )
+
+// RegisterWire registers every payload shape the collectives can put on
+// a serializing backend for value type T: T itself (Bcast/Reduce/Scan),
+// slices of T (gathers, gossip), the rank-stamped Gatherv chunks, and
+// the slice-of-slices Allgatherv broadcasts. Idempotent and cheap;
+// algorithm entry points call it per invocation.
+func RegisterWire[T any]() {
+	wire.Register[T]()
+	wire.Register[[]T]()
+	wire.Register[[][]T]()
+	wire.Register[gchunk[T]]()
+	wire.Register[[]gchunk[T]]()
+}
+
+func init() {
+	// The element types the repo's own tools and tests sort, plus the
+	// count/prefix vectors every collective exchanges.
+	RegisterWire[uint64]()
+	RegisterWire[int64]()
+	RegisterWire[int]()
+	wire.Register[seg]()
+}
 
 // Tag space for collectives. Each operation uses its own tag; repeated
 // invocations are kept apart by per-(source,tag) FIFO ordering.

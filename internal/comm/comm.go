@@ -11,12 +11,26 @@
 //     through channels, with no virtual-time bookkeeping. Cost
 //     annotations are no-ops; Now reads the wall clock, so the same
 //     phase-timing code reports real elapsed time.
+//   - internal/netcomm: p single-PE processes meshed over TCP, with
+//     payloads crossing process boundaries through the typed codec of
+//     internal/wire. Wall-clock costs like native.
 //
 // Everything above point-to-point — the collectives in internal/coll,
 // data delivery, multisequence selection, AMS-sort, RLM-sort, and all
 // baselines — is generic over this interface, so an algorithm written
-// once runs simulated (for model experiments at 10k+ PEs) and native
-// (for real multicore sorting) without change. See DESIGN.md §6.
+// once runs simulated (for model experiments at 10k+ PEs), native (for
+// real multicore sorting), and distributed over TCP without change.
+// See DESIGN.md §6 and §7.
+//
+// Payload contract: ownership of a sent payload transfers to the
+// receiver, and since backend 3 the boundary may also be a
+// serialization boundary — a payload must be of a wire-registered type
+// (the algorithm entry points register everything they send via the
+// RegisterWire helpers), and senders must never mutate a payload after
+// Send even though the in-process backends pass it by reference.
+// Payloads delivered to multiple PEs are shared and read-only; on the
+// TCP backend every receiver instead gets its own decoded copy, which
+// satisfies the same conventions trivially.
 package comm
 
 import "time"

@@ -44,6 +44,7 @@ func taggedLess[E any](less func(a, b E) bool) func(a, b tagged[E]) bool {
 // imbalanced by the overpartitioning tolerance (Lemma 2).
 func AMSSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
 	cfg = validate(cfg)
+	registerWire[E](cfg.Encoder)
 	plan := cfg.Rs
 	if plan == nil {
 		plan = PlanLevels(c.Size(), cfg.Levels)

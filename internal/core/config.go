@@ -8,7 +8,11 @@ package core
 import (
 	"fmt"
 
+	"pmsort/internal/coll"
 	"pmsort/internal/delivery"
+	"pmsort/internal/fwis"
+	"pmsort/internal/msel"
+	"pmsort/internal/wire"
 )
 
 // Phase identifies the four measured algorithm phases of §7.1. A barrier
@@ -88,6 +92,29 @@ type Config struct {
 	// ParallelGrouping uses the parallelized optimal-L search of
 	// Appendix C instead of the sequential one.
 	ParallelGrouping bool
+	// Encoder optionally supplies a custom wire codec for the element
+	// type on serializing backends (the TCP cluster). Elements made of
+	// scalars, strings, slices, and plain structs are serialized
+	// automatically; types the structural codec cannot handle (pointers
+	// into shared state, maps, interfaces) need this hook. Ignored by
+	// the simulated and native backends.
+	Encoder wire.Encoder
+}
+
+// registerWire registers every payload type the multi-level sorters can
+// put on a serializing backend for element type E: the elements and
+// their tagged sample/splitter wrappers, the collective shapes of both,
+// and the building blocks' own payloads. Called at every sort entry
+// point — registration is idempotent and costs a few map lookups.
+func registerWire[E any](enc wire.Encoder) {
+	if enc != nil {
+		wire.RegisterEncoder[E](enc)
+	}
+	coll.RegisterWire[E]()
+	coll.RegisterWire[tagged[E]]()
+	fwis.RegisterWire[tagged[E]]()
+	delivery.RegisterWire[E]()
+	msel.RegisterWire[E]()
 }
 
 // maxBucketsPerLevel caps b·r (the bucket-size vectors move through

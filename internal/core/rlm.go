@@ -19,6 +19,7 @@ import (
 // ⌊n/p⌋ or ⌈n/p⌉ elements.
 func RLMSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
 	cfg = validate(cfg)
+	registerWire[E](cfg.Encoder)
 	plan := cfg.Rs
 	if plan == nil {
 		plan = PlanLevels(c.Size(), cfg.Levels)

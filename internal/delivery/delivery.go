@@ -28,7 +28,25 @@ import (
 
 	"pmsort/internal/coll"
 	"pmsort/internal/comm"
+	"pmsort/internal/wire"
 )
+
+// RegisterWire registers the payload types a delivery of E elements can
+// put on a serializing backend: the outbox chunks of the bulk exchange
+// plus the collective shapes of E. The element-independent descriptor
+// and reply types are registered once at init. Idempotent.
+func RegisterWire[E any]() {
+	wire.Register[chunk[E]]()
+	wire.Register[[]chunk[E]]()
+	coll.RegisterWire[E]()
+}
+
+func init() {
+	coll.RegisterWire[desc]()       // deterministic: descriptors gather per group
+	coll.RegisterWire[delegDesc]()  // advanced: delegated sub-piece announcements
+	coll.RegisterWire[delegReply]() // advanced: assigned positions
+	wire.Register[reply]()          // deterministic: manager -> origin spans
+}
 
 // Strategy selects the redistribution algorithm.
 type Strategy int
@@ -96,6 +114,7 @@ func chunkWords[E any](ch chunk[E]) int64 { return int64(len(ch.data)) + 1 }
 // result is the list of chunks received by this PE, each a contiguous
 // slice of some sender's (sorted, if the sender sorted it) piece.
 func Deliver[E any](c comm.Communicator, pieces [][]E, opt Options) [][]E {
+	RegisterWire[E]()
 	r := len(pieces)
 	if r == 0 || r > c.Size() {
 		panic(fmt.Sprintf("delivery: %d pieces for %d PEs", r, c.Size()))

@@ -10,23 +10,29 @@ import (
 	"pmsort/internal/workload"
 )
 
-// Backends compares the two communication backends on AMS-sort under
+// Backends compares the communication backends on AMS-sort under
 // strong scaling: one fixed input of n elements is split over p PEs and
-// sorted on the simulated backend (reporting virtual α-β time) and on
-// the native shared-memory backend (reporting wall-clock time), next to
-// a single sort.Slice over the whole input on one core — the sequential
+// sorted on the simulated backend (reporting virtual α-β time), on the
+// native shared-memory backend (wall-clock time), and — when tcp is set
+// — on a real p-process TCP cluster on loopback (wall-clock time of the
+// sort proper, excluding process launch and rendezvous), next to a
+// single sort.Slice over the whole input on one core — the sequential
 // reference every native number is a speedup against. Wall-clock
-// numbers take the minimum over reps runs; virtual time is
-// deterministic and measured once. Real speedup saturates around
-// p = GOMAXPROCS; beyond that the goroutine-PEs time-share cores.
-func Backends(w io.Writer, ps []int, n, reps int, seed uint64, progress io.Writer) {
+// numbers take the minimum over reps runs (the TCP cluster, whose
+// cold-start dominates, runs once); virtual time is deterministic and
+// measured once. Real speedup saturates around p = GOMAXPROCS; beyond
+// that the goroutine-PEs (and rank processes) time-share cores.
+//
+// tcp requires the calling binary to invoke MaybeRunTCPChild at
+// startup: each rank is a re-execution of this executable.
+func Backends(w io.Writer, ps []int, n, reps int, seed uint64, tcp bool, progress io.Writer) {
 	if reps < 1 {
 		reps = 1
 	}
-	fmt.Fprintf(w, "Backends: AMS-sort simulated vs native shared-memory, n=%d total, GOMAXPROCS=%d (wall: min of %d)\n",
+	fmt.Fprintf(w, "Backends: AMS-sort simulated vs native shared-memory vs TCP cluster, n=%d total, GOMAXPROCS=%d (wall: min of %d)\n",
 		n, runtime.GOMAXPROCS(0), reps)
-	fmt.Fprintf(w, "%-6s %-2s %-8s %13s %16s %15s %8s\n",
-		"p", "k", "n/p", "sim-virt(ms)", "native-wall(ms)", "1core-wall(ms)", "speedup")
+	fmt.Fprintf(w, "%-6s %-2s %-8s %13s %16s %13s %15s %8s\n",
+		"p", "k", "n/p", "sim-virt(ms)", "native-wall(ms)", "tcp-wall(ms)", "1core-wall(ms)", "speedup")
 
 	// Sequential reference: one core sorting the whole input.
 	var seqNS int64 = 1<<63 - 1
@@ -64,10 +70,26 @@ func Backends(w io.Writer, ps []int, n, reps int, seed uint64, progress io.Write
 			}
 		}
 
-		fmt.Fprintf(w, "%-6d %-2d %-8d %13.3f %16.3f %15.3f %8.2f\n",
+		tcpCol := "-"
+		if tcp {
+			if progress != nil {
+				fmt.Fprintf(progress, "# backends p=%d tcp (one process per rank)\n", p)
+			}
+			if tcpRes, err := RunTCP(spec); err != nil {
+				tcpCol = "error"
+				if progress != nil {
+					fmt.Fprintf(progress, "# backends p=%d tcp failed: %v\n", p, err)
+				}
+			} else {
+				tcpCol = fmt.Sprintf("%.3f", float64(tcpRes.SortNS)/1e6)
+			}
+		}
+
+		fmt.Fprintf(w, "%-6d %-2d %-8d %13.3f %16.3f %13s %15.3f %8.2f\n",
 			p, k, perPE,
 			float64(simRes.TotalNS)/1e6,
 			float64(nativeNS)/1e6,
+			tcpCol,
 			float64(seqNS)/1e6,
 			float64(seqNS)/float64(nativeNS))
 	}

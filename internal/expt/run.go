@@ -161,6 +161,19 @@ func validate(c comm.Communicator, inCount int64, out []uint64) {
 	}
 }
 
+// RunOn generates this PE's workload slice, sorts it with the spec's
+// algorithm on the given communicator, and validates the result —
+// backend-neutral, so rank processes of a TCP cluster (cmd/sortnode,
+// the backends experiment) share the exact code path of the in-process
+// backends. Collective call.
+func RunOn(c comm.Communicator, spec Spec) ([]uint64, *core.Stats) {
+	data := workload.Local(spec.Kind, spec.Seed, spec.P, spec.PerPE, c.Rank())
+	inCount := int64(len(data))
+	out, st := runAlgo(c, spec, data)
+	validate(c, inCount, out)
+	return out, st
+}
+
 // Run executes and validates one run on the simulated backend. It panics
 // if the output is not a globally sorted permutation of the input.
 func Run(spec Spec) Result {
@@ -249,25 +262,29 @@ func RunNative(spec Spec) NativeResult {
 	})
 	res.WallNS = dur.Nanoseconds()
 
-	n := int64(spec.P) * int64(spec.PerPE)
 	for rank := 0; rank < spec.P; rank++ {
-		st := allStats[rank]
-		if st.TotalNS > res.SortNS {
-			res.SortNS = st.TotalNS
-		}
-		for ph := 0; ph < int(core.NumPhases); ph++ {
-			if st.PhaseNS[ph] > res.PhaseNS[ph] {
-				res.PhaseNS[ph] = st.PhaseNS[ph]
-			}
-		}
-		if n > 0 {
-			imb := float64(outLens[rank]) * float64(spec.P) / float64(n)
-			if imb > res.OutImbalance {
-				res.OutImbalance = imb
-			}
-		}
+		res.absorb(allStats[rank], outLens[rank], spec)
 	}
 	return res
+}
+
+// absorb folds one rank's run outcome into the aggregate: per-phase and
+// total maxima over ranks, and the output imbalance max_PE |out|·p/n.
+func (res *NativeResult) absorb(st *core.Stats, outLen int64, spec Spec) {
+	if st.TotalNS > res.SortNS {
+		res.SortNS = st.TotalNS
+	}
+	for ph := 0; ph < int(core.NumPhases); ph++ {
+		if st.PhaseNS[ph] > res.PhaseNS[ph] {
+			res.PhaseNS[ph] = st.PhaseNS[ph]
+		}
+	}
+	if n := int64(spec.P) * int64(spec.PerPE); n > 0 {
+		imb := float64(outLen) * float64(spec.P) / float64(n)
+		if imb > res.OutImbalance {
+			res.OutImbalance = imb
+		}
+	}
 }
 
 // RunReps runs the spec `reps` times with varied seeds.

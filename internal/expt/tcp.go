@@ -1,0 +1,215 @@
+package expt
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"pmsort/internal/comm"
+	"pmsort/internal/core"
+	"pmsort/internal/netcomm"
+)
+
+// Child-process environment protocol: a tool that wants to host TCP
+// cluster ranks calls MaybeRunTCPChild first thing in main; RunTCP then
+// re-executes the tool once per rank with these variables set.
+const (
+	envTCPRole   = "PMSORT_TCP_ROLE" // "child" marks a rank process
+	envTCPRank   = "PMSORT_TCP_RANK"
+	envTCPPeers  = "PMSORT_TCP_PEERS"  // comma-separated host:port list
+	envTCPSpec   = "PMSORT_TCP_SPEC"   // JSON-encoded Spec
+	envTCPResult = "PMSORT_TCP_RESULT" // path for the gob-encoded tcpChildResult
+)
+
+// tcpChildResult is what one rank process reports back to the parent.
+// Only aggregates travel: the cross-rank output validation (global
+// order, permutation preservation) already ran collectively inside the
+// cluster via RunOn, and the byte-level conformance checks have their
+// own dump path (sortnode -out, tcp_conformance_test.go).
+type tcpChildResult struct {
+	Stats  core.Stats
+	OutLen int64
+}
+
+// MaybeRunTCPChild turns this process into one rank of a TCP cluster if
+// the child environment is set (it never returns in that case). Tools
+// that pass themselves as the executable to RunTCP must call it before
+// flag parsing.
+func MaybeRunTCPChild() {
+	if os.Getenv(envTCPRole) != "child" {
+		return
+	}
+	os.Exit(runTCPChild())
+}
+
+func runTCPChild() int {
+	var rank int
+	if _, err := fmt.Sscanf(os.Getenv(envTCPRank), "%d", &rank); err != nil {
+		fmt.Fprintf(os.Stderr, "tcp child: bad rank %q: %v\n", os.Getenv(envTCPRank), err)
+		return 2
+	}
+	peers := splitAddrs(os.Getenv(envTCPPeers))
+	var spec Spec
+	if err := json.Unmarshal([]byte(os.Getenv(envTCPSpec)), &spec); err != nil {
+		fmt.Fprintf(os.Stderr, "tcp child %d: bad spec: %v\n", rank, err)
+		return 2
+	}
+
+	m, err := netcomm.New(rank, peers, netcomm.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcp child %d: %v\n", rank, err)
+		return 1
+	}
+	defer m.Close()
+
+	var res tcpChildResult
+	_, err = m.Run(func(c comm.Communicator) {
+		out, st := RunOn(c, spec)
+		res.Stats = *st
+		res.OutLen = int64(len(out))
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcp child %d: %v\n", rank, err)
+		return 1
+	}
+	if path := os.Getenv(envTCPResult); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcp child %d: %v\n", rank, err)
+			return 1
+		}
+		if err := gob.NewEncoder(f).Encode(&res); err != nil {
+			fmt.Fprintf(os.Stderr, "tcp child %d: %v\n", rank, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tcp child %d: %v\n", rank, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// ReserveLoopbackAddrs picks p currently free loopback addresses by
+// binding ephemeral listeners and releasing them. The small window
+// before the cluster rebinds them is absorbed by the transport's bind
+// retry.
+func ReserveLoopbackAddrs(p int) ([]string, error) {
+	addrs := make([]string, p)
+	lns := make([]net.Listener, 0, p)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}
+
+// RunTCP executes and validates one run on a real multi-process TCP
+// cluster on loopback: spec.P rank processes of this executable (which
+// must call MaybeRunTCPChild at startup) are launched, meshed, and torn
+// down. All times are wall-clock nanoseconds. The returned NativeResult
+// aggregates the ranks exactly like RunNative does for goroutine-PEs.
+func RunTCP(spec Spec) (NativeResult, error) {
+	var res NativeResult
+	exe, err := os.Executable()
+	if err != nil {
+		return res, fmt.Errorf("tcp: cannot locate own executable: %w", err)
+	}
+	addrs, err := ReserveLoopbackAddrs(spec.P)
+	if err != nil {
+		return res, fmt.Errorf("tcp: reserving ports: %w", err)
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return res, fmt.Errorf("tcp: encoding spec: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "pmsort-tcp-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+
+	peerList := ""
+	for i, a := range addrs {
+		if i > 0 {
+			peerList += ","
+		}
+		peerList += a
+	}
+
+	start := time.Now()
+	cmds := make([]*exec.Cmd, spec.P)
+	for rank := 0; rank < spec.P; rank++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			envTCPRole+"=child",
+			fmt.Sprintf("%s=%d", envTCPRank, rank),
+			envTCPPeers+"="+peerList,
+			envTCPSpec+"="+string(specJSON),
+			envTCPResult+"="+filepath.Join(dir, fmt.Sprintf("rank%d.gob", rank)),
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds {
+				if c != nil {
+					_ = c.Process.Kill()
+				}
+			}
+			return res, fmt.Errorf("tcp: starting rank %d: %w", rank, err)
+		}
+		cmds[rank] = cmd
+	}
+	var firstErr error
+	for rank, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("tcp: rank %d: %w", rank, err)
+		}
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	res.WallNS = time.Since(start).Nanoseconds()
+
+	for rank := 0; rank < spec.P; rank++ {
+		var cres tcpChildResult
+		f, err := os.Open(filepath.Join(dir, fmt.Sprintf("rank%d.gob", rank)))
+		if err != nil {
+			return res, fmt.Errorf("tcp: rank %d result: %w", rank, err)
+		}
+		err = gob.NewDecoder(f).Decode(&cres)
+		f.Close()
+		if err != nil {
+			return res, fmt.Errorf("tcp: rank %d result: %w", rank, err)
+		}
+		res.absorb(&cres.Stats, cres.OutLen, spec)
+	}
+	return res, nil
+}

@@ -18,7 +18,23 @@ import (
 
 	"pmsort/internal/coll"
 	"pmsort/internal/comm"
+	"pmsort/internal/wire"
 )
+
+// selSlot carries a rank-selected element through the pick-one
+// all-reduce of SelectRanks.
+type selSlot[E any] struct {
+	val E
+	ok  bool
+}
+
+// RegisterWire registers the payload types a grid sort of E elements can
+// put on a serializing backend. Idempotent.
+func RegisterWire[E any]() {
+	wire.Register[selSlot[E]]()
+	wire.Register[[]selSlot[E]]()
+	coll.RegisterWire[E]()
+}
 
 // GridDims factors p into a×b with a ≤ b and a the largest divisor of p
 // not exceeding √p. For powers of two this reproduces the paper's
@@ -52,6 +68,7 @@ type Sorter[E any] struct {
 // call it collectively. The local slice need not be sorted; it is sorted
 // in place.
 func New[E any](c comm.Communicator, local []E, less func(a, b E) bool) *Sorter[E] {
+	RegisterWire[E]()
 	cost := c.Cost()
 	p := c.Size()
 	a, b := GridDims(p)
@@ -101,11 +118,7 @@ func (s *Sorter[E]) Total() int64 { return s.total }
 // the given targets (0-based, each in 0..Total()-1). One vector-valued
 // all-reduce distributes the matches.
 func (s *Sorter[E]) SelectRanks(targets []int64) []E {
-	type slot struct {
-		val E
-		ok  bool
-	}
-	slots := make([]slot, len(targets))
+	slots := make([]selSlot[E], len(targets))
 	for t, k := range targets {
 		if k < 0 || k >= s.total {
 			panic(fmt.Sprintf("fwis: rank %d out of range 0..%d", k, s.total-1))
@@ -122,11 +135,11 @@ func (s *Sorter[E]) SelectRanks(targets []int64) []E {
 			}
 		}
 		if lo < len(s.ranks) && s.ranks[lo] == k {
-			slots[t] = slot{val: s.colData[lo], ok: true}
+			slots[t] = selSlot[E]{val: s.colData[lo], ok: true}
 		}
 	}
-	pick := func(x, y []slot) []slot {
-		out := make([]slot, len(x))
+	pick := func(x, y []selSlot[E]) []selSlot[E] {
+		out := make([]selSlot[E], len(x))
 		for i := range x {
 			if x[i].ok {
 				out[i] = x[i]

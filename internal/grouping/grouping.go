@@ -9,7 +9,15 @@ package grouping
 import (
 	"pmsort/internal/coll"
 	"pmsort/internal/comm"
+	"pmsort/internal/wire"
 )
+
+// bounds is the probe outcome travelling through the bound-tightening
+// all-reduce of OptimalLParallel: the tightest feasible value seen
+// (succ) and the tightest known-infeasible bound (fail).
+type bounds struct{ fail, succ int64 }
+
+func init() { wire.Register[bounds]() }
 
 // Scan greedily packs the buckets into consecutive groups of total size
 // at most L, opening a new group whenever the next bucket would overflow
@@ -110,9 +118,6 @@ func OptimalLParallel(c comm.Communicator, sizes []int64, r int) (L int64, start
 	lo := maxI64(maxBucket, ceilDiv(total, int64(r)))
 	hi := total
 	p := int64(c.Size())
-	// probe outcome: tightest feasible value seen (succ) and tightest
-	// known-infeasible bound (fail).
-	type bounds struct{ fail, succ int64 }
 	combine := func(a, b bounds) bounds {
 		if b.fail > a.fail {
 			a.fail = b.fail

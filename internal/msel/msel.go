@@ -20,6 +20,7 @@ import (
 	"pmsort/internal/comm"
 	"pmsort/internal/prng"
 	"pmsort/internal/seq"
+	"pmsort/internal/wire"
 )
 
 // pivotSlot carries a pivot candidate through the pick-one all-reduce.
@@ -28,12 +29,21 @@ type pivotSlot[E any] struct {
 	ok  bool
 }
 
+// RegisterWire registers the payload types a selection over E elements
+// can put on a serializing backend. Idempotent.
+func RegisterWire[E any]() {
+	wire.Register[pivotSlot[E]]()
+	wire.Register[[]pivotSlot[E]]()
+	coll.RegisterWire[E]()
+}
+
 // Select returns, for each target rank k in targets (0 ≤ k ≤ N where N is
 // the total number of elements over all PEs), a local split position
 // pos[t] with Σ_PEs pos[t] = targets[t]. The collective must be called by
 // all members of c with identical targets and seed; local must be sorted
 // under less.
 func Select[E any](c comm.Communicator, local []E, targets []int64, less func(a, b E) bool, seed uint64) []int {
+	RegisterWire[E]()
 	r := len(targets)
 	pos := make([]int, r)
 	if r == 0 {

@@ -1,4 +1,4 @@
-package native
+package netcomm
 
 import (
 	"fmt"
@@ -6,13 +6,15 @@ import (
 	"pmsort/internal/comm"
 )
 
-// Comm is the native backend's communicator: an ordered group of
-// goroutine-PEs with this PE's position in it. Splitting is purely
-// local, exactly like the simulator's.
+// Comm is the TCP backend's communicator: an ordered group of process
+// ranks with this process's position in it. Splitting is purely local,
+// exactly like the other backends' — the split geometry comes from the
+// shared helpers in internal/comm, so group shapes (and therefore
+// output bytes) match the simulator and the native backend exactly.
 type Comm struct {
-	pe    *pe
+	m     *Machine
 	ranks []int // global ranks of the members, ascending by construction
-	me    int   // index of pe in ranks
+	me    int   // index of this process in ranks
 }
 
 var _ comm.Communicator = (*Comm)(nil)
@@ -23,23 +25,27 @@ func (c *Comm) Size() int { return len(c.ranks) }
 // Rank returns this PE's group-relative rank.
 func (c *Comm) Rank() int { return c.me }
 
-// GlobalRank translates a group-relative rank to a machine rank.
+// GlobalRank translates a group-relative rank to a cluster rank.
 func (c *Comm) GlobalRank(r int) int { return c.ranks[r] }
 
-// Send hands the payload to the member with group-relative rank `to`.
-// The payload moves by reference — no copy — and ownership transfers to
-// the receiver. words is ignored (no cost model).
+// Send transmits the payload to the member with group-relative rank
+// `to`. Self-sends move by reference through the mailbox (native
+// semantics); remote sends hand the payload to the peer's writer
+// goroutine, which serializes it — the sender must treat it as
+// transferred either way (the Communicator ownership contract).
 func (c *Comm) Send(to, tag int, payload any, words int64) {
-	if to < 0 || to >= len(c.ranks) {
-		panic(fmt.Sprintf("native: send from PE %d to invalid group rank %d (group size %d)", c.pe.rank, to, len(c.ranks)))
+	target := c.ranks[to]
+	if target == c.m.rank {
+		c.m.mbox.put(target, tag, envelope{payload: payload, words: words})
+		return
 	}
-	c.pe.m.pes[c.ranks[to]].mbox.put(c.pe.rank, tag, envelope{payload: payload, words: words})
+	c.m.enqueue(target, tag, payload, words)
 }
 
 // Recv blocks until the message with the given tag from the member with
 // group-relative rank `from` arrives.
 func (c *Comm) Recv(from, tag int) (any, int64) {
-	e := c.pe.mbox.take(c.ranks[from], tag)
+	e := c.m.mbox.take(c.ranks[from], tag)
 	return e.payload, e.words
 }
 
@@ -48,7 +54,7 @@ func (c *Comm) Recv(from, tag int) (any, int64) {
 func (c *Comm) SplitEqual(groups int) (comm.Communicator, int) {
 	starts, ok := comm.EqualStarts(len(c.ranks), groups)
 	if !ok {
-		panic(fmt.Sprintf("native: SplitEqual(%d) on communicator of size %d", groups, len(c.ranks)))
+		panic(fmt.Sprintf("netcomm: SplitEqual(%d) on communicator of size %d", groups, len(c.ranks)))
 	}
 	return c.SplitStarts(starts)
 }
@@ -59,9 +65,9 @@ func (c *Comm) SplitEqual(groups int) (comm.Communicator, int) {
 func (c *Comm) SplitStarts(starts []int) (comm.Communicator, int) {
 	lo, hi, g, ok := comm.SplitBounds(starts, len(c.ranks), c.me)
 	if !ok {
-		panic(fmt.Sprintf("native: SplitStarts with invalid bounds %v for size %d rank %d", starts, len(c.ranks), c.me))
+		panic(fmt.Sprintf("netcomm: SplitStarts with invalid bounds %v for size %d rank %d", starts, len(c.ranks), c.me))
 	}
-	return &Comm{pe: c.pe, ranks: c.ranks[lo:hi], me: c.me - lo}, g
+	return &Comm{m: c.m, ranks: c.ranks[lo:hi], me: c.me - lo}, g
 }
 
 // SplitModulo partitions the members into m groups by rank modulo m and
@@ -69,20 +75,20 @@ func (c *Comm) SplitStarts(starts []int) (comm.Communicator, int) {
 func (c *Comm) SplitModulo(m int) (comm.Communicator, int) {
 	ranks, me, g, ok := comm.ModuloRanks(c.ranks, c.me, m)
 	if !ok {
-		panic(fmt.Sprintf("native: SplitModulo(%d) on communicator of size %d", m, len(c.ranks)))
+		panic(fmt.Sprintf("netcomm: SplitModulo(%d) on communicator of size %d", m, len(c.ranks)))
 	}
-	return &Comm{pe: c.pe, ranks: ranks, me: me}, g
+	return &Comm{m: c.m, ranks: ranks, me: me}, g
 }
 
 // Subset returns the communicator of members [lo, hi). This PE must be
 // a member of the subset.
 func (c *Comm) Subset(lo, hi int) comm.Communicator {
 	if c.me < lo || c.me >= hi {
-		panic(fmt.Sprintf("native: Subset(%d,%d) does not contain rank %d", lo, hi, c.me))
+		panic(fmt.Sprintf("netcomm: Subset(%d,%d) does not contain rank %d", lo, hi, c.me))
 	}
-	return &Comm{pe: c.pe, ranks: c.ranks[lo:hi], me: c.me - lo}
+	return &Comm{m: c.m, ranks: c.ranks[lo:hi], me: c.me - lo}
 }
 
 // Cost returns the wall-clock hook: annotations are free, Now reads
-// real elapsed time since the Run started.
-func (c *Comm) Cost() comm.Cost { return comm.WallClock{Epoch: c.pe.m.epoch} }
+// real elapsed time since this rank's Run started.
+func (c *Comm) Cost() comm.Cost { return comm.WallClock{Epoch: c.m.epoch} }

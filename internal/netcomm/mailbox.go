@@ -1,0 +1,125 @@
+package netcomm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// envelope is an in-flight point-to-point message.
+type envelope struct {
+	payload any
+	words   int64
+}
+
+// mbKey identifies a (source global rank, tag) message queue.
+type mbKey struct {
+	from, tag int
+}
+
+// mailbox is the process's incoming message store, shared by all peer
+// reader goroutines. Messages are matched by (source, tag) and are FIFO
+// within each such pair — the same matching discipline as the native
+// backend's mailbox. Readers never block (eager, unbounded buffering);
+// the single receiver — the goroutine running this process's PE — parks
+// on a capacity-1 wake channel between queue scans.
+//
+// Unlike the in-process mailboxes, a take can also end because the
+// transport failed or because the awaited peer hung up: both conditions
+// wake the receiver and make take panic with a diagnosis instead of
+// blocking forever.
+type mailbox struct {
+	mu     sync.Mutex
+	queues map[mbKey][]envelope
+	err    error        // fatal transport error, sticky
+	closed map[int]bool // peers that reached EOF (graceful hangup)
+	wake   chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{
+		queues: make(map[mbKey][]envelope),
+		closed: make(map[int]bool),
+		wake:   make(chan struct{}, 1),
+	}
+}
+
+func (mb *mailbox) signal() {
+	select {
+	case mb.wake <- struct{}{}:
+	default: // token already pending; the receiver will rescan anyway
+	}
+}
+
+// put enqueues a message from the given source rank under the given tag.
+func (mb *mailbox) put(from, tag int, e envelope) {
+	k := mbKey{from, tag}
+	mb.mu.Lock()
+	mb.queues[k] = append(mb.queues[k], e)
+	mb.mu.Unlock()
+	mb.signal()
+}
+
+// fail records a fatal transport error; every blocked and future take
+// panics with it. The first error wins.
+func (mb *mailbox) fail(err error) {
+	mb.mu.Lock()
+	if mb.err == nil {
+		mb.err = err
+	}
+	mb.mu.Unlock()
+	mb.signal()
+}
+
+// hangup records that the peer's stream ended. Its already-delivered
+// messages stay takeable; waiting for a new one panics.
+func (mb *mailbox) hangup(from int) {
+	mb.mu.Lock()
+	mb.closed[from] = true
+	mb.mu.Unlock()
+	mb.signal()
+}
+
+// take blocks until a message from the given source with the given tag
+// is available and dequeues it. Must only be called by the goroutine
+// running this process's PE. Panics when the transport has failed or
+// the awaited peer hung up with no matching message buffered.
+func (mb *mailbox) take(from, tag int) envelope {
+	k := mbKey{from, tag}
+	for {
+		mb.mu.Lock()
+		if q := mb.queues[k]; len(q) > 0 {
+			e := q[0]
+			if len(q) == 1 {
+				delete(mb.queues, k)
+			} else {
+				// Shift instead of re-slicing so the backing array does
+				// not pin already-consumed payloads.
+				copy(q, q[1:])
+				q[len(q)-1] = envelope{}
+				mb.queues[k] = q[:len(q)-1]
+			}
+			mb.mu.Unlock()
+			return e
+		}
+		err, closed := mb.err, mb.closed[from]
+		mb.mu.Unlock()
+		if err != nil {
+			panic(fmt.Sprintf("netcomm: recv(from=%d, tag=%#x) after transport failure: %v", from, tag, err))
+		}
+		if closed {
+			panic(fmt.Sprintf("netcomm: recv(from=%d, tag=%#x): peer closed the connection with no matching message", from, tag))
+		}
+		<-mb.wake
+	}
+}
+
+// pending reports the number of undelivered messages (for leak tests).
+func (mb *mailbox) pending() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	n := 0
+	for _, q := range mb.queues {
+		n += len(q)
+	}
+	return n
+}

@@ -1,0 +1,606 @@
+// Package netcomm is the TCP backend of comm.Communicator: a cluster of
+// p single-PE processes (one rank per process, typically on different
+// machines) connected by one persistent duplex TCP connection per peer
+// pair, exchanging the algorithms' payloads through the typed wire codec
+// of internal/wire.
+//
+// Topology and rendezvous: every rank is given the same ordered address
+// list; rank i listens on addrs[i] and dials every lower rank, retrying
+// until the whole mesh is up (peers may start in any order). The
+// connection per pair is established once and reused for the lifetime
+// of the machine.
+//
+// Data path: Send is eager and never blocks — the payload is handed to
+// the destination peer's writer goroutine, which serializes it
+// (internal/wire), frames it with a length prefix, and streams it out
+// through a buffered writer that flushes when the queue momentarily
+// drains. A reader goroutine per peer decodes incoming frames into the
+// process's mailbox, where Recv matches them by (sender, tag) with FIFO
+// order per pair — the exact discipline of the native backend.
+// Self-sends short-circuit through the mailbox without serialization.
+//
+// Cost annotations are no-ops and Now reads the wall clock
+// (comm.WallClock), so the backend-neutral phase statistics report real
+// elapsed time, like the native backend.
+//
+// Serialization boundary: payloads must be of wire-registered types.
+// The algorithm entry points register everything they send for their
+// element type; user element types beyond plain structs of scalars plug
+// in via Config.Encoder. Because the receiver gets a decoded copy, the
+// shared-memory read-only conventions of internal/coll are trivially
+// satisfied across processes.
+package netcomm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"pmsort/internal/comm"
+	"pmsort/internal/wire"
+)
+
+// Wire protocol constants.
+const (
+	// handshakeMagic opens every connection, followed by the protocol
+	// version byte and the dialer's uvarint rank and world size.
+	handshakeMagic = "PMSC"
+	protoVersion   = 1
+
+	// maxFrame bounds a single message frame (header + encoded
+	// payload). A frame larger than this indicates corruption.
+	maxFrame = 1 << 30
+)
+
+// Options tunes the rendezvous.
+type Options struct {
+	// RendezvousTimeout bounds the whole mesh construction (bind, dial
+	// retries, handshakes). 0 means 30s.
+	RendezvousTimeout time.Duration
+}
+
+// Machine is this process's endpoint of a TCP cluster: rank `rank` of
+// `p` single-PE processes.
+type Machine struct {
+	rank  int
+	p     int
+	mbox  *mailbox
+	peers []*peer // indexed by rank; nil at m.rank
+	epoch time.Time
+
+	closing  sync.Once
+	closeErr error
+	world    []int
+}
+
+// peer is one established pairwise connection.
+type peer struct {
+	rank int
+	conn *net.TCPConn
+
+	// outbound queue: unbounded so Send never blocks (eager buffered
+	// sends — the Communicator contract).
+	mu     sync.Mutex
+	queue  []outMsg
+	closed bool // no further enqueues; writer drains and half-closes
+	wake   chan struct{}
+	done   chan struct{} // writer goroutine exited
+	rdone  chan struct{} // reader goroutine exited
+}
+
+// outMsg is one queued outbound message.
+type outMsg struct {
+	tag     int
+	payload any
+	words   int64
+}
+
+// New establishes this process's endpoint of the cluster: it binds
+// addrs[rank], dials every lower rank (retrying until the peer is up),
+// accepts every higher rank, and starts the per-peer reader and writer
+// goroutines. All processes must call New with the same address list.
+func New(rank int, addrs []string, opt Options) (*Machine, error) {
+	p := len(addrs)
+	if p <= 0 {
+		return nil, fmt.Errorf("netcomm: empty address list")
+	}
+	if rank < 0 || rank >= p {
+		return nil, fmt.Errorf("netcomm: rank %d outside address list of length %d", rank, p)
+	}
+	timeout := opt.RendezvousTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+
+	m := &Machine{rank: rank, p: p, mbox: newMailbox(), peers: make([]*peer, p)}
+	m.world = make([]int, p)
+	for i := range m.world {
+		m.world[i] = i
+	}
+	if p == 1 {
+		return m, nil
+	}
+
+	ln, err := bindRetry(addrs[rank], deadline)
+	if err != nil {
+		return nil, fmt.Errorf("netcomm: rank %d cannot listen on %s: %w", rank, addrs[rank], err)
+	}
+	defer ln.Close()
+	meshed := make(chan struct{}) // closed once all pairs are connected
+	defer close(meshed)
+
+	type result struct {
+		peerRank int
+		conn     *net.TCPConn
+		err      error
+	}
+	results := make(chan result, p)
+
+	// Accept the higher ranks. The listener is on a real host:port for
+	// up to the whole rendezvous window, so stray connections (port
+	// scanners, health checks) are possible: a failed handshake drops
+	// that connection and keeps accepting — only listener errors (i.e.
+	// the deadline) abort, reporting the last rejection for diagnosis.
+	if rank < p-1 {
+		var rejectMu sync.Mutex
+		var lastReject error
+		go func() {
+			for {
+				_ = ln.(*net.TCPListener).SetDeadline(deadline)
+				conn, err := ln.Accept()
+				if err != nil {
+					select {
+					case <-meshed: // rendezvous over; the listener closed
+					default:
+						rejectMu.Lock()
+						if lastReject != nil {
+							err = fmt.Errorf("%w (last rejected handshake: %v)", err, lastReject)
+						}
+						rejectMu.Unlock()
+						results <- result{err: fmt.Errorf("accept: %w", err)}
+					}
+					return
+				}
+				go func(conn net.Conn) {
+					peerRank, err := acceptHandshake(conn, rank, p, deadline)
+					if err != nil {
+						conn.Close()
+						rejectMu.Lock()
+						lastReject = err
+						rejectMu.Unlock()
+						return
+					}
+					results <- result{peerRank: peerRank, conn: conn.(*net.TCPConn)}
+				}(conn)
+			}
+		}()
+	}
+
+	// Dial the lower ranks.
+	for j := 0; j < rank; j++ {
+		go func(j int) {
+			conn, err := dialRetry(addrs[j], j, rank, p, deadline)
+			results <- result{peerRank: j, conn: conn, err: err}
+		}(j)
+	}
+
+	conns := make([]*net.TCPConn, p)
+	for got := 0; got < p-1; {
+		r := <-results
+		if r.err == nil && conns[r.peerRank] != nil {
+			// A duplicate dial from an already-connected rank means the
+			// address lists disagree; that is fatal, not a stray.
+			r.err = fmt.Errorf("duplicate connection from rank %d", r.peerRank)
+		}
+		if r.err != nil {
+			for _, c := range conns {
+				if c != nil {
+					c.Close()
+				}
+			}
+			if r.conn != nil {
+				r.conn.Close()
+			}
+			return nil, fmt.Errorf("netcomm: rank %d rendezvous failed: %w", rank, r.err)
+		}
+		conns[r.peerRank] = r.conn
+		got++
+	}
+
+	for j, conn := range conns {
+		if conn == nil {
+			continue
+		}
+		pr := &peer{
+			rank:  j,
+			conn:  conn,
+			wake:  make(chan struct{}, 1),
+			done:  make(chan struct{}),
+			rdone: make(chan struct{}),
+		}
+		m.peers[j] = pr
+		go m.writeLoop(pr)
+		go m.readLoop(pr)
+	}
+	return m, nil
+}
+
+// bindRetry listens on addr, retrying briefly: in test and launcher
+// setups the port was pre-reserved and released moments ago, and the
+// kernel may not have recycled it yet.
+func bindRetry(addr string, deadline time.Time) (net.Listener, error) {
+	var lastErr error
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return nil, lastErr
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// dialRetry dials addr until the peer is listening, then handshakes.
+func dialRetry(addr string, peerRank, myRank, p int, deadline time.Time) (*net.TCPConn, error) {
+	backoff := 10 * time.Millisecond
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("dial %s: rendezvous timeout", addr)
+		}
+		conn, err := net.DialTimeout("tcp", addr, remaining)
+		if err == nil {
+			tc := conn.(*net.TCPConn)
+			if err := dialHandshake(tc, peerRank, myRank, p, deadline); err != nil {
+				tc.Close()
+				return nil, err
+			}
+			return tc, nil
+		}
+		time.Sleep(backoff)
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// dialHandshake introduces the dialer: magic, version, rank, world size;
+// the acceptor echoes magic, version, and its rank.
+func dialHandshake(conn net.Conn, peerRank, myRank, p int, deadline time.Time) error {
+	_ = conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+	buf := append([]byte(handshakeMagic), protoVersion)
+	buf = binary.AppendUvarint(buf, uint64(myRank))
+	buf = binary.AppendUvarint(buf, uint64(p))
+	if _, err := conn.Write(buf); err != nil {
+		return fmt.Errorf("handshake write: %w", err)
+	}
+	// Read the reply with exact-size reads: a buffered reader could
+	// slurp the acceptor's first data frames and lose them.
+	br := oneByteReader{conn}
+	if err := expectMagic(br); err != nil {
+		return err
+	}
+	got, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("handshake read: %w", err)
+	}
+	if int(got) != peerRank {
+		return fmt.Errorf("handshake: dialed rank %d but %d answered — inconsistent address lists", peerRank, got)
+	}
+	return nil
+}
+
+// acceptHandshake validates the dialer's introduction and echoes ours.
+// Returns the dialer's rank.
+func acceptHandshake(conn net.Conn, myRank, p int, deadline time.Time) (int, error) {
+	_ = conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+	// Exact-size reads only: the dialer's data frames may already be in
+	// flight right behind its introduction.
+	br := oneByteReader{conn}
+	if err := expectMagic(br); err != nil {
+		return 0, err
+	}
+	peerRank, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("handshake read: %w", err)
+	}
+	peerP, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("handshake read: %w", err)
+	}
+	if int(peerP) != p {
+		return 0, fmt.Errorf("handshake: peer believes the cluster has %d ranks, this process %d", peerP, p)
+	}
+	if int(peerRank) <= myRank || int(peerRank) >= p {
+		return 0, fmt.Errorf("handshake: unexpected dialer rank %d (acceptor rank %d, p=%d)", peerRank, myRank, p)
+	}
+	buf := append([]byte(handshakeMagic), protoVersion)
+	buf = binary.AppendUvarint(buf, uint64(myRank))
+	if _, err := conn.Write(buf); err != nil {
+		return 0, fmt.Errorf("handshake reply: %w", err)
+	}
+	return int(peerRank), nil
+}
+
+// oneByteReader reads from a connection without buffering ahead, so a
+// handshake consumes exactly its own bytes and nothing of the frames
+// that may follow.
+type oneByteReader struct {
+	r io.Reader
+}
+
+func (o oneByteReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+func (o oneByteReader) ReadByte() (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(o.r, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func expectMagic(br oneByteReader) error {
+	var hdr [len(handshakeMagic) + 1]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("handshake read: %w", err)
+	}
+	if string(hdr[:len(handshakeMagic)]) != handshakeMagic {
+		return fmt.Errorf("handshake: bad magic %q — not a pmsort peer", hdr[:len(handshakeMagic)])
+	}
+	if hdr[len(handshakeMagic)] != protoVersion {
+		return fmt.Errorf("handshake: protocol version %d, want %d", hdr[len(handshakeMagic)], protoVersion)
+	}
+	return nil
+}
+
+// Rank returns this process's global rank.
+func (m *Machine) Rank() int { return m.rank }
+
+// P returns the number of ranks in the cluster.
+func (m *Machine) P() int { return m.p }
+
+// Run executes fn as this rank's PE program, handing it the world
+// communicator, and returns the wall-clock time fn took on this rank.
+// All ranks must call Run collectively with the same program. A
+// transport failure or algorithm panic is returned as an error.
+// Run executes fn as this rank's PE program, handing it the world
+// communicator. The returned duration and the Stats clock share one
+// zero: the cluster-synchronized start, taken after an entry barrier —
+// the time this process spent waiting for its peers to enter Run is
+// excluded (it measures launch skew, not the program).
+func (m *Machine) Run(fn func(c comm.Communicator)) (d time.Duration, err error) {
+	start := time.Now()
+	defer func() {
+		d = time.Since(start)
+		if r := recover(); r != nil {
+			err = fmt.Errorf("netcomm: rank %d: %v", m.rank, r)
+		}
+	}()
+	world := &Comm{m: m, ranks: m.world, me: m.rank}
+	// Align the wall-clock epochs across ranks before setting this
+	// rank's: each process entered Run at its own time, and without a
+	// common zero the maxima that TimedBarrier takes over per-rank
+	// clocks would fold the inter-rank startup skew into the first
+	// phase's statistics (the native backend shares one epoch across
+	// its goroutine-PEs; this barrier is the distributed equivalent).
+	epochBarrier(world)
+	start = time.Now()
+	m.epoch = start
+	fn(world)
+	return d, nil
+}
+
+// tagEpoch is reserved for Run's epoch-alignment barrier. Tag reuse by
+// the algorithms is harmless — (sender, tag) FIFO keeps streams apart —
+// but the value sits outside every tag block the packages use.
+const tagEpoch = 0x7b0001
+
+// epochBarrier is a dissemination barrier over the world communicator.
+func epochBarrier(c *Comm) {
+	p, r := c.Size(), c.Rank()
+	for d := 1; d < p; d <<= 1 {
+		c.Send((r+d)%p, tagEpoch, nil, 1)
+		c.Recv((r-d+p)%p, tagEpoch)
+	}
+}
+
+// enqueue hands an outbound message to the destination peer's writer.
+func (m *Machine) enqueue(to, tag int, payload any, words int64) {
+	pr := m.peers[to]
+	if pr == nil {
+		panic(fmt.Sprintf("netcomm: send from rank %d to invalid rank %d (p=%d)", m.rank, to, m.p))
+	}
+	pr.mu.Lock()
+	if pr.closed {
+		pr.mu.Unlock()
+		panic(fmt.Sprintf("netcomm: send to rank %d after Close", to))
+	}
+	pr.queue = append(pr.queue, outMsg{tag: tag, payload: payload, words: words})
+	pr.mu.Unlock()
+	select {
+	case pr.wake <- struct{}{}:
+	default:
+	}
+}
+
+// writeLoop serializes and streams the peer's outbound queue. One frame
+// per message: u32 LE frame length, then uvarint tag, uvarint words,
+// then the wire-encoded payload. The bufio writer is flushed whenever
+// the queue momentarily drains, so small messages batch under load but
+// never linger.
+func (m *Machine) writeLoop(pr *peer) {
+	defer close(pr.done)
+	bw := bufio.NewWriterSize(pr.conn, 1<<16)
+	w := wire.NewWriter()
+	var frame []byte
+	for {
+		pr.mu.Lock()
+		batch := pr.queue
+		pr.queue = nil
+		closed := pr.closed
+		pr.mu.Unlock()
+
+		for _, msg := range batch {
+			frame = frame[:0]
+			frame = append(frame, 0, 0, 0, 0) // length prefix placeholder
+			frame = binary.AppendUvarint(frame, uint64(msg.tag))
+			frame = binary.AppendUvarint(frame, uint64(msg.words))
+			var err error
+			frame, err = w.AppendPayload(frame, msg.payload)
+			if err != nil {
+				m.fail(fmt.Errorf("encoding message for rank %d (tag %#x): %w", pr.rank, msg.tag, err))
+				return
+			}
+			if len(frame)-4 > maxFrame {
+				m.fail(fmt.Errorf("message for rank %d exceeds the %d-byte frame limit", pr.rank, maxFrame))
+				return
+			}
+			binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
+			if _, err := bw.Write(frame); err != nil {
+				m.fail(fmt.Errorf("writing to rank %d: %w", pr.rank, err))
+				return
+			}
+		}
+
+		if len(batch) == 0 {
+			if err := bw.Flush(); err != nil {
+				m.fail(fmt.Errorf("writing to rank %d: %w", pr.rank, err))
+				return
+			}
+			if closed {
+				// Graceful half-close: the peer's reader sees EOF after
+				// the last byte; our reader keeps draining until theirs.
+				_ = pr.conn.CloseWrite()
+				return
+			}
+			<-pr.wake
+		}
+	}
+}
+
+// readLoop decodes the peer's inbound frames into the mailbox.
+func (m *Machine) readLoop(pr *peer) {
+	defer close(pr.rdone)
+	br := bufio.NewReaderSize(pr.conn, 1<<16)
+	r := wire.NewReader()
+	var body []byte
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				m.mbox.hangup(pr.rank)
+				return
+			}
+			m.fail(fmt.Errorf("reading from rank %d: %w", pr.rank, err))
+			return
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n > maxFrame {
+			m.fail(fmt.Errorf("frame from rank %d exceeds the %d-byte limit", pr.rank, maxFrame))
+			return
+		}
+		if uint32(cap(body)) < n {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(br, body); err != nil {
+			m.fail(fmt.Errorf("reading from rank %d: %w", pr.rank, err))
+			return
+		}
+		rest := body
+		tag, k := binary.Uvarint(rest)
+		if k <= 0 {
+			m.fail(fmt.Errorf("corrupt frame from rank %d: tag", pr.rank))
+			return
+		}
+		rest = rest[k:]
+		words, k := binary.Uvarint(rest)
+		if k <= 0 {
+			m.fail(fmt.Errorf("corrupt frame from rank %d: words", pr.rank))
+			return
+		}
+		rest = rest[k:]
+		payload, rest, err := r.DecodePayload(rest)
+		if err != nil {
+			m.fail(fmt.Errorf("decoding message from rank %d (tag %#x): %w", pr.rank, tag, err))
+			return
+		}
+		if len(rest) != 0 {
+			m.fail(fmt.Errorf("frame from rank %d has %d trailing bytes (tag %#x)", pr.rank, len(rest), tag))
+			return
+		}
+		m.mbox.put(pr.rank, int(tag), envelope{payload: payload, words: int64(words)})
+	}
+}
+
+// fail records a fatal transport error and wakes the PE.
+func (m *Machine) fail(err error) {
+	m.mbox.fail(err)
+}
+
+// Close flushes and half-closes every outbound stream, waits for the
+// peers to do the same (draining whatever is still in flight), and
+// tears the connections down. Call it once, after the last Run.
+func (m *Machine) Close() error {
+	m.closing.Do(func() {
+		for _, pr := range m.peers {
+			if pr == nil {
+				continue
+			}
+			pr.mu.Lock()
+			pr.closed = true
+			pr.mu.Unlock()
+			select {
+			case pr.wake <- struct{}{}:
+			default:
+			}
+		}
+		// Bound the drain: a peer that never closes (crashed mid-run)
+		// must not wedge shutdown.
+		deadline := time.Now().Add(10 * time.Second)
+		for _, pr := range m.peers {
+			if pr == nil {
+				continue
+			}
+			if !waitUntil(pr.done, deadline) && m.closeErr == nil {
+				m.closeErr = fmt.Errorf("netcomm: close timed out flushing to rank %d", pr.rank)
+			}
+			if !waitUntil(pr.rdone, deadline) && m.closeErr == nil {
+				m.closeErr = fmt.Errorf("netcomm: close timed out draining from rank %d", pr.rank)
+			}
+			pr.conn.Close()
+		}
+	})
+	return m.closeErr
+}
+
+// waitUntil waits for ch to close, no later than deadline.
+func waitUntil(ch chan struct{}, deadline time.Time) bool {
+	d := time.Until(deadline)
+	if d <= 0 {
+		select {
+		case <-ch:
+			return true
+		default:
+			return false
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		return false
+	}
+}

@@ -1,0 +1,838 @@
+// Package wire is the typed binary codec of the TCP backend
+// (internal/netcomm): it turns the payload values the sorting algorithms
+// hand to Communicator.Send — element slices, tagged sample slices,
+// splitter vectors, count/prefix arrays, delivery descriptors — into
+// self-describing, length-prefixed bytes and back.
+//
+// Every concrete payload type is registered once (Register / the
+// RegisterWire helpers of the algorithm packages); registration records
+// the type under a stable wire name (its Go type string) and compiles an
+// encoder/decoder pair for it by walking its structure with reflection —
+// scalars, strings, slices, arrays, pointers, and structs (including
+// unexported fields) are supported, with bulk fast paths for []uint64,
+// []int64, and []byte. Element types the structural codec cannot handle
+// (or that need a custom layout) plug in through the Encoder hook, which
+// user code reaches via Config.Encoder.
+//
+// Messages are self-describing: the first time a type crosses a stream
+// its wire name is sent inline and both ends intern it under a small
+// dense id; subsequent messages carry only the id. A Writer/Reader pair
+// therefore needs no out-of-band schema negotiation beyond both
+// processes having registered the same types — which they have, because
+// every process runs the same algorithm and registration happens at the
+// algorithm entry points before any message is sent.
+//
+// The format uses little-endian fixed 8-byte encodings for int64/uint64
+// (the bulk data) and varints for lengths, tags, and small integers.
+// It is not self-delimiting at the value level; framing (length
+// prefixes) is the transport's job.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"unsafe"
+)
+
+// Encoder is the custom element-codec hook: a fallback for user element
+// types the structural codec cannot handle (types containing pointers
+// into shared state, maps, interfaces, or platform-dependent layout).
+// Register it for the element type with RegisterEncoder, or let the
+// sorters do it from Config.Encoder. Append and Decode must be inverses
+// and deterministic: conformance across backends requires identical
+// bytes for identical values.
+type Encoder interface {
+	// Append serializes elem (always of the registered type) onto dst.
+	Append(dst []byte, elem any) []byte
+	// Decode parses one element off src and returns it together with
+	// the remaining bytes. The returned element must NOT retain src —
+	// transports reuse the frame buffer, so an aliasing sub-slice would
+	// silently mutate after delivery; copy any bytes the element keeps.
+	// (The built-in structural codec always copies.)
+	Decode(src []byte) (elem any, rest []byte, err error)
+}
+
+// encFunc appends v's encoding to dst. v is addressable and writable
+// (unexported fields are laundered by the struct walker).
+type encFunc func(dst []byte, v reflect.Value) []byte
+
+// decFunc decodes one value off src into the addressable, settable v.
+type decFunc func(src []byte, v reflect.Value) ([]byte, error)
+
+// entry is one registered payload type. Entries are created once and
+// then only mutated (never replaced in the registry): Readers intern
+// *entry pointers per stream, so replacement would desynchronize a
+// stream's decoder from the sender's encoder.
+type entry struct {
+	t    reflect.Type
+	name string
+
+	mu       sync.Mutex
+	custom   Encoder // non-nil: the type encodes through the hook
+	compiled bool    // a codec embedding this type's format exists
+
+	once sync.Once
+	enc  encFunc
+	dec  decFunc
+	err  error
+}
+
+// codec compiles the entry's encoder/decoder pair on first use. Lazy
+// compilation keeps registration infallible: a type that can never be
+// serialized only errors if a serializing backend actually sends it.
+func (e *entry) codec() (encFunc, decFunc, error) {
+	e.once.Do(func() {
+		e.mu.Lock()
+		e.compiled = true
+		custom := e.custom
+		e.mu.Unlock()
+		if custom != nil {
+			// Hooked types use their hook at the top level too, so a
+			// bare element payload and a nested one share one format.
+			e.enc, e.dec, e.err = buildCustom(custom)
+			return
+		}
+		e.enc, e.dec, e.err = build(e.t)
+	})
+	return e.enc, e.dec, e.err
+}
+
+// markCompiled records that a compiled codec (this type's own, or one
+// of a type embedding it) has fixed this type's wire format, and
+// returns the hook in force. After this point the format must never
+// change.
+func (e *entry) markCompiled() Encoder {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.compiled = true
+	return e.custom
+}
+
+// setCustom installs the hook codec. The first hook wins; installing
+// one after the structural format was already compiled into use would
+// silently desynchronize peers, so it panics instead.
+func (e *entry) setCustom(enc Encoder) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.custom != nil {
+		return // keep the first hook: codecs may already embed it
+	}
+	if e.compiled {
+		panic(fmt.Sprintf("wire: Encoder for %v registered after its structural codec was already used — set Config.Encoder before the first serialized sort of this element type", e.t))
+	}
+	e.custom = enc
+}
+
+var registry struct {
+	mu     sync.RWMutex
+	byType map[reflect.Type]*entry
+	byName map[string]*entry
+}
+
+func init() {
+	registry.byType = make(map[reflect.Type]*entry)
+	registry.byName = make(map[string]*entry)
+
+	registerBasics[bool]()
+	registerBasics[int]()
+	registerBasics[int8]()
+	registerBasics[int16]()
+	registerBasics[int32]()
+	registerBasics[int64]()
+	registerBasics[uint]()
+	registerBasics[uint8]()
+	registerBasics[uint16]()
+	registerBasics[uint32]()
+	registerBasics[uint64]()
+	registerBasics[float32]()
+	registerBasics[float64]()
+	registerBasics[string]()
+}
+
+func registerBasics[T any]() {
+	Register[T]()
+	Register[[]T]()
+}
+
+// Register makes T usable as a top-level payload on serializing
+// backends, keyed by its wire name (the Go type string). Registration is
+// idempotent and cheap (no codec is compiled until first use), so
+// algorithm entry points call it unconditionally on every invocation.
+func Register[T any]() {
+	RegisterType(reflect.TypeOf((*T)(nil)).Elem())
+}
+
+// RegisterType is Register for a reflect.Type.
+func RegisterType(t reflect.Type) {
+	registerInternal(t, nil)
+}
+
+// RegisterEncoder registers T with a custom element codec. The hook
+// replaces the structural codec for T everywhere — as a top-level
+// payload and nested inside slices and structs (tagged samples, delivery
+// chunks) alike.
+func RegisterEncoder[T any](enc Encoder) {
+	if enc == nil {
+		panic("wire: RegisterEncoder with nil Encoder")
+	}
+	registerInternal(reflect.TypeOf((*T)(nil)).Elem(), enc)
+}
+
+func registerInternal(t reflect.Type, custom Encoder) {
+	name := t.String()
+	registry.mu.RLock()
+	e := registry.byName[name]
+	registry.mu.RUnlock()
+	if e == nil {
+		registry.mu.Lock()
+		if e = registry.byName[name]; e == nil {
+			e = &entry{t: t, name: name}
+			registry.byType[t] = e
+			registry.byName[name] = e
+		}
+		registry.mu.Unlock()
+	}
+	if e.t != t {
+		panic(fmt.Sprintf("wire: name collision: %q maps to both %v and %v", name, e.t, t))
+	}
+	if custom != nil {
+		e.setCustom(custom)
+	}
+}
+
+func lookupType(t reflect.Type) *entry {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	return registry.byType[t]
+}
+
+func lookupName(name string) *entry {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	return registry.byName[name]
+}
+
+// ---------------------------------------------------------------------
+// Codec compilation.
+
+// launder returns a fully usable view of a struct field value:
+// unexported fields come out of reflect read-only, so re-derive the
+// value from its address. The parent is always addressable here.
+func launder(fv reflect.Value) reflect.Value {
+	if fv.CanSet() {
+		return fv
+	}
+	return reflect.NewAt(fv.Type(), unsafe.Pointer(fv.UnsafeAddr())).Elem()
+}
+
+var (
+	typU64Slice  = reflect.TypeOf([]uint64(nil))
+	typI64Slice  = reflect.TypeOf([]int64(nil))
+	typByteSlice = reflect.TypeOf([]byte(nil))
+)
+
+// build compiles the encoder/decoder pair for t.
+func build(t reflect.Type) (encFunc, decFunc, error) {
+	return buildRec(t, make(map[reflect.Type]bool), true)
+}
+
+// buildRec walks t's structure. top marks the registered root: nested
+// occurrences of registered hook types defer to their hook, so user
+// element types embedded in tagged/chunk wrappers round-trip through the
+// same custom codec as top-level ones.
+func buildRec(t reflect.Type, inProgress map[reflect.Type]bool, top bool) (encFunc, decFunc, error) {
+	if !top {
+		// A nested type contributes its format to this codec: register
+		// it if needed and pin it (hook or structural), so a later hook
+		// registration for it fails loudly instead of desynchronizing
+		// peers whose composite codecs already embedded the structural
+		// format.
+		e := lookupType(t)
+		if e == nil {
+			registerInternal(t, nil)
+			e = lookupType(t)
+		}
+		if hook := e.markCompiled(); hook != nil {
+			return buildCustom(hook)
+		}
+	}
+	if inProgress[t] {
+		return nil, nil, fmt.Errorf("wire: recursive type %v is not supported", t)
+	}
+	inProgress[t] = true
+	defer delete(inProgress, t)
+
+	switch t.Kind() {
+	case reflect.Bool:
+		enc := func(dst []byte, v reflect.Value) []byte {
+			if v.Bool() {
+				return append(dst, 1)
+			}
+			return append(dst, 0)
+		}
+		dec := func(src []byte, v reflect.Value) ([]byte, error) {
+			if len(src) < 1 {
+				return nil, errTruncated(t)
+			}
+			v.SetBool(src[0] != 0)
+			return src[1:], nil
+		}
+		return enc, dec, nil
+
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32:
+		enc := func(dst []byte, v reflect.Value) []byte {
+			return appendZigzag(dst, v.Int())
+		}
+		dec := func(src []byte, v reflect.Value) ([]byte, error) {
+			x, rest, err := readZigzag(src, t)
+			if err != nil {
+				return nil, err
+			}
+			v.SetInt(x)
+			return rest, nil
+		}
+		return enc, dec, nil
+
+	case reflect.Int64:
+		enc := func(dst []byte, v reflect.Value) []byte {
+			return binary.LittleEndian.AppendUint64(dst, uint64(v.Int()))
+		}
+		dec := func(src []byte, v reflect.Value) ([]byte, error) {
+			if len(src) < 8 {
+				return nil, errTruncated(t)
+			}
+			v.SetInt(int64(binary.LittleEndian.Uint64(src)))
+			return src[8:], nil
+		}
+		return enc, dec, nil
+
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32:
+		enc := func(dst []byte, v reflect.Value) []byte {
+			return binary.AppendUvarint(dst, v.Uint())
+		}
+		dec := func(src []byte, v reflect.Value) ([]byte, error) {
+			x, rest, err := readUvarint(src, t)
+			if err != nil {
+				return nil, err
+			}
+			v.SetUint(x)
+			return rest, nil
+		}
+		return enc, dec, nil
+
+	case reflect.Uint64:
+		enc := func(dst []byte, v reflect.Value) []byte {
+			return binary.LittleEndian.AppendUint64(dst, v.Uint())
+		}
+		dec := func(src []byte, v reflect.Value) ([]byte, error) {
+			if len(src) < 8 {
+				return nil, errTruncated(t)
+			}
+			v.SetUint(binary.LittleEndian.Uint64(src))
+			return src[8:], nil
+		}
+		return enc, dec, nil
+
+	case reflect.Float32:
+		enc := func(dst []byte, v reflect.Value) []byte {
+			return binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(v.Float())))
+		}
+		dec := func(src []byte, v reflect.Value) ([]byte, error) {
+			if len(src) < 4 {
+				return nil, errTruncated(t)
+			}
+			v.SetFloat(float64(math.Float32frombits(binary.LittleEndian.Uint32(src))))
+			return src[4:], nil
+		}
+		return enc, dec, nil
+
+	case reflect.Float64:
+		enc := func(dst []byte, v reflect.Value) []byte {
+			return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Float()))
+		}
+		dec := func(src []byte, v reflect.Value) ([]byte, error) {
+			if len(src) < 8 {
+				return nil, errTruncated(t)
+			}
+			v.SetFloat(math.Float64frombits(binary.LittleEndian.Uint64(src)))
+			return src[8:], nil
+		}
+		return enc, dec, nil
+
+	case reflect.String:
+		enc := func(dst []byte, v reflect.Value) []byte {
+			s := v.String()
+			dst = binary.AppendUvarint(dst, uint64(len(s)))
+			return append(dst, s...)
+		}
+		dec := func(src []byte, v reflect.Value) ([]byte, error) {
+			n, rest, err := readUvarint(src, t)
+			if err != nil {
+				return nil, err
+			}
+			if uint64(len(rest)) < n {
+				return nil, errTruncated(t)
+			}
+			v.SetString(string(rest[:n]))
+			return rest[n:], nil
+		}
+		return enc, dec, nil
+
+	case reflect.Slice:
+		return buildSlice(t, inProgress)
+
+	case reflect.Array:
+		elemEnc, elemDec, err := buildRec(t.Elem(), inProgress, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		n := t.Len()
+		enc := func(dst []byte, v reflect.Value) []byte {
+			for i := 0; i < n; i++ {
+				dst = elemEnc(dst, v.Index(i))
+			}
+			return dst
+		}
+		dec := func(src []byte, v reflect.Value) ([]byte, error) {
+			var err error
+			for i := 0; i < n; i++ {
+				if src, err = elemDec(src, v.Index(i)); err != nil {
+					return nil, err
+				}
+			}
+			return src, nil
+		}
+		return enc, dec, nil
+
+	case reflect.Pointer:
+		elemEnc, elemDec, err := buildRec(t.Elem(), inProgress, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		elemT := t.Elem()
+		enc := func(dst []byte, v reflect.Value) []byte {
+			if v.IsNil() {
+				return append(dst, 0)
+			}
+			return elemEnc(append(dst, 1), v.Elem())
+		}
+		dec := func(src []byte, v reflect.Value) ([]byte, error) {
+			if len(src) < 1 {
+				return nil, errTruncated(t)
+			}
+			tag := src[0]
+			src = src[1:]
+			if tag == 0 {
+				v.SetZero()
+				return src, nil
+			}
+			p := reflect.New(elemT)
+			src, err := elemDec(src, p.Elem())
+			if err != nil {
+				return nil, err
+			}
+			v.Set(p)
+			return src, nil
+		}
+		return enc, dec, nil
+
+	case reflect.Struct:
+		type field struct {
+			idx int
+			enc encFunc
+			dec decFunc
+		}
+		fields := make([]field, 0, t.NumField())
+		for i := 0; i < t.NumField(); i++ {
+			fe, fd, err := buildRec(t.Field(i).Type, inProgress, false)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%v field %s: %w", t, t.Field(i).Name, err)
+			}
+			fields = append(fields, field{idx: i, enc: fe, dec: fd})
+		}
+		enc := func(dst []byte, v reflect.Value) []byte {
+			for _, f := range fields {
+				dst = f.enc(dst, launder(v.Field(f.idx)))
+			}
+			return dst
+		}
+		dec := func(src []byte, v reflect.Value) ([]byte, error) {
+			var err error
+			for _, f := range fields {
+				if src, err = f.dec(src, launder(v.Field(f.idx))); err != nil {
+					return nil, err
+				}
+			}
+			return src, nil
+		}
+		return enc, dec, nil
+	}
+	return nil, nil, fmt.Errorf("wire: type %v (kind %v) is not serializable — register a wire.Encoder for the element type (Config.Encoder)", t, t.Kind())
+}
+
+// buildSlice compiles a slice codec: uvarint(0) for nil, uvarint(len+1)
+// then the elements otherwise (nil-ness is preserved exactly — some
+// collectives distinguish nil from empty). []uint64, []int64, and
+// []byte move as bulk little-endian blocks.
+func buildSlice(t reflect.Type, inProgress map[reflect.Type]bool) (encFunc, decFunc, error) {
+	switch t {
+	case typU64Slice:
+		enc := func(dst []byte, v reflect.Value) []byte {
+			return AppendU64s(dst, *(*[]uint64)(addrOf(v)))
+		}
+		dec := func(src []byte, v reflect.Value) ([]byte, error) {
+			s, rest, err := DecodeU64s(src)
+			if err != nil {
+				return nil, err
+			}
+			v.Set(reflect.ValueOf(s))
+			return rest, nil
+		}
+		return enc, dec, nil
+	case typI64Slice:
+		enc := func(dst []byte, v reflect.Value) []byte {
+			return AppendI64s(dst, *(*[]int64)(addrOf(v)))
+		}
+		dec := func(src []byte, v reflect.Value) ([]byte, error) {
+			s, rest, err := DecodeI64s(src)
+			if err != nil {
+				return nil, err
+			}
+			v.Set(reflect.ValueOf(s))
+			return rest, nil
+		}
+		return enc, dec, nil
+	case typByteSlice:
+		enc := func(dst []byte, v reflect.Value) []byte {
+			s := *(*[]byte)(addrOf(v))
+			if s == nil {
+				return binary.AppendUvarint(dst, 0)
+			}
+			dst = binary.AppendUvarint(dst, uint64(len(s))+1)
+			return append(dst, s...)
+		}
+		dec := func(src []byte, v reflect.Value) ([]byte, error) {
+			n, rest, err := sliceLen(src, t)
+			if err != nil || n < 0 {
+				v.SetZero()
+				return rest, err
+			}
+			if len(rest) < n {
+				return nil, errTruncated(t)
+			}
+			out := make([]byte, n)
+			copy(out, rest)
+			v.Set(reflect.ValueOf(out))
+			return rest[n:], nil
+		}
+		return enc, dec, nil
+	}
+
+	elemEnc, elemDec, err := buildRec(t.Elem(), inProgress, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	enc := func(dst []byte, v reflect.Value) []byte {
+		if v.IsNil() {
+			return binary.AppendUvarint(dst, 0)
+		}
+		n := v.Len()
+		dst = binary.AppendUvarint(dst, uint64(n)+1)
+		for i := 0; i < n; i++ {
+			dst = elemEnc(dst, v.Index(i))
+		}
+		return dst
+	}
+	dec := func(src []byte, v reflect.Value) ([]byte, error) {
+		n, rest, err := sliceLen(src, t)
+		if err != nil || n < 0 {
+			v.SetZero()
+			return rest, err
+		}
+		// Cap the up-front allocation: a corrupt length must not OOM.
+		capHint := n
+		if capHint > 1<<16 {
+			capHint = 1 << 16
+		}
+		out := reflect.MakeSlice(t, 0, capHint)
+		elem := reflect.New(t.Elem()).Elem()
+		for i := 0; i < n; i++ {
+			elem.SetZero()
+			if rest, err = elemDec(rest, elem); err != nil {
+				return nil, err
+			}
+			out = reflect.Append(out, elem)
+		}
+		v.Set(out)
+		return rest, nil
+	}
+	return enc, dec, nil
+}
+
+func buildCustom(hook Encoder) (encFunc, decFunc, error) {
+	enc := func(dst []byte, v reflect.Value) []byte {
+		return hook.Append(dst, v.Interface())
+	}
+	dec := func(src []byte, v reflect.Value) ([]byte, error) {
+		elem, rest, err := hook.Decode(src)
+		if err != nil {
+			return nil, err
+		}
+		v.Set(reflect.ValueOf(elem))
+		return rest, nil
+	}
+	return enc, dec, nil
+}
+
+// addrOf returns the address of the (addressable) value's data.
+func addrOf(v reflect.Value) unsafe.Pointer {
+	return v.Addr().UnsafePointer()
+}
+
+// maxSliceLen bounds decoded slice lengths: no legitimate payload can
+// carry more elements than a frame has bytes (the transport caps frames
+// at 1 GiB), so anything larger is corruption and must error instead of
+// attempting a huge allocation or overflowing length arithmetic.
+const maxSliceLen = 1 << 31
+
+// sliceLen reads a slice length prefix: -1 means nil.
+func sliceLen(src []byte, t reflect.Type) (int, []byte, error) {
+	n, rest, err := readUvarint(src, t)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n == 0 {
+		return -1, rest, nil
+	}
+	if n-1 > maxSliceLen {
+		return 0, nil, fmt.Errorf("wire: corrupt length %d decoding %v", n-1, t)
+	}
+	return int(n - 1), rest, nil
+}
+
+func appendZigzag(dst []byte, x int64) []byte {
+	return binary.AppendUvarint(dst, uint64(x<<1)^uint64(x>>63))
+}
+
+func readZigzag(src []byte, t reflect.Type) (int64, []byte, error) {
+	u, rest, err := readUvarint(src, t)
+	if err != nil {
+		return 0, nil, err
+	}
+	return int64(u>>1) ^ -int64(u&1), rest, nil
+}
+
+func readUvarint(src []byte, t reflect.Type) (uint64, []byte, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, nil, errTruncated(t)
+	}
+	return v, src[n:], nil
+}
+
+func errTruncated(t reflect.Type) error {
+	return fmt.Errorf("wire: truncated input decoding %v", t)
+}
+
+// ---------------------------------------------------------------------
+// Bulk helpers (also the fast paths of the []uint64/[]int64 payloads —
+// exported for the transport and the micro-benchmarks).
+
+// AppendU64s appends the slice codec encoding of s.
+func AppendU64s(dst []byte, s []uint64) []byte {
+	if s == nil {
+		return binary.AppendUvarint(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s))+1)
+	off := len(dst)
+	dst = append(dst, make([]byte, 8*len(s))...)
+	for i, x := range s {
+		binary.LittleEndian.PutUint64(dst[off+8*i:], x)
+	}
+	return dst
+}
+
+// DecodeU64s decodes a slice codec encoding of []uint64.
+func DecodeU64s(src []byte) ([]uint64, []byte, error) {
+	n, rest, err := sliceLen(src, typU64Slice)
+	if err != nil || n < 0 {
+		return nil, rest, err
+	}
+	if n > len(rest)/8 {
+		return nil, nil, errTruncated(typU64Slice)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(rest[8*i:])
+	}
+	return out, rest[8*n:], nil
+}
+
+// AppendI64s appends the slice codec encoding of s.
+func AppendI64s(dst []byte, s []int64) []byte {
+	if s == nil {
+		return binary.AppendUvarint(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s))+1)
+	off := len(dst)
+	dst = append(dst, make([]byte, 8*len(s))...)
+	for i, x := range s {
+		binary.LittleEndian.PutUint64(dst[off+8*i:], uint64(x))
+	}
+	return dst
+}
+
+// DecodeI64s decodes a slice codec encoding of []int64.
+func DecodeI64s(src []byte) ([]int64, []byte, error) {
+	n, rest, err := sliceLen(src, typI64Slice)
+	if err != nil || n < 0 {
+		return nil, rest, err
+	}
+	if n > len(rest)/8 {
+		return nil, nil, errTruncated(typI64Slice)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(rest[8*i:]))
+	}
+	return out, rest[8*n:], nil
+}
+
+// ---------------------------------------------------------------------
+// Stream codec: per-stream type-name interning.
+
+// Payload type references on the wire. Ids are assigned in first-use
+// order per stream, identically on both ends.
+const (
+	refNil    = 0 // nil payload, no value bytes
+	refInline = 1 // wire name string follows; id = next free id
+	refBase   = 2 // first interned id
+)
+
+// Writer is the encoding half of one stream. Not safe for concurrent
+// use; the transport owns one per connection.
+type Writer struct {
+	ids  map[reflect.Type]uint64
+	next uint64
+}
+
+// NewWriter returns a Writer with an empty interning table.
+func NewWriter() *Writer {
+	return &Writer{ids: make(map[reflect.Type]uint64), next: refBase}
+}
+
+// AppendPayload appends the self-describing encoding of payload.
+func (w *Writer) AppendPayload(dst []byte, payload any) ([]byte, error) {
+	if payload == nil {
+		return binary.AppendUvarint(dst, refNil), nil
+	}
+	t := reflect.TypeOf(payload)
+	if id, ok := w.ids[t]; ok {
+		dst = binary.AppendUvarint(dst, id)
+	} else {
+		e := lookupType(t)
+		if e == nil {
+			return nil, fmt.Errorf("wire: unregistered payload type %v — register it with wire.Register (or Config.Encoder for custom elements)", t)
+		}
+		w.ids[t] = w.next
+		w.next++
+		dst = binary.AppendUvarint(dst, refInline)
+		dst = binary.AppendUvarint(dst, uint64(len(e.name)))
+		dst = append(dst, e.name...)
+	}
+
+	// Bulk fast paths bypass reflection for the hot payloads. The bytes
+	// are identical to the structural codec's.
+	switch p := payload.(type) {
+	case []uint64:
+		return AppendU64s(dst, p), nil
+	case []int64:
+		return AppendI64s(dst, p), nil
+	case uint64:
+		return binary.LittleEndian.AppendUint64(dst, p), nil
+	case int64:
+		return binary.LittleEndian.AppendUint64(dst, uint64(p)), nil
+	case int:
+		return appendZigzag(dst, int64(p)), nil
+	}
+
+	e := lookupType(t)
+	enc, _, err := e.codec()
+	if err != nil {
+		return nil, err
+	}
+	rv := reflect.ValueOf(payload)
+	// Top-level values from an interface are not addressable; the codec
+	// needs addressability (unexported-field laundering), so copy the
+	// header into a fresh addressable value.
+	pv := reflect.New(t).Elem()
+	pv.Set(rv)
+	return enc(dst, pv), nil
+}
+
+// Reader is the decoding half of one stream. Not safe for concurrent
+// use; the transport owns one per connection.
+type Reader struct {
+	entries []*entry
+}
+
+// NewReader returns a Reader with an empty interning table.
+func NewReader() *Reader {
+	return &Reader{}
+}
+
+// DecodePayload decodes one self-describing payload off src and returns
+// it with the remaining bytes.
+func (r *Reader) DecodePayload(src []byte) (any, []byte, error) {
+	ref, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("wire: truncated payload type reference")
+	}
+	src = src[n:]
+	var e *entry
+	switch {
+	case ref == refNil:
+		return nil, src, nil
+	case ref == refInline:
+		ln, n := binary.Uvarint(src)
+		if n <= 0 || uint64(len(src)-n) < ln {
+			return nil, nil, fmt.Errorf("wire: truncated payload type name")
+		}
+		name := string(src[n : n+int(ln)])
+		src = src[n+int(ln):]
+		e = lookupName(name)
+		if e == nil {
+			return nil, nil, fmt.Errorf("wire: received unregistered type %q — the processes must register the same payload types", name)
+		}
+		r.entries = append(r.entries, e)
+	default:
+		idx := ref - refBase
+		if idx >= uint64(len(r.entries)) {
+			return nil, nil, fmt.Errorf("wire: payload references unknown interned type id %d", ref)
+		}
+		e = r.entries[idx]
+	}
+
+	switch e.t {
+	case typU64Slice:
+		s, rest, err := DecodeU64s(src)
+		return s, rest, err
+	case typI64Slice:
+		s, rest, err := DecodeI64s(src)
+		return s, rest, err
+	}
+
+	_, dec, err := e.codec()
+	if err != nil {
+		return nil, nil, err
+	}
+	pv := reflect.New(e.t).Elem()
+	rest, err := dec(src, pv)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pv.Interface(), rest, nil
+}

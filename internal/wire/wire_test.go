@@ -1,0 +1,308 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// testTagged mirrors the shape of core's tagged sample wrapper:
+// a struct with unexported fields, one generic.
+type testTagged struct {
+	key uint64
+	pe  int32
+	idx int32
+}
+
+// testChunk mirrors delivery's chunk: an unexported slice field.
+type testChunk struct {
+	data []uint64
+}
+
+// testNested exercises every supported kind at once.
+type testNested struct {
+	b    bool
+	i    int
+	i64  int64
+	u32  uint32
+	f    float64
+	s    string
+	tags []testTagged
+	grid [][]int64
+	arr  [3]uint64
+	ptr  *testChunk
+}
+
+func roundtrip(t *testing.T, payload any) any {
+	t.Helper()
+	w, r := NewWriter(), NewReader()
+	buf, err := w.AppendPayload(nil, payload)
+	if err != nil {
+		t.Fatalf("encode %T: %v", payload, err)
+	}
+	got, rest, err := r.DecodePayload(buf)
+	if err != nil {
+		t.Fatalf("decode %T: %v", payload, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("decode %T left %d trailing bytes", payload, len(rest))
+	}
+	return got
+}
+
+func TestRoundtripBasics(t *testing.T) {
+	cases := []any{
+		true, false,
+		int(-123456), int8(-5), int16(300), int32(-70000), int64(math.MinInt64),
+		uint(77), uint8(255), uint16(65535), uint32(1 << 30), uint64(math.MaxUint64),
+		float32(3.5), float64(-2.25), math.NaN(),
+		"", "splitter",
+		[]uint64{}, []uint64{1, 2, 3}, []uint64(nil),
+		[]int64{-1, 0, 1}, []int64(nil),
+		[]int{5, -5}, []byte{0xde, 0xad}, []string{"a", ""},
+	}
+	for _, c := range cases {
+		got := roundtrip(t, c)
+		if f, ok := c.(float64); ok && math.IsNaN(f) {
+			if !math.IsNaN(got.(float64)) {
+				t.Errorf("NaN did not survive: %v", got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, c) {
+			t.Errorf("roundtrip(%T %v) = %T %v", c, c, got, got)
+		}
+	}
+}
+
+func TestRoundtripNil(t *testing.T) {
+	if got := roundtrip(t, nil); got != nil {
+		t.Fatalf("nil payload decoded to %T %v", got, got)
+	}
+	// Typed nil slices stay typed and nil (some collectives branch on
+	// nil-ness of what they receive).
+	got := roundtrip(t, []uint64(nil))
+	s, ok := got.([]uint64)
+	if !ok || s != nil {
+		t.Fatalf("typed nil slice decoded to %T %v", got, got)
+	}
+}
+
+func TestRoundtripStructs(t *testing.T) {
+	Register[testTagged]()
+	Register[[]testTagged]()
+	Register[testChunk]()
+	Register[[]testChunk]()
+	Register[testNested]()
+
+	tag := testTagged{key: 42, pe: 3, idx: -9}
+	if got := roundtrip(t, tag); got != tag {
+		t.Fatalf("tagged: %v != %v", got, tag)
+	}
+	tags := []testTagged{{1, 2, 3}, {4, 5, 6}}
+	if got := roundtrip(t, tags); !reflect.DeepEqual(got, tags) {
+		t.Fatalf("tagged slice: %v != %v", got, tags)
+	}
+	chunks := []testChunk{{data: []uint64{9, 8}}, {data: nil}, {data: []uint64{}}}
+	got := roundtrip(t, chunks).([]testChunk)
+	if !reflect.DeepEqual(got, chunks) {
+		t.Fatalf("chunks: %v != %v", got, chunks)
+	}
+	if got[1].data != nil || got[2].data == nil {
+		t.Fatalf("chunk nil-ness not preserved: %#v", got)
+	}
+
+	n := testNested{
+		b: true, i: -7, i64: 1 << 40, u32: 9, f: 0.5, s: "x",
+		tags: tags,
+		grid: [][]int64{{1}, nil, {}},
+		arr:  [3]uint64{7, 8, 9},
+		ptr:  &testChunk{data: []uint64{1}},
+	}
+	gotN := roundtrip(t, n).(testNested)
+	if !reflect.DeepEqual(gotN, n) {
+		t.Fatalf("nested: %+v != %+v", gotN, n)
+	}
+	n.ptr = nil
+	gotN = roundtrip(t, n).(testNested)
+	if gotN.ptr != nil {
+		t.Fatalf("nil pointer not preserved")
+	}
+}
+
+func TestUnregisteredTypeErrors(t *testing.T) {
+	type unregistered struct{ x int }
+	w := NewWriter()
+	if _, err := w.AppendPayload(nil, unregistered{1}); err == nil {
+		t.Fatal("encoding an unregistered type must error")
+	}
+}
+
+func TestUnknownNameErrors(t *testing.T) {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, refInline)
+	name := "nosuch.type"
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	buf = append(buf, name...)
+	if _, _, err := NewReader().DecodePayload(buf); err == nil {
+		t.Fatal("decoding an unknown wire name must error")
+	}
+}
+
+func TestInterning(t *testing.T) {
+	w, r := NewWriter(), NewReader()
+	first, err := w.AppendPayload(nil, []uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := w.AppendPayload(nil, []uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) >= len(first) {
+		t.Fatalf("second message (%d bytes) should be smaller than the first (%d): the name must be interned", len(second), len(first))
+	}
+	for i, msg := range [][]byte{first, second} {
+		got, rest, err := r.DecodePayload(msg)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("decode message %d: %v (rest %d)", i, err, len(rest))
+		}
+		if !reflect.DeepEqual(got, []uint64{1}) {
+			t.Fatalf("message %d: %v", i, got)
+		}
+	}
+}
+
+func TestFastPathMatchesStructuralCodec(t *testing.T) {
+	// The Writer's type-switch fast paths must produce the same bytes
+	// as the reflection codec, or streams would diverge between paths.
+	for _, payload := range []any{[]uint64{3, 1 << 50}, []int64{-2, 5}, uint64(7), int64(-7), int(99)} {
+		w := NewWriter()
+		fast, err := w.AppendPayload(nil, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := lookupType(reflect.TypeOf(payload))
+		enc, _, err := e.codec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pv := reflect.New(e.t).Elem()
+		pv.Set(reflect.ValueOf(payload))
+		// Rebuild the type-reference prefix, then the structural value
+		// bytes, and compare against the fast path's full message.
+		var ref []byte
+		ref = binary.AppendUvarint(ref, refInline)
+		ref = binary.AppendUvarint(ref, uint64(len(e.name)))
+		ref = append(ref, e.name...)
+		ref = enc(ref, pv)
+		if !bytes.Equal(fast, ref) {
+			t.Errorf("%T: fast path bytes %x != structural %x", payload, fast, ref)
+		}
+	}
+}
+
+type doubleEncoder struct{}
+
+func (doubleEncoder) Append(dst []byte, elem any) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(elem.(customKey))*2)
+}
+
+func (doubleEncoder) Decode(src []byte) (any, []byte, error) {
+	if len(src) < 8 {
+		return nil, nil, fmt.Errorf("short")
+	}
+	return customKey(binary.LittleEndian.Uint64(src) / 2), src[8:], nil
+}
+
+type customKey uint64
+
+type customWrapper struct {
+	key customKey
+	pe  int32
+}
+
+func TestCustomEncoderHook(t *testing.T) {
+	RegisterEncoder[customKey](doubleEncoder{})
+	Register[[]customKey]()
+	Register[customWrapper]()
+
+	got := roundtrip(t, []customKey{1, 2, 3})
+	if !reflect.DeepEqual(got, []customKey{1, 2, 3}) {
+		t.Fatalf("custom slice: %v", got)
+	}
+	// The hook must also apply nested inside registered structs.
+	wrap := customWrapper{key: 21, pe: 4}
+	if got := roundtrip(t, wrap); got != wrap {
+		t.Fatalf("custom nested: %v != %v", got, wrap)
+	}
+	// ... and for a bare element as the top-level payload (validation
+	// chains send single elements), with the hook's own byte format.
+	if got := roundtrip(t, customKey(5)); got != customKey(5) {
+		t.Fatalf("custom top-level: %v", got)
+	}
+	w := NewWriter()
+	buf, err := w.AppendPayload(nil, customKey(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := binary.LittleEndian.AppendUint64(nil, 10); !bytes.HasSuffix(buf, want) {
+		t.Fatalf("top-level custom payload did not go through the hook: %x", buf)
+	}
+}
+
+func TestNameCollisionPanics(t *testing.T) {
+	// Two distinct types under one wire name is a deployment error
+	// (mismatched binaries); it must fail loudly, not corrupt streams.
+	// Real types cannot collide within one build, so inject a fake
+	// entry under int's name and restore it afterwards.
+	t.Cleanup(func() {
+		registry.mu.Lock()
+		registry.byName["int"] = registry.byType[reflect.TypeOf(0)]
+		registry.mu.Unlock()
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on name collision")
+		}
+	}()
+	fake := reflect.StructOf([]reflect.StructField{{Name: "X", Type: reflect.TypeOf(0)}})
+	registry.mu.Lock()
+	registry.byName["int"] = &entry{t: fake, name: "int"}
+	registry.mu.Unlock()
+	RegisterType(reflect.TypeOf(0))
+}
+
+type lateKey uint64
+
+type lateHookEncoder struct{}
+
+func (lateHookEncoder) Append(dst []byte, elem any) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(elem.(lateKey)))
+}
+
+func (lateHookEncoder) Decode(src []byte) (any, []byte, error) {
+	return lateKey(binary.LittleEndian.Uint64(src)), src[8:], nil
+}
+
+// TestLateEncoderHookPanics: installing a hook after the structural
+// format was already compiled into use (even only nested inside another
+// type) would silently desynchronize peers, so it must panic instead.
+func TestLateEncoderHookPanics(t *testing.T) {
+	type lateWrapper struct {
+		k lateKey
+	}
+	Register[lateWrapper]()
+	if got := roundtrip(t, lateWrapper{k: 7}); got != (lateWrapper{k: 7}) {
+		t.Fatalf("structural roundtrip: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering a hook after structural use")
+		}
+	}()
+	RegisterEncoder[lateKey](lateHookEncoder{})
+}

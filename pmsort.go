@@ -6,7 +6,7 @@
 // scalable data delivery, optimal bucket grouping.
 //
 // The algorithms are written against a pluggable Communicator interface
-// and run on two backends:
+// and run on three backends:
 //
 //   - the simulated cluster (New/NewCustom): a deterministic
 //     distributed-memory machine with the paper's single-ported α-β cost
@@ -18,6 +18,10 @@
 //     exchanging data through channels with zero virtual-time
 //     bookkeeping, so the identical algorithms sort real data at real
 //     multicore speed, and phase statistics report wall-clock time.
+//   - the TCP cluster (NewTCP): p single-PE processes — typically on
+//     different machines — meshed with one persistent duplex TCP
+//     connection per pair, exchanging payloads through the typed wire
+//     codec of internal/wire. cmd/sortnode launches ranks.
 //
 // Quick start, simulated (virtual time, any p):
 //
@@ -45,10 +49,23 @@
 //	})
 //	_ = elapsed // real time for the whole distributed sort
 //
-// Both backends produce bit-identical output for identical inputs and
+// Quick start, TCP (one process per rank; see cmd/sortnode for a
+// ready-made launcher):
+//
+//	peers := []string{"10.0.0.1:9000", "10.0.0.2:9000"}
+//	cl, err := pmsort.NewTCP(rank, peers) // blocks until the mesh is up
+//	if err != nil { ... }
+//	defer cl.Close()
+//	elapsed, err := cl.Run(func(c pmsort.Communicator) {
+//		sorted, _ := pmsort.AMSSort(c, myLocalData, less, pmsort.Config{Levels: 2})
+//		...
+//	})
+//
+// All backends produce bit-identical output for identical inputs and
 // seeds (every collective is deterministic), which the conformance
-// tests assert. See DESIGN.md for the cost model and the
-// Communicator/backend architecture, and EXPERIMENTS.md for the
+// tests assert — including a real multi-process TCP cluster on
+// loopback. See DESIGN.md for the cost model, the Communicator/backend
+// architecture, and the wire protocol, and EXPERIMENTS.md for the
 // reproduced results.
 package pmsort
 
@@ -62,7 +79,9 @@ import (
 	"pmsort/internal/delivery"
 	"pmsort/internal/msel"
 	"pmsort/internal/native"
+	"pmsort/internal/netcomm"
 	"pmsort/internal/sim"
+	"pmsort/internal/wire"
 )
 
 // Re-exported communication and simulator types. A Communicator is an
@@ -179,6 +198,55 @@ func (cl *NativeCluster) P() int { return cl.m.P() }
 func (cl *NativeCluster) Run(fn func(c Communicator)) time.Duration {
 	return cl.m.Run(fn)
 }
+
+// WireEncoder is the custom element codec hook of the TCP backend:
+// set Config.Encoder to one to sort element types the structural wire
+// codec cannot serialize on its own (see internal/wire).
+type WireEncoder = wire.Encoder
+
+// TCPCluster is this process's endpoint of a multi-process TCP cluster
+// (backend 3): each rank runs in its own process — typically on its own
+// machine — and the ranks are meshed with one persistent duplex TCP
+// connection per pair. Payloads cross process boundaries through a
+// typed, self-describing wire codec; element types made of scalars and
+// plain structs serialize automatically, anything else plugs in via
+// Config.Encoder. Stats report wall-clock nanoseconds, like the native
+// backend.
+type TCPCluster struct {
+	m *netcomm.Machine
+}
+
+// NewTCP joins (and, collectively, forms) a TCP cluster: peers is the
+// same ordered list of host:port addresses on every process, and rank
+// is this process's index in it. NewTCP binds peers[rank], connects the
+// full mesh (blocking until all peers are up, with retries for up to
+// 30s), and returns the ready endpoint. Use cmd/sortnode to launch
+// ranks, or call this from your own per-rank processes.
+func NewTCP(rank int, peers []string) (*TCPCluster, error) {
+	m, err := netcomm.New(rank, peers, netcomm.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &TCPCluster{m: m}, nil
+}
+
+// P returns the number of ranks in the cluster.
+func (cl *TCPCluster) P() int { return cl.m.P() }
+
+// Rank returns this process's rank.
+func (cl *TCPCluster) Rank() int { return cl.m.Rank() }
+
+// Run executes fn as this rank's PE program, handing it the world
+// communicator. All ranks must call Run collectively with the same
+// program. It returns this rank's wall-clock time; transport failures
+// and algorithm panics come back as errors.
+func (cl *TCPCluster) Run(fn func(c Communicator)) (time.Duration, error) {
+	return cl.m.Run(fn)
+}
+
+// Close flushes outstanding sends, waits for the peers to hang up too,
+// and tears the mesh down. Call it once, after the last Run.
+func (cl *TCPCluster) Close() error { return cl.m.Close() }
 
 // Event is one entry of a message/annotation trace.
 type Event = sim.Event

@@ -1,0 +1,217 @@
+package pmsort
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pmsort/internal/expt"
+)
+
+// The TCP conformance test needs real separate processes. The test
+// binary doubles as the rank program: TestMain diverts to the child
+// role when the environment marks this process as one.
+const (
+	envChild = "PMSORT_TEST_TCP_CHILD" // the conformance case name
+	envRank  = "PMSORT_TEST_TCP_RANK"
+	envPeers = "PMSORT_TEST_TCP_PEERS"
+	envOut   = "PMSORT_TEST_TCP_OUT"
+	envPerPE = "PMSORT_TEST_TCP_PERPE"
+)
+
+func TestMain(m *testing.M) {
+	if name := os.Getenv(envChild); name != "" {
+		os.Exit(runTCPConformanceChild(name))
+	}
+	os.Exit(m.Run())
+}
+
+// runTCPConformanceChild is one rank process: it joins the cluster
+// through the public API, runs the named conformance case on its slice
+// of the shared seeded input, and dumps the sorted output as
+// little-endian bytes for the parent to compare.
+func runTCPConformanceChild(name string) int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "tcp child: %v\n", err)
+		return 1
+	}
+	rank, err := strconv.Atoi(os.Getenv(envRank))
+	if err != nil {
+		return fail(fmt.Errorf("bad rank: %w", err))
+	}
+	peers := strings.Split(os.Getenv(envPeers), ",")
+	perPE, err := strconv.Atoi(os.Getenv(envPerPE))
+	if err != nil {
+		return fail(fmt.Errorf("bad perPE: %w", err))
+	}
+	var run func(c Communicator, data []uint64) []uint64
+	for _, tc := range conformanceCases() {
+		if tc.name == name {
+			run = tc.run
+		}
+	}
+	if run == nil {
+		return fail(fmt.Errorf("unknown conformance case %q", name))
+	}
+
+	cl, err := NewTCP(rank, peers)
+	if err != nil {
+		return fail(err)
+	}
+	defer cl.Close()
+	if cl.P() != len(peers) || cl.Rank() != rank {
+		return fail(fmt.Errorf("cluster reports P=%d Rank=%d", cl.P(), cl.Rank()))
+	}
+
+	locals := conformanceInput(len(peers), perPE)
+	var out []uint64
+	if _, err := cl.Run(func(c Communicator) {
+		out = run(c, locals[rank])
+	}); err != nil {
+		return fail(err)
+	}
+
+	buf := make([]byte, 8*len(out))
+	for i, v := range out {
+		binary.LittleEndian.PutUint64(buf[8*i:], v)
+	}
+	if err := os.WriteFile(os.Getenv(envOut), buf, 0o644); err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+// reserveLoopbackAddrs picks p free loopback addresses; the transport's
+// bind retry absorbs the release-rebind window.
+func reserveLoopbackAddrs(t *testing.T, p int) []string {
+	t.Helper()
+	addrs, err := expt.ReserveLoopbackAddrs(p)
+	if err != nil {
+		t.Fatalf("reserve ports: %v", err)
+	}
+	return addrs
+}
+
+// TestTCPConformanceMultiProcess is the acceptance test of backend 3: a
+// real 4-process TCP cluster on loopback must sort the same seeded
+// input into output byte-identical to the simulated AND the native
+// backend, rank by rank, for AMS-sort, RLM-sort, and GV-sample-sort.
+func TestTCPConformanceMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	const p, perPE = 4, 300
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("cannot locate the test binary: %v", err)
+	}
+
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			locals := conformanceInput(p, perPE)
+
+			// Reference 1: the simulated backend.
+			simOuts := make([][]uint64, p)
+			cl := New(p)
+			cl.Run(func(pe *PE) {
+				simOuts[pe.Rank()] = tc.run(World(pe), append([]uint64(nil), locals[pe.Rank()]...))
+			})
+
+			// Reference 2: the native backend.
+			natOuts := make([][]uint64, p)
+			ncl := NewNative(p)
+			ncl.Run(func(c Communicator) {
+				natOuts[c.Rank()] = tc.run(c, append([]uint64(nil), locals[c.Rank()]...))
+			})
+
+			// The contender: p separate OS processes over TCP.
+			addrs := reserveLoopbackAddrs(t, p)
+			dir := t.TempDir()
+			cmds := make([]*exec.Cmd, p)
+			for rank := 0; rank < p; rank++ {
+				cmd := exec.Command(exe, "-test.run=^$")
+				cmd.Env = append(os.Environ(),
+					envChild+"="+tc.name,
+					envRank+"="+strconv.Itoa(rank),
+					envPeers+"="+strings.Join(addrs, ","),
+					envOut+"="+filepath.Join(dir, fmt.Sprintf("rank%d.bin", rank)),
+					envPerPE+"="+strconv.Itoa(perPE),
+				)
+				cmd.Stderr = os.Stderr
+				if err := cmd.Start(); err != nil {
+					t.Fatalf("starting rank %d: %v", rank, err)
+				}
+				cmds[rank] = cmd
+			}
+			deadline := time.AfterFunc(2*time.Minute, func() {
+				for _, cmd := range cmds {
+					_ = cmd.Process.Kill()
+				}
+			})
+			defer deadline.Stop()
+			for rank, cmd := range cmds {
+				if err := cmd.Wait(); err != nil {
+					t.Fatalf("rank %d process: %v", rank, err)
+				}
+			}
+
+			// Byte-identical across all three backends.
+			total := 0
+			for rank := 0; rank < p; rank++ {
+				raw, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("rank%d.bin", rank)))
+				if err != nil {
+					t.Fatalf("rank %d output: %v", rank, err)
+				}
+				if len(raw)%8 != 0 {
+					t.Fatalf("rank %d output has %d bytes (not a uint64 multiple)", rank, len(raw))
+				}
+				tcpOut := make([]uint64, len(raw)/8)
+				for i := range tcpOut {
+					tcpOut[i] = binary.LittleEndian.Uint64(raw[8*i:])
+				}
+				if len(tcpOut) != len(simOuts[rank]) || len(tcpOut) != len(natOuts[rank]) {
+					t.Fatalf("rank %d: TCP has %d elements, sim %d, native %d",
+						rank, len(tcpOut), len(simOuts[rank]), len(natOuts[rank]))
+				}
+				for i := range tcpOut {
+					if tcpOut[i] != simOuts[rank][i] || tcpOut[i] != natOuts[rank][i] {
+						t.Fatalf("rank %d element %d: tcp %d, sim %d, native %d",
+							rank, i, tcpOut[i], simOuts[rank][i], natOuts[rank][i])
+					}
+				}
+				total += len(tcpOut)
+			}
+			if total != p*perPE {
+				t.Fatalf("lost elements: %d of %d", total, p*perPE)
+			}
+		})
+	}
+}
+
+// TestTCPPublicAPISingleProcess exercises NewTCP's error paths and the
+// single-rank degenerate cluster without child processes.
+func TestTCPPublicAPISingleProcess(t *testing.T) {
+	if _, err := NewTCP(2, []string{"127.0.0.1:1"}); err == nil {
+		t.Error("out-of-range rank must fail")
+	}
+	cl, err := NewTCP(0, []string{"127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var out []uint64
+	if _, err := cl.Run(func(c Communicator) {
+		out, _ = AMSSort(c, []uint64{3, 1, 2}, u64Less, Config{Levels: 1, Seed: 1})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0] != 1 || out[2] != 3 {
+		t.Fatalf("single-rank TCP sort: %v", out)
+	}
+}
