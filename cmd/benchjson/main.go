@@ -1,0 +1,156 @@
+// Command benchjson converts standard `go test -bench` text output —
+// the format benchstat consumes — into a JSON array, one record per
+// benchmark line, so perf trajectories can accumulate in a file
+// (BENCH_native.json) that dashboards and scripts parse without
+// re-implementing the bench grammar. scripts/bench.sh drives it.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Native -benchmem -count 6 . | benchjson -out BENCH_native.json
+//	benchjson -in BENCH_native.txt -out BENCH_native.json
+//
+// The input text should be kept alongside the JSON: benchstat still
+// wants the raw format for A/B comparisons.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark measurement line.
+type Record struct {
+	// Name is the full benchmark name including the -cpu suffix
+	// (e.g. "BenchmarkNativeAMS/p=8-16").
+	Name string `json:"name"`
+	// Iterations is the b.N the reported averages are over.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are present with -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds any other unit pairs (MB/s, custom b.ReportMetric).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Output is the file layout: context lines then the measurements.
+type Output struct {
+	// Goos/Goarch/Pkg/CPU echo the bench header lines.
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Records []Record `json:"records"`
+}
+
+// parseBench parses go-test bench text. Unrecognized lines (test
+// output, PASS/ok trailers) are skipped: the converter must accept a
+// raw `go test` transcript unmodified.
+func parseBench(r io.Reader) (Output, error) {
+	var out Output
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			out.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		rec := Record{Name: fields[0], Iterations: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				rec.NsPerOp = v
+				ok = true
+			case "B/op":
+				rec.BytesPerOp = &v
+			case "allocs/op":
+				rec.AllocsPerOp = &v
+			default:
+				if rec.Extra == nil {
+					rec.Extra = make(map[string]float64)
+				}
+				rec.Extra[unit] = v
+			}
+		}
+		if ok {
+			out.Records = append(out.Records, rec)
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "", "bench text input (default stdin)")
+	outPath := flag.String("out", "", "JSON output path (default stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	out, err := parseBench(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(out.Records) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: pmsort
+cpu: AMD EPYC 7B13
+BenchmarkNativeAMS/p=8/n=1000000-16         	      12	  94211292 ns/op	  84.93 Melem/s
+BenchmarkNativeSortSlice-16                 	       8	 131958163 ns/op	 1024 B/op	       2 allocs/op
+some test chatter that must be ignored
+--- PASS: TestSomething (0.01s)
+BenchmarkWireEncode/u64s-16 	 50660	 23716 ns/op	 2764.70 MB/s
+PASS
+ok  	pmsort	30.405s
+`
+
+func TestParseBench(t *testing.T) {
+	out, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Goos != "linux" || out.Goarch != "amd64" || out.Pkg != "pmsort" || out.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header: %+v", out)
+	}
+	if len(out.Records) != 3 {
+		t.Fatalf("parsed %d records, want 3: %+v", len(out.Records), out.Records)
+	}
+	r := out.Records[0]
+	if r.Name != "BenchmarkNativeAMS/p=8/n=1000000-16" || r.Iterations != 12 || r.NsPerOp != 94211292 {
+		t.Errorf("record 0: %+v", r)
+	}
+	if r.Extra["Melem/s"] != 84.93 {
+		t.Errorf("record 0 extra: %+v", r.Extra)
+	}
+	r = out.Records[1]
+	if r.BytesPerOp == nil || *r.BytesPerOp != 1024 || r.AllocsPerOp == nil || *r.AllocsPerOp != 2 {
+		t.Errorf("record 1 benchmem: %+v", r)
+	}
+	r = out.Records[2]
+	if r.Extra["MB/s"] != 2764.70 {
+		t.Errorf("record 2: %+v", r)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	out, err := parseBench(strings.NewReader("PASS\nok  pmsort  0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != 0 {
+		t.Errorf("parsed records from non-bench input: %+v", out.Records)
+	}
+}

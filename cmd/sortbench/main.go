@@ -12,6 +12,8 @@
 //	sortbench -experiment fig8 -ps 512,2048 -perpe 1000,10000
 //	sortbench -experiment fig10 -p 256 -n 10000
 //	sortbench -experiment backends -ntotal 100000  # sim vs native vs TCP cluster
+//	sortbench -experiment torture -seed 1027       # replay one torture case
+//	sortbench -experiment torture -seed 1000 -count 100  # seeded sweep
 //	sortbench -quick                          # small grids for a smoke run
 package main
 
@@ -48,7 +50,7 @@ func main() {
 	// backends experiment launches (one re-execution per rank).
 	expt.MaybeRunTCPChild()
 	var (
-		experiment = flag.String("experiment", "all", "table1|table2|fig7|fig8|fig10|fig11|fig12|compare|delivery|alltoall|backends|all")
+		experiment = flag.String("experiment", "all", "table1|table2|fig7|fig8|fig10|fig11|fig12|compare|delivery|alltoall|backends|torture|all")
 		psFlag     = flag.String("ps", "", "comma-separated PE counts (default 512,2048,8192)")
 		perpeFlag  = flag.String("perpe", "", "comma-separated n/p values (default 1000,10000,100000)")
 		reps       = flag.Int("reps", 3, "repetitions per configuration (paper: 5)")
@@ -56,6 +58,7 @@ func main() {
 		sweepP     = flag.Int("p", 256, "PE count for the fig10/fig11 sweeps")
 		sweepN     = flag.Int("n", 10000, "n/p for the fig10/fig11 sweeps")
 		nativeN    = flag.Int("ntotal", 200_000, "TOTAL element count for the backends experiment (split over p)")
+		count      = flag.Int("count", 1, "number of consecutive-seed cases for the torture experiment")
 		quick      = flag.Bool("quick", false, "small grids for a fast smoke run")
 		noTCP      = flag.Bool("notcp", false, "skip the multi-process TCP row of the backends experiment")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
@@ -98,6 +101,15 @@ func main() {
 			algos = append(algos, expt.RLM)
 		}
 		weak = expt.RunWeakScaling(opt, algos)
+	}
+
+	// Torture is a repro/soak tool, not a paper experiment: it never runs
+	// under -experiment all, and a failed invariant exits non-zero.
+	if *experiment == "torture" {
+		if err := expt.Torture(w, *seed, *count, progress); err != nil {
+			os.Exit(1)
+		}
+		return
 	}
 
 	section := func(name string, fn func()) {

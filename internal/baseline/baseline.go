@@ -219,7 +219,19 @@ func BitonicSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, _
 			c.Send(partner, tagBitonic, cur, int64(len(cur)))
 			pl, _ := c.Recv(partner, tagBitonic)
 			other := pl.([]E)
-			merged := seq.Merge2(cur, other, less)
+			// Both partners must compute the IDENTICAL merged sequence or
+			// the low/high split is not a partition of their union: Merge2
+			// is left-biased on ties, so always feed the lower rank's data
+			// first. Merging own-data-first duplicates one element of every
+			// tied cross-partner pair and drops another — invisible with
+			// scalar keys (tied values are interchangeable), caught by the
+			// torture harness's tie-heavy struct elements.
+			var merged []E
+			if rank < partner {
+				merged = seq.Merge2(cur, other, less)
+			} else {
+				merged = seq.Merge2(other, cur, less)
+			}
 			cost.Ops(int64(len(merged)))
 			// Preserve my element count: low keeps the smallest len(cur),
 			// high keeps the largest len(cur).

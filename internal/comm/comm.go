@@ -189,14 +189,21 @@ func SplitBounds(starts []int, size, me int) (lo, hi, g int, ok bool) {
 	if len(starts) < 2 || starts[0] != 0 || starts[len(starts)-1] != size {
 		return 0, 0, 0, false
 	}
-	// Locate my group by scanning; group counts are small (O(r)).
+	// Locate my group by scanning; group counts are small (O(r)). The
+	// scan also validates monotonicity: decreasing bounds would assign
+	// some members to several groups, and PEs would silently disagree on
+	// the group geometry.
+	found, flo, fhi, fg := false, 0, 0, 0
 	for g := 0; g+1 < len(starts); g++ {
 		lo, hi := starts[g], starts[g+1]
-		if me >= lo && me < hi {
-			return lo, hi, g, true
+		if lo > hi {
+			return 0, 0, 0, false
+		}
+		if !found && me >= lo && me < hi {
+			found, flo, fhi, fg = true, lo, hi, g
 		}
 	}
-	return 0, 0, 0, false
+	return flo, fhi, fg, found
 }
 
 // ModuloRanks strides the member rank list into the modulo-m group of

@@ -33,6 +33,164 @@ func TestGroupSizes(t *testing.T) {
 	}
 }
 
+// TestEqualStartsGeometry pins EqualStarts over the full small-size
+// grid, including the degenerate corners: size 1, groups == size, and
+// invalid group counts. The starts must be the prefix sums of
+// GroupSizes exactly — every backend's SplitEqual relies on it.
+func TestEqualStartsGeometry(t *testing.T) {
+	for size := 1; size <= 24; size++ {
+		for groups := 1; groups <= size; groups++ {
+			starts, ok := EqualStarts(size, groups)
+			if !ok {
+				t.Fatalf("EqualStarts(%d,%d) rejected a valid split", size, groups)
+			}
+			if len(starts) != groups+1 || starts[0] != 0 || starts[groups] != size {
+				t.Fatalf("EqualStarts(%d,%d) = %v", size, groups, starts)
+			}
+			sizes := GroupSizes(size, groups)
+			for g := 0; g < groups; g++ {
+				if starts[g+1]-starts[g] != sizes[g] {
+					t.Fatalf("EqualStarts(%d,%d) = %v disagrees with GroupSizes %v",
+						size, groups, starts, sizes)
+				}
+			}
+		}
+		// Invalid group counts must be rejected, not mis-partitioned.
+		for _, groups := range []int{0, -1, size + 1} {
+			if _, ok := EqualStarts(size, groups); ok {
+				t.Errorf("EqualStarts(%d,%d) accepted an invalid group count", size, groups)
+			}
+		}
+	}
+	if starts, ok := EqualStarts(1, 1); !ok || len(starts) != 2 || starts[0] != 0 || starts[1] != 1 {
+		t.Errorf("EqualStarts(1,1) = %v, %v", starts, ok)
+	}
+}
+
+// TestSplitBoundsEdges drives SplitBounds through the degenerate and
+// malformed inputs: size-1 communicators, singleton groups, empty
+// groups, bounds that do not start at 0 / end at size / cover the
+// member, and too-short starts vectors.
+func TestSplitBoundsEdges(t *testing.T) {
+	// Size 1: the only member must land in the only group.
+	if lo, hi, g, ok := SplitBounds([]int{0, 1}, 1, 0); !ok || lo != 0 || hi != 1 || g != 0 {
+		t.Errorf("SplitBounds([0,1],1,0) = %d,%d,%d,%v", lo, hi, g, ok)
+	}
+	// groups == size: every member is its own group.
+	starts := []int{0, 1, 2, 3}
+	for me := 0; me < 3; me++ {
+		lo, hi, g, ok := SplitBounds(starts, 3, me)
+		if !ok || lo != me || hi != me+1 || g != me {
+			t.Errorf("singleton SplitBounds(me=%d) = %d,%d,%d,%v", me, lo, hi, g, ok)
+		}
+	}
+	// Empty middle group: members around it still resolve correctly.
+	starts = []int{0, 2, 2, 4}
+	if _, _, g, ok := SplitBounds(starts, 4, 1); !ok || g != 0 {
+		t.Errorf("empty-group SplitBounds(me=1): g=%d ok=%v", g, ok)
+	}
+	if _, _, g, ok := SplitBounds(starts, 4, 2); !ok || g != 2 {
+		t.Errorf("empty-group SplitBounds(me=2): g=%d ok=%v", g, ok)
+	}
+	// Malformed bounds must all be rejected.
+	bad := [][]int{
+		nil,          // no bounds at all
+		{0},          // too short
+		{1, 4},       // does not start at 0
+		{0, 3},       // does not end at size
+		{0, 5},       // overshoots size
+		{0, 3, 2, 4}, // non-monotone: me=3 not covered by any window
+	}
+	for _, starts := range bad {
+		if _, _, _, ok := SplitBounds(starts, 4, 3); ok {
+			t.Errorf("SplitBounds(%v, 4, 3) accepted malformed bounds", starts)
+		}
+	}
+}
+
+// TestModuloRanksEdges covers ModuloRanks at the corners: m == 1
+// (identity group), m == size (singleton groups), size 1, and invalid
+// m; plus the stride/membership properties on a small grid.
+func TestModuloRanksEdges(t *testing.T) {
+	ranks := func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = 100 + i // distinct from indices: catches index/rank mixups
+		}
+		return out
+	}
+	// Size 1.
+	if sub, me, g, ok := ModuloRanks(ranks(1), 0, 1); !ok || me != 0 || g != 0 || len(sub) != 1 || sub[0] != 100 {
+		t.Errorf("ModuloRanks(size 1) = %v,%d,%d,%v", sub, me, g, ok)
+	}
+	// Invalid m.
+	for _, m := range []int{0, -2, 5} {
+		if _, _, _, ok := ModuloRanks(ranks(4), 1, m); ok {
+			t.Errorf("ModuloRanks(m=%d) accepted an invalid modulus", m)
+		}
+	}
+	for size := 1; size <= 12; size++ {
+		rs := ranks(size)
+		for m := 1; m <= size; m++ {
+			// Union of all groups must be a permutation of the members,
+			// each group strided by m.
+			seen := make(map[int]bool)
+			for me := 0; me < size; me++ {
+				sub, newMe, g, ok := ModuloRanks(rs, me, m)
+				if !ok {
+					t.Fatalf("ModuloRanks(size=%d, me=%d, m=%d) rejected", size, me, m)
+				}
+				if g != me%m || newMe != me/m {
+					t.Fatalf("ModuloRanks(size=%d, me=%d, m=%d): g=%d newMe=%d", size, me, m, g, newMe)
+				}
+				if sub[newMe] != rs[me] {
+					t.Fatalf("ModuloRanks(size=%d, me=%d, m=%d): sub[%d]=%d, want %d",
+						size, me, m, newMe, sub[newMe], rs[me])
+				}
+				for i, r := range sub {
+					if r != rs[g+i*m] {
+						t.Fatalf("ModuloRanks(size=%d, me=%d, m=%d): stride broken at %d", size, me, m, i)
+					}
+				}
+				if !seen[me] {
+					seen[me] = true
+				}
+			}
+			if len(seen) != size {
+				t.Fatalf("ModuloRanks(size=%d, m=%d): groups cover %d of %d members", size, m, len(seen), size)
+			}
+		}
+	}
+}
+
+// TestGroupSizesProperties extends the base grid with the formal
+// properties delivery and grouping rely on: the sizes vector sums to
+// the communicator size, is non-increasing (larger groups first), and
+// is stable under recomputation.
+func TestGroupSizesProperties(t *testing.T) {
+	for size := 1; size <= 64; size++ {
+		for groups := 1; groups <= size; groups++ {
+			a, b := GroupSizes(size, groups), GroupSizes(size, groups)
+			sum := 0
+			for g := range a {
+				if a[g] != b[g] {
+					t.Fatalf("GroupSizes(%d,%d) not deterministic", size, groups)
+				}
+				sum += a[g]
+				if g > 0 && a[g] > a[g-1] {
+					t.Fatalf("GroupSizes(%d,%d) = %v not non-increasing", size, groups, a)
+				}
+			}
+			if sum != size {
+				t.Fatalf("GroupSizes(%d,%d) sums to %d", size, groups, sum)
+			}
+			if a[0]-a[groups-1] > 1 {
+				t.Fatalf("GroupSizes(%d,%d) = %v spreads more than 1", size, groups, a)
+			}
+		}
+	}
+}
+
 func TestWallClock(t *testing.T) {
 	w := WallClock{Epoch: time.Now()}
 	t0 := w.Now()

@@ -91,13 +91,13 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	if sampleTotal < int64(r) {
 		sampleTotal = int64(r)
 	}
-	// Per-PE share, proportional to local data (cheap approximation of a
-	// uniform global sample: PEs hold n/p elements each in the intended
-	// use, and empty PEs must not contribute).
-	share := int(sampleTotal / int64(c.Size()))
-	if share < 1 {
-		share = 1
-	}
+	// Per-PE share proportional to this PE's share of the data, so the
+	// union approximates a uniform global sample even when the input is
+	// unbalanced (all elements on one PE, say): a flat per-PE share
+	// under-samples loaded PEs by up to a factor of p, and the splitter
+	// variance blows up with it — the torture harness catches this as an
+	// output-imbalance violation on the one-pe workload.
+	share := int((sampleTotal*int64(len(data)) + n - 1) / n)
 	if share > len(data) {
 		share = len(data)
 	}

@@ -4,7 +4,6 @@ import (
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
-	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -109,27 +108,11 @@ func splitAddrs(s string) []string {
 	return out
 }
 
-// ReserveLoopbackAddrs picks p currently free loopback addresses by
-// binding ephemeral listeners and releasing them. The small window
-// before the cluster rebinds them is absorbed by the transport's bind
-// retry.
+// ReserveLoopbackAddrs picks p currently free loopback addresses; see
+// netcomm.ReserveLoopbackAddrs (kept here as an alias for the tools
+// that import only expt).
 func ReserveLoopbackAddrs(p int) ([]string, error) {
-	addrs := make([]string, p)
-	lns := make([]net.Listener, 0, p)
-	defer func() {
-		for _, ln := range lns {
-			ln.Close()
-		}
-	}()
-	for i := range addrs {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return nil, err
-		}
-		lns = append(lns, ln)
-		addrs[i] = ln.Addr().String()
-	}
-	return addrs, nil
+	return netcomm.ReserveLoopbackAddrs(p)
 }
 
 // RunTCP executes and validates one run on a real multi-process TCP

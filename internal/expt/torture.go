@@ -1,0 +1,401 @@
+// Torture harness: property-based conformance testing of every sorter
+// on every backend under the chaos middleware (internal/chaos). One
+// uint64 seed derives a complete randomized scenario — sorter, PE
+// count, per-PE input size, input distribution, level/oversampling/
+// overpartitioning/delivery configuration, and element type — and the
+// harness executes it on the simulated and native backends (plus, for a
+// fraction of cases, a real in-process TCP loopback cluster) with
+// schedule shaking and forced serialization, asserting the paper's
+// invariants:
+//
+//   - the output is globally sorted;
+//   - the output is a permutation of the input (order-independent
+//     multiset hash and element count);
+//   - the partition imbalance stays within the sorter's bound (AMS:
+//     configured ε-style bound; RLM: perfect balance);
+//   - backends agree byte-for-byte;
+//   - the chaos audit is clean (no contract violations, and the
+//     middleware demonstrably engaged).
+//
+// A failure reproduces from its seed alone:
+//
+//	sortbench -experiment torture -seed N
+package expt
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+	"time"
+
+	"pmsort/internal/baseline"
+	"pmsort/internal/chaos"
+	"pmsort/internal/comm"
+	"pmsort/internal/core"
+	"pmsort/internal/delivery"
+	"pmsort/internal/native"
+	"pmsort/internal/netcomm"
+	"pmsort/internal/prng"
+	"pmsort/internal/sim"
+	"pmsort/internal/workload"
+)
+
+// TortureCase is one fully derived torture scenario.
+type TortureCase struct {
+	Seed uint64
+	Spec Spec
+	// Pair selects the two-field struct element type (sorted by a
+	// tie-heavy key, carrying a payload field) instead of bare uint64 —
+	// this drives the structural wire codec through every message.
+	Pair bool
+	// TCP adds a real in-process TCP loopback cluster as a third
+	// backend for this case (small p only; rendezvous dominates).
+	TCP bool
+	// Chaos is the middleware seed (distinct from Spec.Seed so the
+	// injected schedule varies independently of the data).
+	Chaos uint64
+}
+
+// String renders the case compactly for logs and failure messages.
+func (tc TortureCase) String() string {
+	elem := "u64"
+	if tc.Pair {
+		elem = "pair"
+	}
+	backends := "sim+native"
+	if tc.TCP {
+		backends += "+tcp"
+	}
+	return fmt.Sprintf("seed=%d %v p=%d n/p=%d kind=%v k=%d a=%g b=%d dlv=%v/%d elem=%s %s",
+		tc.Seed, tc.Spec.Algo, tc.Spec.P, tc.Spec.PerPE, tc.Spec.Kind, tc.Spec.Levels,
+		tc.Spec.Oversampling, tc.Spec.Overpartition, tc.Spec.Delivery.Strategy,
+		tc.Spec.Delivery.Exchange, elem, backends)
+}
+
+// tortureAlgos is the sweep's sorter population. Power-of-two-only
+// sorters are marked so the PE count can respect their requirement.
+var tortureAlgos = []struct {
+	algo Algo
+	pow2 bool
+}{
+	{AMS, false}, {AMS, false}, {AMS, false}, // weighted: AMS is the paper's centerpiece
+	{RLM, false}, {RLM, false},
+	{GV, false}, {MP, false}, {Hist, false},
+	{Bitonic, true}, {HCQ, true},
+}
+
+// DeriveTorture expands one seed into a torture case. The derivation is
+// pure: equal seeds give equal cases on every machine, which is what
+// makes `sortbench -experiment torture -seed N` a one-line repro.
+func DeriveTorture(seed uint64) TortureCase {
+	rng := prng.New(seed ^ 0x7027_15ee_76c4_a1b3)
+	pick := tortureAlgos[rng.Intn(len(tortureAlgos))]
+	var p int
+	if pick.pow2 {
+		p = 1 << rng.Intn(4) // 1, 2, 4, 8
+	} else {
+		p = 1 + rng.Intn(10) // 1..10
+	}
+	perPEs := []int{1, 3, 17, 64, 150, 300}
+	kinds := []workload.Kind{
+		workload.Uniform, workload.Skewed, workload.DupHeavy,
+		workload.Sorted, workload.Reverse, workload.AlmostSorted,
+		workload.OnePE,
+	}
+	oversampling := []float64{0, 0, 1.5, 3}
+	overpartition := []int{0, 0, 1, 4, 32}
+	tc := TortureCase{
+		Seed: seed,
+		Spec: Spec{
+			Algo:          pick.algo,
+			P:             p,
+			PerPE:         perPEs[rng.Intn(len(perPEs))],
+			Levels:        1 + rng.Intn(3),
+			Kind:          kinds[rng.Intn(len(kinds))],
+			Seed:          rng.Next(),
+			Oversampling:  oversampling[rng.Intn(len(oversampling))],
+			Overpartition: overpartition[rng.Intn(len(overpartition))],
+			// TieBreak is always on: the sweep includes duplicate-heavy
+			// inputs, where AMS's balance bound requires it (App. D).
+			TieBreak: true,
+			Delivery: delivery.Options{
+				Strategy: delivery.Strategy(rng.Intn(4)),
+				Exchange: delivery.Exchange(rng.Intn(2)),
+				Seed:     rng.Next(),
+			},
+		},
+		Pair:  rng.Intn(3) == 0,
+		Chaos: rng.Next(),
+	}
+	// A TCP loopback cluster per case is expensive (rendezvous, real
+	// sockets); run it on a sixth of the small-p cases.
+	tc.TCP = p <= 4 && rng.Intn(6) == 0
+	return tc
+}
+
+// Pair is the torture harness's struct element type: ordered by a
+// tie-heavy key K, carrying an unordered payload T. Sorting Pairs under
+// forced serialization drives the structural wire codec (not just the
+// []uint64 bulk fast path) through every message of every sorter.
+type Pair struct {
+	K, T uint64
+}
+
+func pairLess(a, b Pair) bool { return a.K < b.K }
+
+// tortureBackends names the backend legs a case runs.
+func tortureBackends(tc TortureCase) []string {
+	bs := []string{"sim", "native"}
+	if tc.TCP {
+		bs = append(bs, "tcp")
+	}
+	return bs
+}
+
+// RunTorture executes one derived case and returns a one-line summary.
+// Any invariant breach comes back as an error naming the seed.
+func RunTorture(tc TortureCase) (string, error) {
+	var err error
+	if tc.Pair {
+		err = tortureRun(tc, func(k uint64) Pair {
+			// K compresses the key space 4:1 so every distribution gains
+			// extra ties while keeping its shape; T keeps the original
+			// key so the multiset hash still sees full entropy.
+			return Pair{K: k / 4, T: k}
+		}, pairLess, func(e Pair) uint64 {
+			return prng.Mix64(prng.Mix64(e.K)*0x9e3779b97f4a7c15 ^ e.T)
+		})
+	} else {
+		err = tortureRun(tc, func(k uint64) uint64 { return k },
+			func(a, b uint64) bool { return a < b }, prng.Mix64)
+	}
+	if err != nil {
+		return "", fmt.Errorf("%w\nrepro: sortbench -experiment torture -seed %d", err, tc.Seed)
+	}
+	return tc.String(), nil
+}
+
+// runAlgoE dispatches the spec's sorter for any element type.
+func runAlgoE[E any](c comm.Communicator, spec Spec, data []E, less func(a, b E) bool) ([]E, *core.Stats) {
+	switch spec.Algo {
+	case AMS:
+		return core.AMSSort(c, data, less, spec.config())
+	case RLM:
+		return core.RLMSort(c, data, less, spec.config())
+	case MP:
+		return baseline.MPSort(c, data, less, spec.Seed)
+	case GV:
+		return baseline.GVSampleSort(c, data, less, spec.Seed)
+	case Bitonic:
+		return baseline.BitonicSort(c, data, less, spec.Seed)
+	case Hist:
+		return baseline.HistogramSort(c, data, less, 0.05, spec.Seed)
+	case HCQ:
+		return baseline.HCQuicksort(c, data, less, spec.Seed)
+	default:
+		panic("expt: unknown algorithm")
+	}
+}
+
+// tortureRun executes tc for one element type and checks every
+// invariant. mk maps a workload key to an element, hash is the
+// order-independent per-element hash of the multiset check.
+func tortureRun[E any](tc TortureCase, mk func(k uint64) E, less func(a, b E) bool, hash func(E) uint64) error {
+	spec := tc.Spec
+	locals := make([][]E, spec.P)
+	var n int64
+	var inHash uint64
+	for rank := range locals {
+		keys := workload.Local(spec.Kind, spec.Seed, spec.P, spec.PerPE, rank)
+		if keys == nil {
+			continue // OnePE: ranks >0 start with nil input
+		}
+		loc := make([]E, len(keys))
+		for i, k := range keys {
+			loc[i] = mk(k)
+			inHash += hash(loc[i])
+		}
+		locals[rank] = loc
+		n += int64(len(loc))
+	}
+
+	outs := make(map[string][][]E)
+	for _, backend := range tortureBackends(tc) {
+		out, aud, err := tortureBackendRun(tc, backend, locals, less)
+		if err != nil {
+			return fmt.Errorf("torture %s: backend %s: %w", tc, backend, err)
+		}
+		if vs := aud.Violations(); len(vs) > 0 {
+			return fmt.Errorf("torture %s: backend %s: %d chaos violations, first: %v", tc, backend, len(vs), vs[0])
+		}
+		// The middleware must demonstrably have engaged: in-process
+		// backends serialize every non-self message, and any backend
+		// with communication draws schedule perturbations.
+		if msgs, _, _ := aud.Messages(); msgs == 0 && spec.P > 1 && backend != "tcp" {
+			return fmt.Errorf("torture %s: backend %s: forced serialization saw no messages", tc, backend)
+		}
+		if err := tortureCheck(tc, out, n, inHash, less, hash); err != nil {
+			return fmt.Errorf("torture %s: backend %s: %w", tc, backend, err)
+		}
+		outs[backend] = out
+	}
+
+	// Cross-backend byte identity: every backend must place every
+	// element identically.
+	for _, backend := range tortureBackends(tc)[1:] {
+		if !reflect.DeepEqual(outs[backend], outs["sim"]) {
+			return fmt.Errorf("torture %s: %s output differs from sim", tc, backend)
+		}
+	}
+	return nil
+}
+
+// tortureBackendRun sorts the locals on one backend under chaos.
+func tortureBackendRun[E any](tc TortureCase, backend string, locals [][]E, less func(a, b E) bool) ([][]E, *chaos.Audit, error) {
+	spec := tc.Spec
+	aud := &chaos.Audit{}
+	ccfg := chaos.Config{
+		Seed:  tc.Chaos,
+		Shake: true,
+		// Serialization is forced only where payloads otherwise move by
+		// reference; the TCP backend serializes for real already.
+		ForceSerialize: backend != "tcp",
+		Audit:          aud,
+		OnViolation:    func(chaos.Violation) {}, // collect, don't panic
+	}
+	outs := make([][]E, spec.P)
+	var mu sync.Mutex // guards outs writes from rank goroutines (tcp)
+	run := func(c comm.Communicator, rank int) {
+		cc := chaos.Wrap(c, ccfg)
+		out, _ := runAlgoE(cc, spec, append([]E(nil), locals[rank]...), less)
+		mu.Lock()
+		outs[rank] = out
+		mu.Unlock()
+	}
+
+	// Watchdog: a sorter that panics on SOME PEs while others block in
+	// Recv would wedge the in-process backends' Run (they join every PE
+	// goroutine before re-panicking), turning a failing case into a
+	// hang. Cases are tiny and deterministic — normal runs finish in
+	// milliseconds — so a generous deadline converts the wedge into the
+	// promised seed-naming error.
+	done := make(chan error, 1)
+	go func() {
+		var err error
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic: %v", r)
+			}
+			done <- err
+		}()
+		switch backend {
+		case "sim":
+			sim.NewDefault(spec.P).Run(func(pe *sim.PE) { run(sim.World(pe), pe.Rank()) })
+		case "native":
+			native.New(spec.P).Run(func(c comm.Communicator) { run(c, c.Rank()) })
+		case "tcp":
+			err = tortureTCP(spec.P, run)
+		default:
+			err = fmt.Errorf("unknown backend %q", backend)
+		}
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			return nil, nil, err
+		}
+	case <-time.After(tortureDeadline):
+		// The wedged PE goroutines are leaked deliberately: the harness
+		// is about to fail the whole run with the repro seed anyway.
+		return nil, nil, fmt.Errorf("deadlocked (no progress for %v) — some PEs likely died while others wait on them", tortureDeadline)
+	}
+	return outs, aud, nil
+}
+
+// tortureDeadline bounds one backend leg of one case. Cases are small
+// (p ≤ 10, n ≤ a few thousand) and finish in well under a second; the
+// slack covers race-instrumented CI and TCP rendezvous.
+const tortureDeadline = 2 * time.Minute
+
+// tortureTCP runs fn on an in-process TCP loopback cluster: one
+// netcomm.Machine per rank, real sockets in between.
+func tortureTCP(p int, fn func(c comm.Communicator, rank int)) error {
+	return netcomm.LocalCluster(p, 30*time.Second, func(m *netcomm.Machine, rank int) error {
+		_, err := m.Run(func(c comm.Communicator) { fn(c, rank) })
+		return err
+	})
+}
+
+// tortureCheck asserts the single-backend invariants: global order,
+// multiset preservation, and the sorter's balance bound.
+func tortureCheck[E any](tc TortureCase, outs [][]E, n int64, inHash uint64, less func(a, b E) bool, hash func(E) uint64) error {
+	var total, maxOut, minOut int64
+	minOut = 1<<63 - 1
+	var outHash uint64
+	var prev E
+	havePrev := false
+	for rank, out := range outs {
+		for i, e := range out {
+			if havePrev && less(e, prev) {
+				return fmt.Errorf("global order violated at PE %d index %d", rank, i)
+			}
+			prev, havePrev = e, true
+			outHash += hash(e)
+		}
+		l := int64(len(out))
+		total += l
+		if l > maxOut {
+			maxOut = l
+		}
+		if l < minOut {
+			minOut = l
+		}
+	}
+	if total != n {
+		return fmt.Errorf("element count changed: %d in, %d out", n, total)
+	}
+	if outHash != inHash {
+		return fmt.Errorf("multiset hash changed: input %#x, output %#x", inHash, outHash)
+	}
+
+	p := int64(tc.Spec.P)
+	switch tc.Spec.Algo {
+	case AMS:
+		// ε-style bound: with tie-breaking on, AMS keeps the largest
+		// output within a constant factor of n/p plus quantization slack
+		// (small n is dominated by per-level rounding).
+		if bound := (n/p)*5/2 + 64; maxOut > bound {
+			return fmt.Errorf("AMS imbalance: max |out| = %d exceeds bound %d (n/p = %d)", maxOut, bound, n/p)
+		}
+	case RLM:
+		// RLM's multisequence selection hits exact global ranks: the
+		// output is perfectly balanced (sizes differ by at most one).
+		if maxOut-minOut > 1 {
+			return fmt.Errorf("RLM balance: outputs range %d..%d, want spread ≤ 1", minOut, maxOut)
+		}
+	}
+	return nil
+}
+
+// Torture runs `count` torture cases derived from consecutive seeds
+// starting at `seed`, writing one line per case. It returns the first
+// failure (the line already names the repro seed).
+func Torture(w io.Writer, seed uint64, count int, progress io.Writer) error {
+	if count < 1 {
+		count = 1
+	}
+	for i := 0; i < count; i++ {
+		tc := DeriveTorture(seed + uint64(i))
+		if progress != nil {
+			fmt.Fprintf(progress, "# torture %s\n", tc)
+		}
+		line, err := RunTorture(tc)
+		if err != nil {
+			fmt.Fprintf(w, "FAIL %v\n", err)
+			return err
+		}
+		fmt.Fprintf(w, "ok   %s\n", line)
+	}
+	return nil
+}

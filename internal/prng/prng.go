@@ -25,6 +25,11 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Mix64 exposes the SplitMix64 finalizer as a general-purpose 64-bit
+// mixing/hash function (the torture harness builds its
+// order-independent multiset hash from it).
+func Mix64(z uint64) uint64 { return mix64(z) }
+
 // Next returns the next 64-bit pseudo-random value.
 func (r *Rng) Next() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -74,6 +74,7 @@ import (
 	"time"
 
 	"pmsort/internal/baseline"
+	"pmsort/internal/chaos"
 	"pmsort/internal/comm"
 	"pmsort/internal/core"
 	"pmsort/internal/delivery"
@@ -247,6 +248,33 @@ func (cl *TCPCluster) Run(fn func(c Communicator)) (time.Duration, error) {
 // Close flushes outstanding sends, waits for the peers to hang up too,
 // and tears the mesh down. Call it once, after the last Run.
 func (cl *TCPCluster) Close() error { return cl.m.Close() }
+
+// Chaos middleware (internal/chaos): a deterministic, seeded
+// fault-and-contract-checking wrapper that composes over any backend.
+// WrapChaos(c, cfg) returns a communicator that perturbs goroutine
+// schedules, force-serializes every in-process payload through the wire
+// codec (catching missing registrations, aliasing bugs, and forbidden
+// post-Send mutation on the sim/native backends, not just on TCP), and
+// audits declared message sizes. See DESIGN.md §8 for the torture
+// harness built on it.
+type (
+	// ChaosConfig tunes the middleware; the zero value injects and
+	// checks nothing.
+	ChaosConfig = chaos.Config
+	// ChaosAudit accumulates violations and counters across the PEs of
+	// a run; share one via ChaosConfig.Audit.
+	ChaosAudit = chaos.Audit
+	// ChaosViolation is one detected contract violation.
+	ChaosViolation = chaos.Violation
+)
+
+// WrapChaos wraps a communicator in the chaos middleware. Call it once
+// per PE on the communicator the PE program starts from; communicators
+// split from the wrapper stay wrapped. Equal seeds inject identical
+// schedules, so a failing run replays from its seed.
+func WrapChaos(c Communicator, cfg ChaosConfig) Communicator {
+	return chaos.Wrap(c, cfg)
+}
 
 // Event is one entry of a message/annotation trace.
 type Event = sim.Event

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Runs the native-backend (and wire/TCP) benchmarks and records the
+# results twice: BENCH_native.txt in the standard `go test -bench`
+# format (the input benchstat wants for A/B comparisons against a
+# previous run) and BENCH_native.json (the same measurements as
+# structured records, via cmd/benchjson) so the perf trajectory can
+# accumulate machine-readably across PRs.
+#
+#   scripts/bench.sh                 # default: Native|Wire|TCPCluster, count=6
+#   COUNT=10 PATTERN=NativeAMS scripts/bench.sh
+#   benchstat old/BENCH_native.txt BENCH_native.txt
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-6}"
+PATTERN="${PATTERN:-Native|Wire|TCPCluster}"
+TXT="${TXT:-BENCH_native.txt}"
+JSON="${JSON:-BENCH_native.json}"
+
+go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" . | tee "$TXT"
+go run ./cmd/benchjson -in "$TXT" -out "$JSON"
+echo "wrote $TXT (benchstat input) and $JSON" >&2
