@@ -18,9 +18,14 @@ import (
 	"pmsort/internal/core"
 	"pmsort/internal/delivery"
 	"pmsort/internal/expt"
+	"pmsort/internal/seq"
 	"pmsort/internal/wire"
 	"pmsort/internal/workload"
 )
+
+// u64Key is the identity order key of the uint64 benchmarks: it turns
+// on the radix kernel fast path (Config.Key).
+func u64Key(x uint64) uint64 { return x }
 
 // benchRun executes one validated sorting run per iteration and reports
 // the simulated time.
@@ -161,12 +166,49 @@ func BenchmarkNativeSortSlice(b *testing.B) {
 	}
 }
 
+// BenchmarkNativeSortKeyed is the one-core keyed-kernel reference: a
+// single LSD radix sort (seq.SortKeyed, the Config.Key fast path) over
+// the whole benchNativeN-element input. The honest denominator for the
+// keyed parallel numbers, next to the sort.Slice trajectory baseline.
+func BenchmarkNativeSortKeyed(b *testing.B) {
+	b.SetBytes(benchNativeN * 8)
+	var scratch []uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		data := workload.Local(workload.Uniform, uint64(i), 1, benchNativeN, 0)
+		b.StartTimer()
+		scratch = seq.SortKeyed(data, u64Key, scratch)
+	}
+}
+
 // BenchmarkNativeAMS sorts the same fixed input with AMS-sort on the
-// native backend at several p (strong scaling). On a multicore host the
-// ns/op ratio against BenchmarkNativeSortSlice is the real speedup;
-// past p = GOMAXPROCS the goroutine-PEs time-share cores.
+// native backend at several p (strong scaling), with the ordered-key
+// radix kernel (Config.Key) — the configuration the README's speedup
+// table records. On a multicore host the ns/op ratio against
+// BenchmarkNativeSortSlice is the real speedup; past p = GOMAXPROCS
+// the goroutine-PEs time-share cores.
 func BenchmarkNativeAMS(b *testing.B) {
 	for _, p := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.SetBytes(benchNativeN * 8)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				locals := nativeLocals(p, uint64(i))
+				cl := NewNative(p)
+				b.StartTimer()
+				cl.Run(func(c Communicator) {
+					_, _ = AMSSort(c, locals[c.Rank()], u64Less, Config{Levels: 1, Seed: 42, Key: u64Key})
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkNativeAMSCmp is BenchmarkNativeAMS on the comparator
+// kernels (pdqsort pieces + loser-tree merge, no Config.Key) — the
+// path every element type without an order key takes.
+func BenchmarkNativeAMSCmp(b *testing.B) {
+	for _, p := range []int{4, 16} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
 			b.SetBytes(benchNativeN * 8)
 			for i := 0; i < b.N; i++ {
@@ -194,7 +236,7 @@ func BenchmarkNativeRLM(b *testing.B) {
 				cl := NewNative(p)
 				b.StartTimer()
 				cl.Run(func(c Communicator) {
-					_, _ = RLMSort(c, locals[c.Rank()], u64Less, Config{Levels: 1, Seed: 42})
+					_, _ = RLMSort(c, locals[c.Rank()], u64Less, Config{Levels: 1, Seed: 42, Key: u64Key})
 				})
 			}
 		})

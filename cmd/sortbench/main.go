@@ -61,6 +61,7 @@ func main() {
 		count      = flag.Int("count", 1, "number of consecutive-seed cases for the torture experiment")
 		quick      = flag.Bool("quick", false, "small grids for a fast smoke run")
 		noTCP      = flag.Bool("notcp", false, "skip the multi-process TCP row of the backends experiment")
+		keyed      = flag.Bool("keyed", true, "backends experiment: use the ordered-key radix kernel (Config.Key) instead of generic pdqsort")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -139,7 +140,7 @@ func main() {
 				n = 20_000
 			}
 		}
-		expt.Backends(w, ps, n, *reps, *seed, !*noTCP, progress)
+		expt.Backends(w, ps, n, *reps, *seed, !*noTCP, *keyed, progress)
 	})
 }
 

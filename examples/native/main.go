@@ -26,21 +26,33 @@ func main() {
 	seq := time.Since(t0)
 	fmt.Printf("%-22s %10.1f ms\n", "sort.Slice (1 core)", float64(seq.Nanoseconds())/1e6)
 
-	for _, p := range []int{1, 2, 4, 8} {
-		perPE := n / p
-		locals := make([][]uint64, p)
-		for rank := range locals {
-			locals[rank] = makeData(perPE, int64(rank)*7+1)
+	// Both local-phase kernels (DESIGN.md §9): the generic comparator
+	// path, and the ordered-key radix fast path enabled by Config.Key.
+	kernels := []struct {
+		name string
+		key  any
+	}{
+		{"cmp", nil},
+		{"keyed", func(x uint64) uint64 { return x }},
+	}
+	for _, kernel := range kernels {
+		for _, p := range []int{1, 2, 4, 8} {
+			perPE := n / p
+			locals := make([][]uint64, p)
+			for rank := range locals {
+				locals[rank] = makeData(perPE, int64(rank)*7+1)
+			}
+			cl := pmsort.NewNative(p)
+			elapsed := cl.Run(func(c pmsort.Communicator) {
+				_, _ = pmsort.AMSSort(c, locals[c.Rank()],
+					func(a, b uint64) bool { return a < b },
+					pmsort.Config{Levels: 1, Seed: 99, Key: kernel.key})
+			})
+			label := fmt.Sprintf("AMS %s p=%d", kernel.name, p)
+			fmt.Printf("%-22s %10.1f ms   speedup %.2f\n",
+				label, float64(elapsed.Nanoseconds())/1e6,
+				float64(seq.Nanoseconds())/float64(elapsed.Nanoseconds()))
 		}
-		cl := pmsort.NewNative(p)
-		elapsed := cl.Run(func(c pmsort.Communicator) {
-			_, _ = pmsort.AMSSort(c, locals[c.Rank()],
-				func(a, b uint64) bool { return a < b },
-				pmsort.Config{Levels: 1, Seed: 99})
-		})
-		fmt.Printf("AMS-sort p=%-12d %10.1f ms   speedup %.2f\n",
-			p, float64(elapsed.Nanoseconds())/1e6,
-			float64(seq.Nanoseconds())/float64(elapsed.Nanoseconds()))
 	}
 }
 

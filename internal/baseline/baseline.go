@@ -15,8 +15,6 @@
 package baseline
 
 import (
-	"sort"
-
 	"pmsort/internal/coll"
 	"pmsort/internal/comm"
 	"pmsort/internal/core"
@@ -48,7 +46,7 @@ func GVSampleSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, 
 	stats := &core.Stats{MaxImbalance: 1, Levels: 1}
 	start := coll.TimedBarrier(c)
 	if p == 1 {
-		sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+		seq.Sort(data, less)
 		cost.SortOps(int64(len(data)))
 		stats.PhaseNS[core.PhaseLocalSort] += cost.Now() - start
 		stats.TotalNS = coll.TimedBarrier(c) - start
@@ -74,7 +72,7 @@ func GVSampleSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, 
 	var splitters []E
 	if gathered != nil {
 		all := flatten(gathered)
-		sort.Slice(all, func(i, j int) bool { return less(all[i], all[j]) })
+		seq.Sort(all, less)
 		cost.SortOps(int64(len(all))) // the sequential bottleneck
 		splitters = make([]E, 0, p-1)
 		for j := 1; j < p; j++ {
@@ -121,7 +119,7 @@ func GVSampleSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, 
 	stats.PhaseNS[core.PhaseDataDelivery] += t3 - t2
 
 	// Local sort of the received buckets.
-	sort.Slice(recv, func(i, j int) bool { return less(recv[i], recv[j]) })
+	seq.Sort(recv, less)
 	cost.SortOps(int64(len(recv)))
 	t4 := coll.TimedBarrier(c)
 	stats.PhaseNS[core.PhaseLocalSort] += t4 - t3
@@ -142,7 +140,7 @@ func MPSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, seed u
 	start := coll.TimedBarrier(c)
 
 	// Initial local sort.
-	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+	seq.Sort(data, less)
 	cost.SortOps(int64(len(data)))
 	t0 := coll.TimedBarrier(c)
 	stats.PhaseNS[core.PhaseLocalSort] += t0 - start
@@ -182,7 +180,7 @@ func MPSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, seed u
 	for _, chunk := range in {
 		recv = append(recv, chunk...)
 	}
-	sort.Slice(recv, func(i, j int) bool { return less(recv[i], recv[j]) })
+	seq.Sort(recv, less)
 	cost.SortOps(int64(len(recv)))
 	t3 := coll.TimedBarrier(c)
 	stats.PhaseNS[core.PhaseBucketProcessing] += t3 - t2
@@ -205,7 +203,7 @@ func BitonicSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, _
 	stats := &core.Stats{MaxImbalance: 1, Levels: 1}
 	start := coll.TimedBarrier(c)
 
-	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+	seq.Sort(data, less)
 	cost.SortOps(int64(len(data)))
 	t0 := coll.TimedBarrier(c)
 	stats.PhaseNS[core.PhaseLocalSort] += t0 - start

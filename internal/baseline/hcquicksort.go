@@ -1,8 +1,6 @@
 package baseline
 
 import (
-	"sort"
-
 	"pmsort/internal/coll"
 	"pmsort/internal/comm"
 	"pmsort/internal/core"
@@ -39,7 +37,7 @@ func HCQuicksort[E any](c comm.Communicator, data []E, less func(a, b E) bool, s
 	start := coll.TimedBarrier(c)
 
 	// Local sort once up front so medians and splits are O(log) each.
-	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+	seq.Sort(data, less)
 	cost.SortOps(int64(len(data)))
 	t0 := coll.TimedBarrier(c)
 	stats.PhaseNS[core.PhaseLocalSort] += t0 - start
@@ -68,7 +66,7 @@ func HCQuicksort[E any](c comm.Communicator, data []E, less func(a, b E) bool, s
 		var pivot E
 		havePivot := len(cands) > 0
 		if havePivot {
-			sort.Slice(cands, func(i, j int) bool { return less(cands[i], cands[j]) })
+			seq.Sort(cands, less)
 			cost.SortOps(int64(len(cands)))
 			pivot = cands[len(cands)/2]
 		}

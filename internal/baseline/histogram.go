@@ -1,8 +1,6 @@
 package baseline
 
 import (
-	"sort"
-
 	"pmsort/internal/coll"
 	"pmsort/internal/comm"
 	"pmsort/internal/core"
@@ -32,7 +30,7 @@ func HistogramSort[E any](c comm.Communicator, data []E, less func(a, b E) bool,
 
 	// Local sort (their algorithm works on sorted local arrays so that
 	// histograms are binary searches).
-	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+	seq.Sort(data, less)
 	cost.SortOps(int64(len(data)))
 	t0 := coll.TimedBarrier(c)
 	stats.PhaseNS[core.PhaseLocalSort] += t0 - start

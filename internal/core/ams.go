@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"pmsort/internal/coll"
 	"pmsort/internal/comm"
@@ -36,12 +35,77 @@ func taggedLess[E any](less func(a, b E) bool) func(a, b tagged[E]) bool {
 	}
 }
 
+// localScratch is the per-PE scratch arena one sorting run threads
+// through its recursion levels, so the hot path stops re-allocating
+// per level (DESIGN.md §9):
+//
+//   - ids is the partition id scratch of PartitionInPlace;
+//   - reuse holds the element buffer that carried this PE's data one
+//     level up. Received chunks alias the *current* buffers of their
+//     senders, and every PE has copied its received data out of them
+//     before the data-delivery barrier — so once that barrier has
+//     passed, the previous level's buffer is referenced by no one and
+//     the next level may recycle it. Levels therefore ping-pong
+//     between two buffers per PE instead of allocating one per level.
+type localScratch[E any] struct {
+	key   func(E) uint64
+	ids   []uint16
+	reuse []E
+}
+
+// grab returns a zero-length buffer with capacity ≥ n, recycling the
+// retired level buffer when it is big enough.
+func (st *localScratch[E]) grab(n int) []E {
+	buf := st.reuse
+	st.reuse = nil
+	if cap(buf) >= n {
+		return buf[:0]
+	}
+	return make([]E, 0, n)
+}
+
+// retire records buf for recycling by a later grab, capacity-clamped
+// to its length: the consumed-input contract makes buf's *elements*
+// fair game, but a caller's slice may have spare capacity backed by
+// memory that is still live elsewhere (e.g. all ranks' locals cut from
+// one array), and recycling must never write past what was handed in.
+func (st *localScratch[E]) retire(buf []E) {
+	st.reuse = buf[:len(buf):len(buf)]
+}
+
+// sort runs the selected local kernel: in-place MSD radix when the run
+// is keyed (Config.Key), generic pdqsort otherwise. Both are in place,
+// so the kernels never add to a level's allocations.
+func (st *localScratch[E]) sort(data []E, less func(a, b E) bool) {
+	if st.key != nil {
+		seq.SortKeyedInPlace(data, st.key)
+		return
+	}
+	seq.Sort(data, less)
+}
+
+// sortCost charges the selected kernel's modeled cost for n elements:
+// the linear radix model when keyed, the n·log n comparison-sort model
+// otherwise — so the simulated backend's virtual time tracks the
+// kernel that actually ran.
+func (st *localScratch[E]) sortCost(cost comm.Cost, n int64) {
+	if st.key != nil {
+		cost.Ops(seq.SortKeyedOps(n))
+		return
+	}
+	cost.SortOps(n)
+}
+
 // AMSSort sorts the distributed data with adaptive multi-level sample
 // sort (§6). It must be called collectively by all members of c with
 // identical cfg. It returns this PE's slice of the globally sorted
 // permutation — locally sorted, with no element on PE i larger than any
 // element on PE i+1 — together with phase statistics. The output may be
 // imbalanced by the overpartitioning tolerance (Lemma 2).
+//
+// The input slice is consumed: the sorter partitions it in place and
+// recycles its backing array as level scratch, so its contents after
+// the call are unspecified (callers that need the original must copy).
 func AMSSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
 	cfg = validate(cfg)
 	registerWire[E](cfg.Encoder)
@@ -50,19 +114,20 @@ func AMSSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg C
 		plan = PlanLevels(c.Size(), cfg.Levels)
 	}
 	stats := &Stats{MaxImbalance: 1}
+	st := &localScratch[E]{key: keyFor[E](cfg)}
 	start := coll.TimedBarrier(c)
-	out := amsLevel(c, data, less, cfg, plan, 0, stats)
+	out := amsLevel(c, data, less, cfg, plan, 0, stats, st)
 	stats.TotalNS = coll.TimedBarrier(c) - start
 	return out, stats
 }
 
-func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg Config, plan []int, level int, stats *Stats) []E {
+func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg Config, plan []int, level int, stats *Stats, st *localScratch[E]) []E {
 	cost := c.Cost()
 	if c.Size() == 1 {
 		// Base case: sort locally (the "local sort" phase).
 		t0 := cost.Now()
-		sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
-		cost.SortOps(int64(len(data)))
+		st.sort(data, less)
+		st.sortCost(cost, int64(len(data)))
 		stats.PhaseNS[PhaseLocalSort] += cost.Now() - t0
 		stats.Levels = level
 		return data
@@ -78,7 +143,7 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 		// Nothing to sort anywhere; recurse trivially to keep the
 		// collective call structure aligned.
 		sub, _ := c.SplitEqual(r)
-		return amsLevel(sub, data, less, cfg, plan, level+1, stats)
+		return amsLevel(sub, data, less, cfg, plan, level+1, stats, st)
 	}
 	a := cfg.Oversampling
 	if a <= 0 {
@@ -133,7 +198,7 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	stats.PhaseNS[PhaseSplitterSelection] += t1 - t0
 
 	// --- Phase: bucket processing --------------------------------------
-	sizes, bounds, parted := amsPartition(c, data, splitters, less, cfg)
+	sizes, bounds := amsPartition(c, data, splitters, less, cfg, st)
 	// The b·r-long bucket-size vectors are the one long reduction in
 	// AMS-sort; use the full-bandwidth algorithm where it applies.
 	globalSizes := coll.AllreduceSumI64(c, sizes)
@@ -148,13 +213,34 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	if imb := float64(maxLoad) * float64(r) / float64(n); imb > stats.MaxImbalance {
 		stats.MaxImbalance = imb
 	}
-	// Bucket ranges -> r pieces (trailing groups may be empty).
+	// Bucket ranges -> r pieces (trailing groups may be empty). The
+	// pieces are bucket-contiguous sub-slices of data itself
+	// (PartitionInPlace), so delivery stays zero-copy on the in-process
+	// backends.
 	pieces := make([][]E, r)
 	for g := 0; g+1 < len(starts); g++ {
-		pieces[g] = parted[bounds[starts[g]]:bounds[starts[g+1]]]
+		pieces[g] = data[bounds[starts[g]]:bounds[starts[g+1]]]
+	}
+
+	// After this delivery every group is a single PE: finish inline
+	// instead of recursing, choosing the cheaper last-level shape per
+	// kernel (DESIGN.md §9). On the comparator path each outgoing piece
+	// is sorted now, so receivers multiway-merge sorted runs instead of
+	// re-sorting a concatenation from scratch ("we do not want to
+	// ignore the information already available", §5).
+	last := r == c.Size()
+	var pieceSortNS int64
+	if last && st.key == nil {
+		ts := cost.Now()
+		for _, piece := range pieces {
+			seq.Sort(piece, less)
+		}
+		cost.SortOps(int64(len(data)))
+		pieceSortNS = cost.Now() - ts
 	}
 	t2 := coll.TimedBarrier(c)
-	stats.PhaseNS[PhaseBucketProcessing] += t2 - t1
+	stats.PhaseNS[PhaseBucketProcessing] += t2 - t1 - pieceSortNS
+	stats.PhaseNS[PhaseLocalSort] += pieceSortNS
 
 	// --- Phase: data delivery ------------------------------------------
 	dopt := cfg.Delivery
@@ -164,29 +250,61 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	for _, ch := range chunks {
 		total += len(ch)
 	}
-	next := make([]E, 0, total)
+
+	if last && st.key == nil {
+		// The received chunks are sorted runs; merge them into the
+		// recycled buffer. Delivery coalesced contiguous same-sender
+		// spans, so k is bounded by the number of senders.
+		tm := cost.Now()
+		out := seq.MultiwayInto(st.grab(total), chunks, less)
+		cost.Ops(seq.MultiwayOps(int64(total), len(chunks)))
+		mergeNS := cost.Now() - tm
+		t3 := coll.TimedBarrier(c)
+		stats.PhaseNS[PhaseDataDelivery] += t3 - t2 - mergeNS
+		stats.PhaseNS[PhaseBucketProcessing] += mergeNS
+		stats.Levels = level + 1
+		return out
+	}
+
+	next := st.grab(total)
 	for _, ch := range chunks {
 		next = append(next, ch...)
 	}
+	// data is dead once the barrier below has passed: every PE holding
+	// chunks into it has copied them out. Retire it for recycling.
+	st.retire(data)
 	cost.Scan(int64(total))
 	t3 := coll.TimedBarrier(c)
 	stats.PhaseNS[PhaseDataDelivery] += t3 - t2
 
+	if last {
+		// Keyed fast path: an in-place MSD radix sort of the
+		// concatenation is linear in total — no log k merge term and no
+		// scratch allocation.
+		t4 := cost.Now()
+		seq.SortKeyedInPlace(next, st.key)
+		cost.Ops(seq.SortKeyedOps(int64(total)))
+		stats.PhaseNS[PhaseLocalSort] += cost.Now() - t4
+		stats.Levels = level + 1
+		return next
+	}
+
 	sub, _ := c.SplitEqual(r)
-	return amsLevel(sub, next, less, cfg, plan, level+1, stats)
+	return amsLevel(sub, next, less, cfg, plan, level+1, stats, st)
 }
 
 // amsPartition classifies the local data into the b·r buckets (or the
 // 2(br-1)+1 buckets with equality buckets under Appendix D tie-breaking,
 // folded back to br-1 boundaries by (PE, position) comparison against the
-// splitter's tag) and reorders it bucket-contiguously. It returns the
-// local bucket sizes, the bucket boundaries, and the reordered data.
-func amsPartition[E any](c comm.Communicator, data []E, splitters []tagged[E], less func(a, b E) bool, cfg Config) ([]int64, []int, []E) {
+// splitter's tag) and reorders it bucket-contiguously *in place*
+// (seq.PartitionInPlace — the id scratch lives in st and is reused
+// across levels). It returns the local bucket sizes and boundaries.
+func amsPartition[E any](c comm.Communicator, data []E, splitters []tagged[E], less func(a, b E) bool, cfg Config, st *localScratch[E]) ([]int64, []int) {
 	cost := c.Cost()
 	nb := len(splitters) + 1
 	if len(splitters) == 0 {
 		// Degenerate: a single bucket.
-		return []int64{int64(len(data))}, []int{0, len(data)}, data
+		return []int64{int64(len(data))}, []int{0, len(data)}
 	}
 	keys := make([]E, len(splitters))
 	for i, s := range splitters {
@@ -217,26 +335,29 @@ func amsPartition[E any](c comm.Communicator, data []E, splitters []tagged[E], l
 		bucketOf = func(_ int, x E) int { return cls.Bucket(x) }
 	}
 	idx := 0
-	parted, bounds := seq.Partition(data, nb, func(x E) int {
+	classify := func(x E) int {
 		bkt := bucketOf(idx, x)
 		idx++
 		return bkt
-	})
+	}
+	var bounds []int
+	if nb <= seq.MaxInPlaceBuckets {
+		bounds, st.ids = seq.PartitionInPlace(data, nb, classify, st.ids)
+	} else {
+		// More buckets than the uint16 id scratch can name (giant-p
+		// single-level sims): fall back to the out-of-place partition
+		// and copy back, keeping the in-place contract for callers.
+		parted, pbounds := seq.Partition(data, nb, classify)
+		copy(data, parted)
+		bounds = pbounds
+	}
 	cost.PartitionOps(seq.ClassifyOps(int64(len(data)), cls.Levels()))
 	cost.Scan(2 * int64(len(data)))
 	sizes := make([]int64, nb)
 	for bkt := 0; bkt < nb; bkt++ {
 		sizes[bkt] = int64(bounds[bkt+1] - bounds[bkt])
 	}
-	return sizes, bounds, parted
+	return sizes, bounds
 }
 
 func addI64(a, b int64) int64 { return a + b }
-
-func addVecI64(a, b []int64) []int64 {
-	out := make([]int64, len(a))
-	for i := range a {
-		out[i] = a[i] + b[i]
-	}
-	return out
-}

@@ -99,6 +99,26 @@ type Config struct {
 	// into shared state, maps, interfaces) need this hook. Ignored by
 	// the simulated and native backends.
 	Encoder wire.Encoder
+	// Key optionally declares the element order to be the natural order
+	// of a uint64 key: set it to a func(E) uint64 (for the sorted
+	// element type E) satisfying less(a, b) == (Key(a) < Key(b)) for
+	// all a, b. When set, the local-phase kernels switch from generic
+	// pdqsort to an in-place MSD radix sort on the key
+	// (seq.SortKeyedInPlace) — the cache-efficient fast path that makes
+	// native strong scaling beat a one-core comparison sort on
+	// integer-keyed data. A hook of any other type (or a mismatched
+	// element type) is ignored. The keyed kernel is deterministic but
+	// NOT stable on equal keys — the same (lack of) guarantee as the
+	// comparator kernel, and under the contract above equal-key
+	// elements are order-indistinguishable anyway.
+	Key any
+}
+
+// keyFor extracts the Config.Key hook for element type E (nil when
+// unset or set for a different element type).
+func keyFor[E any](cfg Config) func(E) uint64 {
+	key, _ := cfg.Key.(func(E) uint64)
+	return key
 }
 
 // registerWire registers every payload type the multi-level sorters can

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"pmsort/internal/coll"
 	"pmsort/internal/comm"
 	"pmsort/internal/delivery"
@@ -17,6 +15,10 @@ import (
 // by multisequence selection, moves the data, and merges the received
 // sorted runs. The output is perfectly balanced: every PE ends up with
 // ⌊n/p⌋ or ⌈n/p⌉ elements.
+//
+// The input slice is consumed: the sorter sorts it in place and
+// recycles its backing array as level scratch, so its contents after
+// the call are unspecified (callers that need the original must copy).
 func RLMSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
 	cfg = validate(cfg)
 	registerWire[E](cfg.Encoder)
@@ -26,20 +28,23 @@ func RLMSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg C
 	}
 	cost := c.Cost()
 	stats := &Stats{MaxImbalance: 1}
+	st := &localScratch[E]{key: keyFor[E](cfg)}
 	start := coll.TimedBarrier(c)
 
-	// Initial local sort (the "local sort" phase of Figure 8).
+	// Initial local sort (the "local sort" phase of Figure 8), through
+	// the selected kernel: keyed radix when Config.Key is set, generic
+	// pdqsort otherwise.
 	t0 := cost.Now()
-	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
-	cost.SortOps(int64(len(data)))
+	st.sort(data, less)
+	st.sortCost(cost, int64(len(data)))
 	stats.PhaseNS[PhaseLocalSort] += cost.Now() - t0
 
-	out := rlmLevel(c, data, less, cfg, plan, 0, stats)
+	out := rlmLevel(c, data, less, cfg, plan, 0, stats, st)
 	stats.TotalNS = coll.TimedBarrier(c) - start
 	return out, stats
 }
 
-func rlmLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg Config, plan []int, level int, stats *Stats) []E {
+func rlmLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg Config, plan []int, level int, stats *Stats, st *localScratch[E]) []E {
 	cost := c.Cost()
 	if c.Size() == 1 {
 		stats.Levels = level
@@ -76,11 +81,22 @@ func rlmLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	// --- Phase: bucket processing (multiway merging) --------------------
 	// The received chunks are sorted runs; merge instead of re-sorting
 	// ("we do not want to ignore the information already available", §5).
-	merged := seq.Multiway(chunks, less)
-	cost.Ops(seq.MultiwayOps(int64(len(merged)), len(chunks)))
+	// Delivery coalesced contiguous same-sender spans on receive, so the
+	// loser-tree k is bounded by the number of senders even on plans
+	// that cut a piece into many spans; the output goes into the buffer
+	// retired one level up (see localScratch).
+	var total int
+	for _, ch := range chunks {
+		total += len(ch)
+	}
+	merged := seq.MultiwayInto(st.grab(total), chunks, less)
+	cost.Ops(seq.MultiwayOps(int64(total), len(chunks)))
+	// data is dead once the barrier below has passed: every PE holding
+	// chunks into it has merged them out. Retire it for recycling.
+	st.retire(data)
 	t3 := coll.TimedBarrier(c)
 	stats.PhaseNS[PhaseBucketProcessing] += t3 - t2
 
 	sub, _ := c.SplitEqual(r)
-	return rlmLevel(sub, merged, less, cfg, plan, level+1, stats)
+	return rlmLevel(sub, merged, less, cfg, plan, level+1, stats, st)
 }

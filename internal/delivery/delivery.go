@@ -113,6 +113,19 @@ func chunkWords[E any](ch chunk[E]) int64 { return int64(len(ch.data)) + 1 }
 // called collectively by all members of c with the same options. The
 // result is the list of chunks received by this PE, each a contiguous
 // slice of some sender's (sorted, if the sender sorted it) piece.
+//
+// Contiguous chunks are coalesced on receive: when a plan cuts one
+// sender's piece into several spans that all land here, the zero-copy
+// backends deliver sub-slices of one backing array back to back, and
+// returning them as one re-joined slice keeps the loser-tree k of the
+// merging sorters at the number of *senders*, not the number of plan
+// spans (adversarial plans otherwise inflate the merge with tiny
+// runs). Only adjacent entries of one sender's chunk list are joined,
+// so merged-run order is unchanged — a stable multiway merge of the
+// coalesced list produces byte-identical output to the uncoalesced
+// one, which keeps serializing backends (whose decoded chunks are
+// never memory-contiguous and thus never coalesce) in exact agreement
+// with the zero-copy ones. Empty chunks are dropped.
 func Deliver[E any](c comm.Communicator, pieces [][]E, opt Options) [][]E {
 	RegisterWire[E]()
 	r := len(pieces)
@@ -138,11 +151,37 @@ func Deliver[E any](c comm.Communicator, pieces [][]E, opt Options) [][]E {
 	}
 	var recv [][]E
 	for _, chunks := range in {
+		first := true
 		for _, ch := range chunks {
-			recv = append(recv, ch.data)
+			d := ch.data
+			if len(d) == 0 {
+				continue
+			}
+			// Coalesce only within one sender's chunk list: this PE
+			// receives exactly one piece index from every sender, so
+			// memory adjacency there means consecutive spans of that
+			// one piece. Across senders adjacency can be coincidental
+			// (callers may cut all ranks' locals out of one shared
+			// array), and joining those would fuse unrelated runs.
+			if n := len(recv); !first && n > 0 && contiguous(recv[n-1], d) {
+				recv[n-1] = recv[n-1][:len(recv[n-1])+len(d)]
+			} else {
+				recv = append(recv, d)
+			}
+			first = false
 		}
 	}
 	return recv
+}
+
+// contiguous reports whether b starts exactly where a ends in the same
+// backing array, so a[:len(a)+len(b)] is their concatenation. The
+// capacity guard keeps the probe re-slice in bounds and rules out
+// distinct allocations (a slice's capacity never extends past its own
+// array).
+func contiguous[E any](a, b []E) bool {
+	return len(a) > 0 && len(b) > 0 &&
+		cap(a) >= len(a)+len(b) && &a[:len(a)+1][len(a)] == &b[0]
 }
 
 // groupGeometry captures the r balanced contiguous PE groups of c.

@@ -363,6 +363,54 @@ func TestPermutedScanTotal(t *testing.T) {
 	}
 }
 
+// TestDeliverNoCrossSenderCoalescing: when every sender's pieces are
+// cut out of ONE shared backing array (a legal zero-copy usage on the
+// native backend), the tail of sender s's data can be memory-adjacent
+// to the head of sender s+1's. Coalescing must never join chunks of
+// different senders — each returned chunk must be a span of a single
+// sender's piece, or the merging sorters would treat a fused
+// cross-sender sequence as one sorted run.
+func TestDeliverNoCrossSenderCoalescing(t *testing.T) {
+	// r=1 makes every PE a receiver of the single group, so a
+	// receiver's balanced quota interval straddles sender boundaries —
+	// the tail span of sender s's piece ends exactly where sender
+	// s+1's piece begins in the shared array.
+	const p, r = 4, 1
+	perSender := []int{3, 1, 2, 5}
+	// One shared array (preallocated so appends never reallocate);
+	// sender s's piece is a sub-slice of its segment.
+	backing := make([]elem, 0, 3+1+2+5)
+	segs := make([][]elem, p)
+	for s := 0; s < p; s++ {
+		start := len(backing)
+		for i := 0; i < perSender[s]; i++ {
+			backing = append(backing, elem{sender: s, group: 0, idx: i})
+		}
+		segs[s] = backing[start:] // two-index: spare capacity into later senders
+	}
+	pieces := make([][][]elem, p)
+	for s := 0; s < p; s++ {
+		pieces[s] = [][]elem{segs[s][:perSender[s]]}
+	}
+	for _, strat := range allStrategies {
+		recv := make([][][]elem, p)
+		m := sim.NewDefault(p)
+		m.Run(func(pe *sim.PE) {
+			recv[pe.Rank()] = Deliver(sim.World(pe), pieces[pe.Rank()], Options{Strategy: strat, Seed: 12})
+		})
+		checkDelivery(t, p, r, pieces, recv)
+		for rank, chunks := range recv {
+			for _, ch := range chunks {
+				for i := 1; i < len(ch); i++ {
+					if ch[i].sender != ch[0].sender {
+						t.Fatalf("%v: PE %d chunk mixes senders %d and %d", strat, rank, ch[0].sender, ch[i].sender)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestStrategyString(t *testing.T) {
 	names := map[Strategy]string{Simple: "simple", Randomized: "randomized",
 		RandomizedAdvanced: "randomized-advanced", Deterministic: "deterministic"}

@@ -5,6 +5,7 @@ import (
 
 	"pmsort/internal/coll"
 	"pmsort/internal/comm"
+	"pmsort/internal/seq"
 )
 
 // desc describes one piece to the group-local assignment computation.
@@ -115,7 +116,7 @@ func planDeterministic[E any](c comm.Communicator, pieces [][]E, opt Options) []
 		myDescs = append(myDescs, ds...)
 	}
 	allDescs := flatten(coll.Allgatherv(groupComm, myDescs))
-	sort.Slice(allDescs, func(a, b int) bool { return allDescs[a].sender < allDescs[b].sender })
+	seq.Sort(allDescs, func(a, b desc) bool { return a.sender < b.sender })
 	c.Cost().Scan(int64(len(allDescs)) * 3)
 
 	// Identical group-local assignment computation on every member.

@@ -25,12 +25,21 @@ import (
 //
 // tcp requires the calling binary to invoke MaybeRunTCPChild at
 // startup: each rank is a re-execution of this executable.
-func Backends(w io.Writer, ps []int, n, reps int, seed uint64, tcp bool, progress io.Writer) {
+//
+// keyed selects the ordered-key radix kernel (Config.Key) for the
+// parallel sorters; the one-core reference stays sort.Slice either
+// way — it is the fixed sequential baseline every recorded speedup in
+// the README's trajectory is measured against.
+func Backends(w io.Writer, ps []int, n, reps int, seed uint64, tcp, keyed bool, progress io.Writer) {
 	if reps < 1 {
 		reps = 1
 	}
-	fmt.Fprintf(w, "Backends: AMS-sort simulated vs native shared-memory vs TCP cluster, n=%d total, GOMAXPROCS=%d (wall: min of %d)\n",
-		n, runtime.GOMAXPROCS(0), reps)
+	kernel := "pdqsort"
+	if keyed {
+		kernel = "keyed radix"
+	}
+	fmt.Fprintf(w, "Backends: AMS-sort simulated vs native shared-memory vs TCP cluster, n=%d total, kernel=%s, GOMAXPROCS=%d (wall: min of %d)\n",
+		n, kernel, runtime.GOMAXPROCS(0), reps)
 	fmt.Fprintf(w, "%-6s %-2s %-8s %13s %16s %13s %15s %8s\n",
 		"p", "k", "n/p", "sim-virt(ms)", "native-wall(ms)", "tcp-wall(ms)", "1core-wall(ms)", "speedup")
 
@@ -54,7 +63,7 @@ func Backends(w io.Writer, ps []int, n, reps int, seed uint64, tcp bool, progres
 		if p > 16 {
 			k = 2
 		}
-		spec := Spec{Algo: AMS, P: p, PerPE: perPE, Levels: k, Seed: seed}
+		spec := Spec{Algo: AMS, P: p, PerPE: perPE, Levels: k, Seed: seed, Keyed: keyed}
 		if progress != nil {
 			fmt.Fprintf(progress, "# backends p=%d sim\n", p)
 		}

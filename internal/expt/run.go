@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"io"
 
-	"pmsort/internal/baseline"
 	"pmsort/internal/coll"
 	"pmsort/internal/comm"
 	"pmsort/internal/core"
@@ -74,6 +73,12 @@ type Spec struct {
 	Overpartition int
 	TieBreak      bool
 	Delivery      delivery.Options
+	// Keyed enables the ordered-key kernel fast path (Config.Key): the
+	// local sort phases run an in-place uint64 MSD radix sort instead
+	// of generic pdqsort. The harness supplies the identity key for its
+	// uint64 workloads (and the order key for the torture harness's
+	// struct elements).
+	Keyed bool
 }
 
 func (spec Spec) config() core.Config {
@@ -106,24 +111,11 @@ const tagValidate = 0x7f0001
 // runAlgo dispatches the spec's algorithm on any backend.
 func runAlgo(c comm.Communicator, spec Spec, data []uint64) ([]uint64, *core.Stats) {
 	less := func(a, b uint64) bool { return a < b }
-	switch spec.Algo {
-	case AMS:
-		return core.AMSSort(c, data, less, spec.config())
-	case RLM:
-		return core.RLMSort(c, data, less, spec.config())
-	case MP:
-		return baseline.MPSort(c, data, less, spec.Seed)
-	case GV:
-		return baseline.GVSampleSort(c, data, less, spec.Seed)
-	case Bitonic:
-		return baseline.BitonicSort(c, data, less, spec.Seed)
-	case Hist:
-		return baseline.HistogramSort(c, data, less, 0.05, spec.Seed)
-	case HCQ:
-		return baseline.HCQuicksort(c, data, less, spec.Seed)
-	default:
-		panic("expt: unknown algorithm")
+	var key func(uint64) uint64
+	if spec.Keyed {
+		key = func(x uint64) uint64 { return x }
 	}
+	return runAlgoE(c, spec, data, less, key)
 }
 
 // validate panics unless out is this PE's slice of a globally sorted

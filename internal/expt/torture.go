@@ -67,6 +67,9 @@ func (tc TortureCase) String() string {
 	if tc.TCP {
 		backends += "+tcp"
 	}
+	if tc.Spec.Keyed {
+		elem += "/keyed"
+	}
 	return fmt.Sprintf("seed=%d %v p=%d n/p=%d kind=%v k=%d a=%g b=%d dlv=%v/%d elem=%s %s",
 		tc.Seed, tc.Spec.Algo, tc.Spec.P, tc.Spec.PerPE, tc.Spec.Kind, tc.Spec.Levels,
 		tc.Spec.Oversampling, tc.Spec.Overpartition, tc.Spec.Delivery.Strategy,
@@ -128,6 +131,11 @@ func DeriveTorture(seed uint64) TortureCase {
 		Pair:  rng.Intn(3) == 0,
 		Chaos: rng.Next(),
 	}
+	// The keyed-kernel dimension: a third of the cases run the radix
+	// fast path (Config.Key) instead of the comparator kernels, so the
+	// sweep continuously cross-checks the two local-sort paths against
+	// each other through the byte-identity and multiset invariants.
+	tc.Spec.Keyed = rng.Intn(3) == 0
 	// A TCP loopback cluster per case is expensive (rendezvous, real
 	// sockets); run it on a sixth of the small-p cases.
 	tc.TCP = p <= 4 && rng.Intn(6) == 0
@@ -165,10 +173,11 @@ func RunTorture(tc TortureCase) (string, error) {
 			return Pair{K: k / 4, T: k}
 		}, pairLess, func(e Pair) uint64 {
 			return prng.Mix64(prng.Mix64(e.K)*0x9e3779b97f4a7c15 ^ e.T)
-		})
+		}, func(e Pair) uint64 { return e.K })
 	} else {
 		err = tortureRun(tc, func(k uint64) uint64 { return k },
-			func(a, b uint64) bool { return a < b }, prng.Mix64)
+			func(a, b uint64) bool { return a < b }, prng.Mix64,
+			func(e uint64) uint64 { return e })
 	}
 	if err != nil {
 		return "", fmt.Errorf("%w\nrepro: sortbench -experiment torture -seed %d", err, tc.Seed)
@@ -176,13 +185,19 @@ func RunTorture(tc TortureCase) (string, error) {
 	return tc.String(), nil
 }
 
-// runAlgoE dispatches the spec's sorter for any element type.
-func runAlgoE[E any](c comm.Communicator, spec Spec, data []E, less func(a, b E) bool) ([]E, *core.Stats) {
+// runAlgoE dispatches the spec's sorter for any element type. key is
+// the Config.Key hook installed when spec.Keyed is set (nil disables
+// the keyed kernel regardless of spec.Keyed; only AMS/RLM consume it).
+func runAlgoE[E any](c comm.Communicator, spec Spec, data []E, less func(a, b E) bool, key func(E) uint64) ([]E, *core.Stats) {
+	cfg := spec.config()
+	if spec.Keyed && key != nil {
+		cfg.Key = key
+	}
 	switch spec.Algo {
 	case AMS:
-		return core.AMSSort(c, data, less, spec.config())
+		return core.AMSSort(c, data, less, cfg)
 	case RLM:
-		return core.RLMSort(c, data, less, spec.config())
+		return core.RLMSort(c, data, less, cfg)
 	case MP:
 		return baseline.MPSort(c, data, less, spec.Seed)
 	case GV:
@@ -200,8 +215,9 @@ func runAlgoE[E any](c comm.Communicator, spec Spec, data []E, less func(a, b E)
 
 // tortureRun executes tc for one element type and checks every
 // invariant. mk maps a workload key to an element, hash is the
-// order-independent per-element hash of the multiset check.
-func tortureRun[E any](tc TortureCase, mk func(k uint64) E, less func(a, b E) bool, hash func(E) uint64) error {
+// order-independent per-element hash of the multiset check, and key is
+// the Config.Key hook used when the case runs the keyed kernel.
+func tortureRun[E any](tc TortureCase, mk func(k uint64) E, less func(a, b E) bool, hash func(E) uint64, key func(E) uint64) error {
 	spec := tc.Spec
 	locals := make([][]E, spec.P)
 	var n int64
@@ -222,7 +238,7 @@ func tortureRun[E any](tc TortureCase, mk func(k uint64) E, less func(a, b E) bo
 
 	outs := make(map[string][][]E)
 	for _, backend := range tortureBackends(tc) {
-		out, aud, err := tortureBackendRun(tc, backend, locals, less)
+		out, aud, err := tortureBackendRun(tc, backend, locals, less, key)
 		if err != nil {
 			return fmt.Errorf("torture %s: backend %s: %w", tc, backend, err)
 		}
@@ -252,7 +268,7 @@ func tortureRun[E any](tc TortureCase, mk func(k uint64) E, less func(a, b E) bo
 }
 
 // tortureBackendRun sorts the locals on one backend under chaos.
-func tortureBackendRun[E any](tc TortureCase, backend string, locals [][]E, less func(a, b E) bool) ([][]E, *chaos.Audit, error) {
+func tortureBackendRun[E any](tc TortureCase, backend string, locals [][]E, less func(a, b E) bool, key func(E) uint64) ([][]E, *chaos.Audit, error) {
 	spec := tc.Spec
 	aud := &chaos.Audit{}
 	ccfg := chaos.Config{
@@ -268,7 +284,7 @@ func tortureBackendRun[E any](tc TortureCase, backend string, locals [][]E, less
 	var mu sync.Mutex // guards outs writes from rank goroutines (tcp)
 	run := func(c comm.Communicator, rank int) {
 		cc := chaos.Wrap(c, ccfg)
-		out, _ := runAlgoE(cc, spec, append([]E(nil), locals[rank]...), less)
+		out, _ := runAlgoE(cc, spec, append([]E(nil), locals[rank]...), less, key)
 		mu.Lock()
 		outs[rank] = out
 		mu.Unlock()

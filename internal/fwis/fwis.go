@@ -14,10 +14,10 @@ package fwis
 
 import (
 	"fmt"
-	"sort"
 
 	"pmsort/internal/coll"
 	"pmsort/internal/comm"
+	"pmsort/internal/seq"
 	"pmsort/internal/wire"
 )
 
@@ -73,7 +73,7 @@ func New[E any](c comm.Communicator, local []E, less func(a, b E) bool) *Sorter[
 	p := c.Size()
 	a, b := GridDims(p)
 
-	sort.Slice(local, func(i, j int) bool { return less(local[i], local[j]) })
+	seq.Sort(local, less)
 	cost.SortOps(int64(len(local)))
 
 	rowComm, _ := c.SplitEqual(a)  // row = groups of b consecutive ranks

@@ -13,37 +13,62 @@ type mbKey struct {
 	from, tag int
 }
 
+// queue is one (source, tag) FIFO plus the wait channel of a receiver
+// parked on exactly this key. Queue structs persist for the mailbox's
+// lifetime once created (the key space is bounded by #peers × #tags),
+// so steady-state puts and takes allocate nothing but the slice append.
+type queue struct {
+	items []envelope
+	// wait is non-nil iff the receiver is parked on this key; capacity
+	// 1, so the signalling put never blocks inside the critical path.
+	wait chan struct{}
+}
+
 // mailbox is a PE's incoming message store. Messages are matched by
 // (source, tag) and are FIFO within each such pair — the same matching
 // contract as the simulator's mailbox. Senders never block (eager,
-// unbounded buffering); the single receiver — the goroutine running the
-// owning PE — parks on a capacity-1 wake channel between queue scans.
+// unbounded buffering). The single receiver — the goroutine running
+// the owning PE — parks on a per-(source, tag) wait channel, so a put
+// wakes the receiver only when it delivers to the exact queue being
+// waited on: unrelated arrivals (the fan-in of a collective, say)
+// neither wake it nor force a rescan. The previous design used one
+// machine-wide wake token, which turned every p-sender fan-in into
+// O(p) spurious wakeups with a full lock round-trip each.
 type mailbox struct {
 	mu     sync.Mutex
-	queues map[mbKey][]envelope
-	// wake carries "something arrived" tokens to the single receiver.
-	// put sets it after enqueuing, so a receiver that found its queue
-	// empty and then blocks is always woken; spurious tokens only cause
-	// one extra scan.
-	wake chan struct{}
+	queues map[mbKey]*queue
+	// park is the single receiver's reusable wait channel. Safe to
+	// share across parks: a put takes ownership of a posted q.wait
+	// under the lock and sends exactly once, and the receiver only
+	// returns from a park after that send — so the channel is always
+	// drained and unreferenced before it is posted again.
+	park chan struct{}
 }
 
 func newMailbox() *mailbox {
-	return &mailbox{
-		queues: make(map[mbKey][]envelope),
-		wake:   make(chan struct{}, 1),
-	}
+	return &mailbox{queues: make(map[mbKey]*queue), park: make(chan struct{}, 1)}
 }
 
-// put enqueues a message from the given source rank under the given tag.
+func (mb *mailbox) queueOf(k mbKey) *queue {
+	q := mb.queues[k]
+	if q == nil {
+		q = &queue{}
+		mb.queues[k] = q
+	}
+	return q
+}
+
+// put enqueues a message from the given source rank under the given tag
+// and wakes the receiver iff it is parked on exactly this (from, tag).
 func (mb *mailbox) put(from, tag int, e envelope) {
-	k := mbKey{from, tag}
 	mb.mu.Lock()
-	mb.queues[k] = append(mb.queues[k], e)
+	q := mb.queueOf(mbKey{from, tag})
+	q.items = append(q.items, e)
+	wait := q.wait
+	q.wait = nil
 	mb.mu.Unlock()
-	select {
-	case mb.wake <- struct{}{}:
-	default: // token already pending; the receiver will rescan anyway
+	if wait != nil {
+		wait <- struct{}{} // capacity 1 and ownership was taken under the lock: never blocks
 	}
 }
 
@@ -54,22 +79,20 @@ func (mb *mailbox) take(from, tag int) envelope {
 	k := mbKey{from, tag}
 	for {
 		mb.mu.Lock()
-		if q := mb.queues[k]; len(q) > 0 {
-			e := q[0]
-			if len(q) == 1 {
-				delete(mb.queues, k)
-			} else {
-				// Shift instead of re-slicing so the backing array does
-				// not pin already-consumed payloads.
-				copy(q, q[1:])
-				q[len(q)-1] = envelope{}
-				mb.queues[k] = q[:len(q)-1]
-			}
+		q := mb.queueOf(k)
+		if items := q.items; len(items) > 0 {
+			e := items[0]
+			// Shift instead of re-slicing so the backing array does not
+			// pin already-consumed payloads and stays reusable.
+			copy(items, items[1:])
+			items[len(items)-1] = envelope{}
+			q.items = items[:len(items)-1]
 			mb.mu.Unlock()
 			return e
 		}
+		q.wait = mb.park
 		mb.mu.Unlock()
-		<-mb.wake
+		<-mb.park
 	}
 }
 
@@ -79,7 +102,7 @@ func (mb *mailbox) pending() int {
 	defer mb.mu.Unlock()
 	n := 0
 	for _, q := range mb.queues {
-		n += len(q)
+		n += len(q.items)
 	}
 	return n
 }

@@ -1,0 +1,91 @@
+package native
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMailboxTargetedWake pins the per-(source, tag) wake contract: a
+// receiver parked on one key is woken by a put on that key even when a
+// storm of unrelated puts lands first, and FIFO order per key survives
+// concurrent senders.
+func TestMailboxTargetedWake(t *testing.T) {
+	mb := newMailbox()
+	const storm = 1000
+	done := make(chan envelope)
+	go func() {
+		done <- mb.take(7, 42)
+	}()
+	var wg sync.WaitGroup
+	// Unrelated arrivals: other sources, other tags.
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < storm; i++ {
+				mb.put(s, 1, envelope{payload: i})
+			}
+		}(s)
+	}
+	wg.Wait()
+	select {
+	case e := <-done:
+		t.Fatalf("receiver woke with %v before its message arrived", e)
+	default:
+	}
+	mb.put(7, 42, envelope{payload: "hit"})
+	if e := <-done; e.payload != "hit" {
+		t.Fatalf("got %v, want the (7,42) message", e.payload)
+	}
+	if got := mb.pending(); got != 4*storm {
+		t.Fatalf("pending = %d, want %d unrelated messages", got, 4*storm)
+	}
+	// Drain the storm: FIFO within each (source, tag).
+	for s := 0; s < 4; s++ {
+		for i := 0; i < storm; i++ {
+			if e := mb.take(s, 1); e.payload != i {
+				t.Fatalf("source %d: message %d out of order: %v", s, i, e.payload)
+			}
+		}
+	}
+	if got := mb.pending(); got != 0 {
+		t.Fatalf("pending = %d after drain", got)
+	}
+}
+
+// BenchmarkMailboxFanIn is the wake-storm regression benchmark: p-1
+// senders each deliver msgs messages to one receiver, which takes them
+// source by source — the receive pattern of every gather/all-to-all
+// collective. With the old machine-wide wake token, every unrelated
+// arrival woke the parked receiver into a futile lock round-trip
+// (O(p·msgs) spurious wakeups); the per-(source, tag) wait keeps wakes
+// exactly one per blocking take.
+func BenchmarkMailboxFanIn(b *testing.B) {
+	const senders = 16
+	const msgs = 64
+	mb := newMailbox()
+	payload := make([]uint64, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		wg.Add(senders)
+		for s := 0; s < senders; s++ {
+			go func(s int) {
+				defer wg.Done()
+				for m := 0; m < msgs; m++ {
+					mb.put(s, 5, envelope{payload: payload, words: int64(len(payload))})
+				}
+			}(s)
+		}
+		// The receiver drains source by source, like a gather: while it
+		// is parked on source s, the other senders' arrivals must not
+		// wake it.
+		for s := 0; s < senders; s++ {
+			for m := 0; m < msgs; m++ {
+				mb.take(s, 5)
+			}
+		}
+		wg.Wait()
+	}
+}

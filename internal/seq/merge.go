@@ -14,7 +14,13 @@ func Multiway[E any](runs [][]E, less func(a, b E) bool) []E {
 	for _, r := range runs {
 		total += len(r)
 	}
-	out := make([]E, 0, total)
+	return MultiwayInto(make([]E, 0, total), runs, less)
+}
+
+// MultiwayInto is Multiway appending into out (pass a recycled buffer
+// truncated to length 0; it is grown if its capacity is short). out
+// must not alias any run.
+func MultiwayInto[E any](out []E, runs [][]E, less func(a, b E) bool) []E {
 	switch len(runs) {
 	case 0:
 		return out

@@ -122,6 +122,58 @@ func Partition[E any](data []E, nb int, bucketOf func(E) int) (out []E, bounds [
 	return out, bounds
 }
 
+// MaxInPlaceBuckets is the largest bucket count PartitionInPlace
+// accepts (its id scratch is uint16); callers with more buckets fall
+// back to the out-of-place Partition.
+const MaxInPlaceBuckets = 1 << 16
+
+// PartitionInPlace reorders data in place into bucket-contiguous layout
+// according to bucketOf (values in 0..nb-1, nb ≤ MaxInPlaceBuckets) and
+// returns the
+// bucket boundaries: bucket b occupies data[bounds[b]:bounds[b+1]].
+// Unlike Partition it allocates no second element array: the first pass
+// classifies every element once (in input order, so stateful bucketOf
+// closures see the original positions) into the ids scratch, and an
+// American-flag cycle walk then swaps elements into their buckets —
+// O(n) swaps, not stable. ids is grown as needed and returned for
+// reuse across calls (pass nil the first time).
+func PartitionInPlace[E any](data []E, nb int, bucketOf func(E) int, ids []uint16) (bounds []int, idsOut []uint16) {
+	if nb > MaxInPlaceBuckets {
+		panic("seq: PartitionInPlace bucket count exceeds MaxInPlaceBuckets")
+	}
+	n := len(data)
+	if len(ids) < n {
+		ids = make([]uint16, n)
+	}
+	counts := make([]int, nb+1)
+	for i, x := range data {
+		b := bucketOf(x)
+		ids[i] = uint16(b)
+		counts[b+1]++
+	}
+	for b := 1; b <= nb; b++ {
+		counts[b] += counts[b-1]
+	}
+	bounds = counts
+	// next[b] = first unplaced position of bucket b.
+	next := make([]int, nb)
+	copy(next, bounds[:nb])
+	for b := 0; b < nb; b++ {
+		for i := next[b]; i < bounds[b+1]; i = next[b] {
+			id := int(ids[i])
+			if id == b {
+				next[b] = i + 1
+				continue
+			}
+			j := next[id]
+			next[id] = j + 1
+			data[i], data[j] = data[j], data[i]
+			ids[i], ids[j] = ids[j], ids[i]
+		}
+	}
+	return bounds, ids
+}
+
 // ClassifyOps returns the modeled branchless-partition operation count
 // for classifying n elements with the given classifier tree depth:
 // n·levels element-steps.

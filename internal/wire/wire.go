@@ -641,12 +641,32 @@ func errTruncated(t reflect.Type) error {
 // Bulk helpers (also the fast paths of the []uint64/[]int64 payloads —
 // exported for the transport and the micro-benchmarks).
 
+// hostLE reports whether this machine is little-endian — the wire byte
+// order — in which case the bulk word blocks move with single memmoves
+// instead of per-word byte shuffles.
+var hostLE = func() bool {
+	var probe uint16 = 1
+	return *(*byte)(unsafe.Pointer(&probe)) == 1
+}()
+
+// wordBytes views a word slice as its raw bytes (for the memmove fast
+// paths; only valid on little-endian hosts).
+func wordBytes[W uint64 | int64](s []W) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 8*len(s))
+}
+
 // AppendU64s appends the slice codec encoding of s.
 func AppendU64s(dst []byte, s []uint64) []byte {
 	if s == nil {
 		return binary.AppendUvarint(dst, 0)
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(s))+1)
+	if hostLE {
+		return append(dst, wordBytes(s)...)
+	}
 	off := len(dst)
 	dst = append(dst, make([]byte, 8*len(s))...)
 	for i, x := range s {
@@ -657,6 +677,13 @@ func AppendU64s(dst []byte, s []uint64) []byte {
 
 // DecodeU64s decodes a slice codec encoding of []uint64.
 func DecodeU64s(src []byte) ([]uint64, []byte, error) {
+	return decodeU64sInto(src, nil)
+}
+
+// decodeU64sInto decodes into the provided buffer when it is large
+// enough (the Reader's arena), allocating otherwise. The output never
+// aliases src — transports reuse the frame buffer.
+func decodeU64sInto(src []byte, buf []uint64) ([]uint64, []byte, error) {
 	n, rest, err := sliceLen(src, typU64Slice)
 	if err != nil || n < 0 {
 		return nil, rest, err
@@ -664,9 +691,21 @@ func DecodeU64s(src []byte) ([]uint64, []byte, error) {
 	if n > len(rest)/8 {
 		return nil, nil, errTruncated(typU64Slice)
 	}
-	out := make([]uint64, n)
-	for i := range out {
-		out[i] = binary.LittleEndian.Uint64(rest[8*i:])
+	var out []uint64
+	switch {
+	case n == 0:
+		out = make([]uint64, 0) // non-nil: nil-ness is encoded separately
+	case n <= len(buf):
+		out = buf[:n:n]
+	default:
+		out = make([]uint64, n)
+	}
+	if hostLE {
+		copy(wordBytes(out), rest[:8*n])
+	} else {
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint64(rest[8*i:])
+		}
 	}
 	return out, rest[8*n:], nil
 }
@@ -677,6 +716,9 @@ func AppendI64s(dst []byte, s []int64) []byte {
 		return binary.AppendUvarint(dst, 0)
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(s))+1)
+	if hostLE {
+		return append(dst, wordBytes(s)...)
+	}
 	off := len(dst)
 	dst = append(dst, make([]byte, 8*len(s))...)
 	for i, x := range s {
@@ -687,6 +729,10 @@ func AppendI64s(dst []byte, s []int64) []byte {
 
 // DecodeI64s decodes a slice codec encoding of []int64.
 func DecodeI64s(src []byte) ([]int64, []byte, error) {
+	return decodeI64sInto(src, nil)
+}
+
+func decodeI64sInto(src []byte, buf []int64) ([]int64, []byte, error) {
 	n, rest, err := sliceLen(src, typI64Slice)
 	if err != nil || n < 0 {
 		return nil, rest, err
@@ -694,9 +740,21 @@ func DecodeI64s(src []byte) ([]int64, []byte, error) {
 	if n > len(rest)/8 {
 		return nil, nil, errTruncated(typI64Slice)
 	}
-	out := make([]int64, n)
-	for i := range out {
-		out[i] = int64(binary.LittleEndian.Uint64(rest[8*i:]))
+	var out []int64
+	switch {
+	case n == 0:
+		out = make([]int64, 0) // non-nil: nil-ness is encoded separately
+	case n <= len(buf):
+		out = buf[:n:n]
+	default:
+		out = make([]int64, n)
+	}
+	if hostLE {
+		copy(wordBytes(out), rest[:8*n])
+	} else {
+		for i := range out {
+			out[i] = int64(binary.LittleEndian.Uint64(rest[8*i:]))
+		}
 	}
 	return out, rest[8*n:], nil
 }
@@ -777,11 +835,46 @@ func (w *Writer) AppendPayload(dst []byte, payload any) ([]byte, error) {
 // use; the transport owns one per connection.
 type Reader struct {
 	entries []*entry
+	// u64buf/i64buf are bump arenas for the bulk word payloads: small
+	// decodes carve their (exactly-sized, never-reused) output out of a
+	// shared block instead of paying a make-and-zero each, which is
+	// where the small-payload decode throughput went (BENCH_native:
+	// 0.7 GB/s decode vs 4.7 GB/s encode at 1 KiB). Payloads stay safe
+	// to retain indefinitely — blocks are abandoned, never recycled;
+	// a retained payload merely pins at most one block.
+	u64buf []uint64
+	i64buf []int64
 }
 
 // NewReader returns a Reader with an empty interning table.
 func NewReader() *Reader {
 	return &Reader{}
+}
+
+// arenaBlock is the bump-arena block size in words (64 KiB). Payloads
+// at least this large bypass the arena and get exact allocations.
+const arenaBlock = 8192
+
+// grabU64 returns arena capacity for a payload of up to n words, or nil
+// to make the decoder allocate exactly.
+func (r *Reader) grabU64(n int) []uint64 {
+	if n >= arenaBlock {
+		return nil
+	}
+	if len(r.u64buf) < n {
+		r.u64buf = make([]uint64, arenaBlock)
+	}
+	return r.u64buf
+}
+
+func (r *Reader) grabI64(n int) []int64 {
+	if n >= arenaBlock {
+		return nil
+	}
+	if len(r.i64buf) < n {
+		r.i64buf = make([]int64, arenaBlock)
+	}
+	return r.i64buf
 }
 
 // DecodePayload decodes one self-describing payload off src and returns
@@ -818,10 +911,26 @@ func (r *Reader) DecodePayload(src []byte) (any, []byte, error) {
 
 	switch e.t {
 	case typU64Slice:
-		s, rest, err := DecodeU64s(src)
+		n, _, err := sliceLen(src, typU64Slice)
+		if err != nil {
+			return nil, nil, err
+		}
+		buf := r.grabU64(n)
+		s, rest, err := decodeU64sInto(src, buf)
+		if err == nil && n > 0 && n <= len(buf) {
+			r.u64buf = r.u64buf[n:] // s was carved out of the arena
+		}
 		return s, rest, err
 	case typI64Slice:
-		s, rest, err := DecodeI64s(src)
+		n, _, err := sliceLen(src, typI64Slice)
+		if err != nil {
+			return nil, nil, err
+		}
+		buf := r.grabI64(n)
+		s, rest, err := decodeI64sInto(src, buf)
+		if err == nil && n > 0 && n <= len(buf) {
+			r.i64buf = r.i64buf[n:]
+		}
 		return s, rest, err
 	}
 

@@ -107,7 +107,9 @@ type (
 	// RunResult reports the virtual clocks after a Run.
 	RunResult = sim.RunResult
 	// Config tunes the sorting algorithms (levels, sampling factors,
-	// delivery strategy, tie-breaking).
+	// delivery strategy, tie-breaking, and the ordered-key kernel fast
+	// path: set Key to a func(E) uint64 embedding the element order to
+	// switch the local sort phases to radix kernels).
 	Config = core.Config
 	// Stats reports per-phase times and balance of a run (virtual ns on
 	// the simulated backend, wall-clock ns on the native one).
@@ -314,12 +316,16 @@ func PlanLevels(p, k int) []int { return core.PlanLevels(p, k) }
 
 // AMSSort sorts the distributed data with adaptive multi-level sample
 // sort (§6). Collective: all PEs of c must call it with identical cfg.
+// The input slice is consumed (reordered in place and recycled as
+// scratch); copy it first if you still need the original.
 func AMSSort[E any](c Communicator, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
 	return core.AMSSort(c, data, less, cfg)
 }
 
 // RLMSort sorts the distributed data with recurse-last multiway
-// mergesort (§5); the output is perfectly balanced.
+// mergesort (§5); the output is perfectly balanced. The input slice is
+// consumed (sorted in place and recycled as scratch); copy it first if
+// you still need the original.
 func RLMSort[E any](c Communicator, data []E, less func(a, b E) bool, cfg Config) ([]E, *Stats) {
 	return core.RLMSort(c, data, less, cfg)
 }
