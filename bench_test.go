@@ -278,13 +278,48 @@ func BenchmarkWireEncode(b *testing.B) {
 }
 
 // BenchmarkWireDecode measures deserialization throughput for bulk
-// element slices.
+// element slices on the transport's frame path: aligned encoding,
+// decoded as zero-copy views of the frame buffer (what netcomm.readLoop
+// does, with the buffer handed off to the payload). The per-frame cost
+// is parsing plus one slice-header construction — no copy, no
+// allocation per element.
 func BenchmarkWireDecode(b *testing.B) {
 	for _, n := range []int{1 << 10, 1 << 16, 1 << 20} {
 		b.Run(fmt.Sprintf("u64s-%d", n), func(b *testing.B) {
 			payload := workload.Local(workload.Uniform, 1, 1, n, 0)
-			w := wire.NewWriter()
-			buf, err := w.AppendPayload(nil, payload)
+			segs, err := wire.NewWriter().AppendPayloadVec(nil, payload,
+				wire.VecOptions{Aligned: wire.HostLittleEndian()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var buf []byte
+			for _, s := range segs {
+				buf = append(buf, s...)
+			}
+			r := wire.NewReader()
+			opt := wire.DecodeOptions{Aligned: wire.HostLittleEndian(), Alias: true}
+			if _, _, _, err := r.DecodePayloadOpt(buf, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(8 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := r.DecodePayloadOpt(buf, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireDecodeCopy measures the copying decode path — what the
+// chaos middleware's forced serialization and big-endian peers pay:
+// every payload is carved out of the reader's bump arena and memmoved.
+func BenchmarkWireDecodeCopy(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("u64s-%d", n), func(b *testing.B) {
+			payload := workload.Local(workload.Uniform, 1, 1, n, 0)
+			buf, err := wire.NewWriter().AppendPayload(nil, payload)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -295,6 +330,7 @@ func BenchmarkWireDecode(b *testing.B) {
 			b.SetBytes(int64(8 * n))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				r.Grow(len(buf))
 				if _, _, err := r.DecodePayload(buf); err != nil {
 					b.Fatal(err)
 				}

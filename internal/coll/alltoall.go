@@ -77,23 +77,41 @@ func AlltoallvDirect[T any](c comm.Communicator, out [][]T) [][]T {
 // AlltoallvDirectFunc is AlltoallvDirect with an explicit per-item word
 // size (nil means one word per item).
 func AlltoallvDirectFunc[T any](c comm.Communicator, out [][]T, itemWords func(T) int64) [][]T {
+	in := make([][]T, c.Size())
+	AlltoallvDirectStreamFunc(c, out, itemWords, func(src int, msg []T) { in[src] = msg })
+	return in
+}
+
+// AlltoallvDirectStream is the receive-driven variant of AlltoallvDirect:
+// instead of materializing the [][]T result after all messages arrived,
+// it invokes emit once per member — own data first, then each peer's
+// message in the deterministic receive order (increasing rank distance)
+// as it arrives — so the consumer's per-message work overlaps the
+// remaining exchange. emit is called exactly once per source rank, on
+// the calling goroutine; collecting the emitted messages by source
+// reproduces AlltoallvDirect's result exactly.
+func AlltoallvDirectStream[T any](c comm.Communicator, out [][]T, emit func(src int, msg []T)) {
+	AlltoallvDirectStreamFunc(c, out, nil, emit)
+}
+
+// AlltoallvDirectStreamFunc is AlltoallvDirectStream with an explicit
+// per-item word size (nil means one word per item).
+func AlltoallvDirectStreamFunc[T any](c comm.Communicator, out [][]T, itemWords func(T) int64, emit func(src int, msg []T)) {
 	p, r := c.Size(), c.Rank()
 	if len(out) != p {
 		panic("coll: AlltoallvDirect buffer count != group size")
 	}
-	in := make([][]T, p)
-	in[r] = out[r]
-	c.Cost().Scan(wordsOf(out[r], itemWords))
 	for i := 1; i < p; i++ {
 		to := (r + i) % p
 		c.Send(to, tagAlltoallv, out[to], wordsOf(out[to], itemWords))
 	}
+	c.Cost().Scan(wordsOf(out[r], itemWords))
+	emit(r, out[r])
 	for i := 1; i < p; i++ {
 		from := (r - i + p) % p
 		pl, _ := c.Recv(from, tagAlltoallv)
-		in[from] = pl.([]T)
+		emit(from, pl.([]T))
 	}
-	return in
 }
 
 // Alltoallv1Factor performs the irregular all-to-all exchange with the
@@ -110,6 +128,25 @@ func Alltoallv1Factor[T any](c comm.Communicator, out [][]T) [][]T {
 // Alltoallv1FactorFunc is Alltoallv1Factor with an explicit per-item word
 // size (nil means one word per item).
 func Alltoallv1FactorFunc[T any](c comm.Communicator, out [][]T, itemWords func(T) int64) [][]T {
+	in := make([][]T, c.Size())
+	Alltoallv1FactorStreamFunc(c, out, itemWords, func(src int, msg []T) { in[src] = msg })
+	return in
+}
+
+// Alltoallv1FactorStream is the receive-driven variant of
+// Alltoallv1Factor: emit is invoked once per member — own data first,
+// then each round's partner as its message arrives (nil for partners
+// that declared nothing) — so the consumer's per-message work overlaps
+// the remaining rounds. emit runs on the calling goroutine; collecting
+// the emitted messages by source reproduces Alltoallv1Factor's result
+// exactly.
+func Alltoallv1FactorStream[T any](c comm.Communicator, out [][]T, emit func(src int, msg []T)) {
+	Alltoallv1FactorStreamFunc(c, out, nil, emit)
+}
+
+// Alltoallv1FactorStreamFunc is Alltoallv1FactorStream with an explicit
+// per-item word size (nil means one word per item).
+func Alltoallv1FactorStreamFunc[T any](c comm.Communicator, out [][]T, itemWords func(T) int64, emit func(src int, msg []T)) {
 	p, r := c.Size(), c.Rank()
 	if len(out) != p {
 		panic("coll: Alltoallv1Factor buffer count != group size")
@@ -123,9 +160,8 @@ func Alltoallv1FactorFunc[T any](c comm.Communicator, out [][]T, itemWords func(
 	}
 	incoming := AlltoallI64(c, counts)
 
-	in := make([][]T, p)
-	in[r] = out[r]
 	c.Cost().Scan(wordsOf(out[r], itemWords))
+	emit(r, out[r])
 
 	exchange := func(partner int) {
 		if len(out[partner]) > 0 {
@@ -133,7 +169,9 @@ func Alltoallv1FactorFunc[T any](c comm.Communicator, out [][]T, itemWords func(
 		}
 		if incoming[partner] > 0 {
 			pl, _ := c.Recv(partner, tagAlltoallv)
-			in[partner] = pl.([]T)
+			emit(partner, pl.([]T))
+		} else {
+			emit(partner, nil)
 		}
 	}
 
@@ -163,7 +201,6 @@ func Alltoallv1FactorFunc[T any](c comm.Communicator, out [][]T, itemWords func(
 			exchange(partner)
 		}
 	}
-	return in
 }
 
 // idleOf returns the PE i with 2i ≡ rd (mod m), m odd — the PE that would

@@ -245,16 +245,18 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	// --- Phase: data delivery ------------------------------------------
 	dopt := cfg.Delivery
 	dopt.Seed = seed ^ 0x1f2e3d4c
-	chunks := delivery.Deliver(c, pieces, dopt)
-	var total int
-	for _, ch := range chunks {
-		total += len(ch)
-	}
 
 	if last && st.key == nil {
-		// The received chunks are sorted runs; merge them into the
-		// recycled buffer. Delivery coalesced contiguous same-sender
-		// spans, so k is bounded by the number of senders.
+		// The received chunks are sorted runs, staged in rank order as
+		// they arrive; merge them into the recycled buffer once the last
+		// one is in (a loser tree needs all its runs). Delivery coalesced
+		// contiguous same-sender spans, so k is bounded by the number of
+		// senders.
+		chunks := delivery.Deliver(c, pieces, dopt)
+		var total int
+		for _, ch := range chunks {
+			total += len(ch)
+		}
 		tm := cost.Now()
 		out := seq.MultiwayInto(st.grab(total), chunks, less)
 		cost.Ops(seq.MultiwayOps(int64(total), len(chunks)))
@@ -266,10 +268,38 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 		return out
 	}
 
-	next := st.grab(total)
-	for _, ch := range chunks {
-		next = append(next, ch...)
+	// Concatenation shape: the received chunks are copied into the next
+	// level's buffer in rank order while the exchange is still running
+	// (streamConcat); at the keyed last level the copy loop also
+	// accumulates the radix histograms, so the final radix's counting
+	// pass overlaps the exchange too. Options.Batch routes through the
+	// original materialize-then-concatenate path instead (byte-identical;
+	// asserted by the torture harness).
+	var hkey func(E) uint64
+	var hist *seq.KeyedHist
+	if last {
+		hkey = st.key
+		hist = &seq.KeyedHist{}
 	}
+	var next []E
+	if dopt.Batch {
+		chunks := delivery.Deliver(c, pieces, dopt)
+		var total int
+		for _, ch := range chunks {
+			total += len(ch)
+		}
+		next = st.grab(total)
+		for _, ch := range chunks {
+			if hkey != nil {
+				seq.HistKeyed(ch, hkey, hist)
+			}
+			next = append(next, ch...)
+		}
+	} else {
+		next = streamConcat(c, pieces, dopt,
+			st.grab(recvBound(c.Size(), c.Rank(), r, globalSizes, starts)), hkey, hist)
+	}
+	total := len(next)
 	// data is dead once the barrier below has passed: every PE holding
 	// chunks into it has copied them out. Retire it for recycling.
 	st.retire(data)
@@ -278,15 +308,19 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	stats.PhaseNS[PhaseDataDelivery] += t3 - t2
 
 	if last {
-		// Keyed fast path: an in-place MSD radix sort of the
-		// concatenation is linear in total — no log k merge term and no
-		// scratch allocation.
+		// Keyed fast path: a stable LSD radix sort of the concatenation
+		// is linear in total — no log k merge term — with its histograms
+		// already accumulated during the exchange and the retired level
+		// buffer as the ping-pong scratch (no copy-back: whichever
+		// buffer holds the result is returned, the other dies with the
+		// run).
 		t4 := cost.Now()
-		seq.SortKeyedInPlace(next, st.key)
+		scratch := st.grab(total)
+		sorted, _ := seq.SortKeyedHist(next, st.key, scratch[:cap(scratch)], hist)
 		cost.Ops(seq.SortKeyedOps(int64(total)))
 		stats.PhaseNS[PhaseLocalSort] += cost.Now() - t4
 		stats.Levels = level + 1
-		return next
+		return sorted
 	}
 
 	sub, _ := c.SplitEqual(r)
@@ -310,48 +344,78 @@ func amsPartition[E any](c comm.Communicator, data []E, splitters []tagged[E], l
 	for i, s := range splitters {
 		keys[i] = s.key
 	}
-	cls := seq.NewClassifier(keys, less)
-	var bucketOf func(i int, x E) int
-	if cfg.TieBreak {
-		// Appendix D: the branchless descent uses keys only; only an
-		// element that lands in an equality bucket pays the lexicographic
-		// comparison — here a binary search of its (PE, position) tag
-		// over the run of splitters sharing its key, which spreads
-		// duplicate keys across all their buckets.
-		me := int32(c.Rank())
-		tLess := taggedLess(less)
-		bucketOf = func(i int, x E) int {
-			eq := cls.BucketEq(x)
-			if eq%2 == 0 {
-				return eq / 2
-			}
-			k := keys[(eq-1)/2]
-			lo := seq.LowerBound(keys, k, less)
-			hi := seq.UpperBound(keys, k, less)
-			mine := tagged[E]{key: x, pe: me, idx: int32(i)}
-			return lo + seq.LowerBound(splitters[lo:hi], mine, tLess)
-		}
-	} else {
-		bucketOf = func(_ int, x E) int { return cls.Bucket(x) }
+	// tieFix resolves an equality-bucket hit under Appendix-D
+	// tie-breaking: a binary search of the element's (PE, position) tag
+	// over the run of splitters sharing its key, which spreads duplicate
+	// keys across all their buckets. Only elements equal to a splitter
+	// pay it; the branchless descent handles everything else.
+	me := int32(c.Rank())
+	tLess := taggedLess(less)
+	tieFix := func(i int, x E, eq int) int {
+		k := keys[(eq-1)/2]
+		lo := seq.LowerBound(keys, k, less)
+		hi := seq.UpperBound(keys, k, less)
+		mine := tagged[E]{key: x, pe: me, idx: int32(i)}
+		return lo + seq.LowerBound(splitters[lo:hi], mine, tLess)
 	}
-	idx := 0
-	classify := func(x E) int {
-		bkt := bucketOf(idx, x)
-		idx++
-		return bkt
-	}
+
 	var bounds []int
-	if nb <= seq.MaxInPlaceBuckets {
-		bounds, st.ids = seq.PartitionInPlace(data, nb, classify, st.ids)
+	var levels int
+	if st.key != nil && nb <= seq.MaxInPlaceBuckets {
+		// Keyed fast path: the descent runs on raw uint64 compares
+		// (seq.KeyedClassifier) with the classification loop inlined
+		// over the id scratch — the generic path's per-level closure
+		// calls are the single hottest cost of keyed AMS-sort. The
+		// classifications agree exactly with the generic classifier
+		// under the Config.Key contract.
+		skeys := make([]uint64, len(keys))
+		for i, k := range keys {
+			skeys[i] = st.key(k)
+		}
+		kc := seq.NewKeyedClassifier(skeys)
+		levels = kc.Levels()
+		if len(st.ids) < len(data) {
+			st.ids = make([]uint16, len(data))
+		}
+		if cfg.TieBreak {
+			seq.ClassifyKeyedEq(data, st.key, kc, st.ids, tieFix)
+		} else {
+			seq.ClassifyKeyed(data, st.key, kc, st.ids)
+		}
+		bounds = seq.PartitionInPlaceIDs(data, nb, st.ids[:len(data)])
 	} else {
-		// More buckets than the uint16 id scratch can name (giant-p
-		// single-level sims): fall back to the out-of-place partition
-		// and copy back, keeping the in-place contract for callers.
-		parted, pbounds := seq.Partition(data, nb, classify)
-		copy(data, parted)
-		bounds = pbounds
+		cls := seq.NewClassifier(keys, less)
+		levels = cls.Levels()
+		var bucketOf func(i int, x E) int
+		if cfg.TieBreak {
+			bucketOf = func(i int, x E) int {
+				eq := cls.BucketEq(x)
+				if eq%2 == 0 {
+					return eq / 2
+				}
+				return tieFix(i, x, eq)
+			}
+		} else {
+			bucketOf = func(_ int, x E) int { return cls.Bucket(x) }
+		}
+		idx := 0
+		classify := func(x E) int {
+			bkt := bucketOf(idx, x)
+			idx++
+			return bkt
+		}
+		if nb <= seq.MaxInPlaceBuckets {
+			bounds, st.ids = seq.PartitionInPlace(data, nb, classify, st.ids)
+		} else {
+			// More buckets than the uint16 id scratch can name (giant-p
+			// single-level sims): fall back to the out-of-place partition
+			// and copy back, keeping the in-place contract for callers.
+			parted, pbounds := seq.Partition(data, nb, classify)
+			copy(data, parted)
+			bounds = pbounds
+		}
 	}
-	cost.PartitionOps(seq.ClassifyOps(int64(len(data)), cls.Levels()))
+	cost.PartitionOps(seq.ClassifyOps(int64(len(data)), levels))
 	cost.Scan(2 * int64(len(data)))
 	sizes := make([]int64, nb)
 	for bkt := 0; bkt < nb; bkt++ {

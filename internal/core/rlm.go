@@ -74,6 +74,12 @@ func rlmLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	pieces[r-1] = data[prev:]
 	dopt := cfg.Delivery
 	dopt.Seed = seed ^ 0x2b3c4d5e
+	// The received runs are staged in rank order as they arrive
+	// (Deliver is the rank-ordered collector over DeliverStream); the
+	// loser-tree merge below needs all of them, so it starts at the
+	// last arrival — the exchange overlap here is the staging and, on
+	// the TCP backend, the decoding of later messages behind earlier
+	// ones (DESIGN.md §10).
 	chunks := delivery.Deliver(c, pieces, dopt)
 	t2 := coll.TimedBarrier(c)
 	stats.PhaseNS[PhaseDataDelivery] += t2 - t1

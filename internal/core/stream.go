@@ -1,0 +1,89 @@
+package core
+
+import (
+	"pmsort/internal/comm"
+	"pmsort/internal/delivery"
+	"pmsort/internal/seq"
+)
+
+// This file holds the sorters' receive-driven delivery consumers
+// (DESIGN.md §10). delivery.DeliverStream hands out each sender's
+// chunks as that sender's message arrives; what a level does with them
+// depends on its shape:
+//
+//   - Concatenation levels (every non-last AMS level, and the keyed
+//     last level feeding the radix kernel) copy chunks into the next
+//     level buffer *during* the exchange — in sender-rank order, so the
+//     result is byte-identical to the materialize-then-concatenate
+//     batch path — and, when keyed, accumulate the radix histograms on
+//     the fly, so the first pass of the final radix has already
+//     happened when the last byte arrives.
+//   - Merge levels (RLM, the comparator last AMS level) only stage the
+//     arriving runs: a loser-tree merge needs all its runs, so the
+//     merge itself starts at the last arrival — they use
+//     delivery.Deliver, which since the streaming rewrite IS the
+//     rank-ordered collector over DeliverStream; what overlaps there
+//     is the staging and, on the TCP backend, the decode of later
+//     messages behind the processing of earlier ones.
+//
+// delivery.Options.Batch routes a concatenation level through the
+// original materialize-then-process path instead (for merge levels the
+// two are the same code); the torture harness randomizes the knob and
+// asserts the two are byte-identical.
+
+// streamConcat delivers pieces and concatenates the received chunks in
+// sender-rank order into buf (a zero-length slice with capacity from
+// the caller's bound). Chunks are copied as they arrive: the in-order
+// prefix eagerly — overlapping the memcpy with the remaining exchange —
+// and out-of-order arrivals staged (by reference, no copy) until their
+// turn. key, when non-nil, additionally folds every copied chunk into
+// h, pre-computing the LSD radix histograms of the concatenation.
+func streamConcat[E any](c comm.Communicator, pieces [][]E, opt delivery.Options, buf []E, key func(E) uint64, h *seq.KeyedHist) []E {
+	p := c.Size()
+	pending := make([][][]E, p)
+	arrived := make([]bool, p)
+	nextSrc := 0
+	add := func(chs [][]E) {
+		for _, ch := range chs {
+			if key != nil {
+				seq.HistKeyed(ch, key, h)
+			}
+			buf = append(buf, ch...)
+		}
+	}
+	delivery.DeliverStream(c, pieces, opt, func(src int, chs [][]E) {
+		arrived[src] = true
+		pending[src] = chs
+		for nextSrc < p && arrived[nextSrc] {
+			add(pending[nextSrc])
+			pending[nextSrc] = nil
+			nextSrc++
+		}
+	})
+	return buf
+}
+
+// recvBound bounds this PE's received element count for a level with r
+// groups: its balanced share of its group's bucket load (the Deliver
+// balance guarantee: ⌊m/g⌋ or ⌈m/g⌉ of the group's m elements). Used to
+// size the next-level buffer before the exchange starts, so the
+// streaming concatenation appends without reallocating.
+func recvBound(p, rank, r int, globalSizes []int64, starts []int) int {
+	pestarts, ok := comm.EqualStarts(p, r)
+	if !ok {
+		return 0
+	}
+	g := 0
+	for g+1 < len(pestarts) && rank >= pestarts[g+1] {
+		g++
+	}
+	if g+1 >= len(starts) {
+		return 1 // trailing group with no buckets
+	}
+	var load int64
+	for b := starts[g]; b < starts[g+1]; b++ {
+		load += globalSizes[b]
+	}
+	gsize := pestarts[g+1] - pestarts[g]
+	return int((load+int64(gsize)-1)/int64(gsize)) + 1
+}

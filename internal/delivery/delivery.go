@@ -99,6 +99,14 @@ type Options struct {
 	// SplitFactorA is the a in the Appendix A chunk limit s = a·n/(rp);
 	// 0 picks the Lemma 6 value a ≈ (√(1+r/ln(rp)) - 1)/2.
 	SplitFactorA float64
+	// Batch disables the receive-driven streaming exchange: the sorters
+	// fall back to the original materialize-then-process bulk exchange
+	// (Deliver + post-barrier concatenation/merge) instead of consuming
+	// DeliverStream. Streamed and batch deliveries are byte-identical —
+	// the torture harness randomizes this knob and asserts it — so Batch
+	// exists as the conformance reference and an A/B lever, not as a
+	// semantic switch.
+	Batch bool
 }
 
 // chunk is a contiguous part of one sender's piece travelling through the
@@ -111,22 +119,45 @@ func chunkWords[E any](ch chunk[E]) int64 { return int64(len(ch.data)) + 1 }
 
 // Deliver redistributes pieces[j] (j = 0..r-1) to group j. It must be
 // called collectively by all members of c with the same options. The
-// result is the list of chunks received by this PE, each a contiguous
-// slice of some sender's (sorted, if the sender sorted it) piece.
-//
-// Contiguous chunks are coalesced on receive: when a plan cuts one
-// sender's piece into several spans that all land here, the zero-copy
-// backends deliver sub-slices of one backing array back to back, and
-// returning them as one re-joined slice keeps the loser-tree k of the
-// merging sorters at the number of *senders*, not the number of plan
-// spans (adversarial plans otherwise inflate the merge with tiny
-// runs). Only adjacent entries of one sender's chunk list are joined,
-// so merged-run order is unchanged — a stable multiway merge of the
-// coalesced list produces byte-identical output to the uncoalesced
-// one, which keeps serializing backends (whose decoded chunks are
-// never memory-contiguous and thus never coalesce) in exact agreement
-// with the zero-copy ones. Empty chunks are dropped.
+// result is the list of chunks received by this PE in sender-rank
+// order, each a contiguous slice of some sender's (sorted, if the
+// sender sorted it) piece. Deliver materializes the full result after
+// the exchange; DeliverStream hands out the same chunks as they
+// arrive.
 func Deliver[E any](c comm.Communicator, pieces [][]E, opt Options) [][]E {
+	bySrc := make([][][]E, c.Size())
+	DeliverStream(c, pieces, opt, func(src int, chunks [][]E) { bySrc[src] = chunks })
+	var recv [][]E
+	for _, chunks := range bySrc {
+		recv = append(recv, chunks...)
+	}
+	return recv
+}
+
+// DeliverStream is the receive-driven variant of Deliver: same plans,
+// same exchange schedule, same coalescing rule, but the received chunk
+// lists are handed to emit per sender as that sender's message arrives
+// (own chunks first, then the exchange's deterministic receive order),
+// so the consumer's per-sender work — copying chunks into place,
+// staging merge runs — overlaps the remaining bulk exchange instead of
+// waiting behind it. emit is called exactly once per member of c, on
+// the calling goroutine, with a possibly empty chunk list; re-ordering
+// the emitted lists by src and concatenating reproduces Deliver's
+// result exactly (the torture harness asserts byte identity).
+//
+// Coalescing (shared with Deliver): when a plan cuts one sender's piece
+// into several spans that all land here, the zero-copy backends deliver
+// sub-slices of one backing array back to back, and re-joining them
+// keeps the loser-tree k of the merging sorters at the number of
+// *senders*, not the number of plan spans (adversarial plans otherwise
+// inflate the merge with tiny runs). Only adjacent entries of one
+// sender's chunk list are joined, so merged-run order is unchanged — a
+// stable multiway merge of the coalesced list produces byte-identical
+// output to the uncoalesced one, which keeps serializing backends
+// (whose decoded chunks are never memory-contiguous and thus never
+// coalesce) in exact agreement with the zero-copy ones. Empty chunks
+// are dropped.
+func DeliverStream[E any](c comm.Communicator, pieces [][]E, opt Options, emit func(src int, chunks [][]E)) {
 	RegisterWire[E]()
 	r := len(pieces)
 	if r == 0 || r > c.Size() {
@@ -143,35 +174,35 @@ func Deliver[E any](c comm.Communicator, pieces [][]E, opt Options) [][]E {
 	default:
 		panic("delivery: unknown strategy")
 	}
-	var in [][]chunk[E]
+	h := func(src int, msg []chunk[E]) { emit(src, coalesce(msg)) }
 	if opt.Exchange == Direct {
-		in = coll.AlltoallvDirectFunc(c, out, chunkWords[E])
+		coll.AlltoallvDirectStreamFunc(c, out, chunkWords[E], h)
 	} else {
-		in = coll.Alltoallv1FactorFunc(c, out, chunkWords[E])
+		coll.Alltoallv1FactorStreamFunc(c, out, chunkWords[E], h)
 	}
-	var recv [][]E
-	for _, chunks := range in {
-		first := true
-		for _, ch := range chunks {
-			d := ch.data
-			if len(d) == 0 {
-				continue
-			}
-			// Coalesce only within one sender's chunk list: this PE
-			// receives exactly one piece index from every sender, so
-			// memory adjacency there means consecutive spans of that
-			// one piece. Across senders adjacency can be coincidental
-			// (callers may cut all ranks' locals out of one shared
-			// array), and joining those would fuse unrelated runs.
-			if n := len(recv); !first && n > 0 && contiguous(recv[n-1], d) {
-				recv[n-1] = recv[n-1][:len(recv[n-1])+len(d)]
-			} else {
-				recv = append(recv, d)
-			}
-			first = false
+}
+
+// coalesce drops empty chunks from one sender's list and re-joins
+// memory-adjacent spans (see DeliverStream). Coalescing only within one
+// sender's list matters: this PE receives exactly one piece index from
+// every sender, so memory adjacency there means consecutive spans of
+// that one piece. Across senders adjacency can be coincidental (callers
+// may cut all ranks' locals out of one shared array), and joining those
+// would fuse unrelated runs.
+func coalesce[E any](msg []chunk[E]) [][]E {
+	var out [][]E
+	for _, ch := range msg {
+		d := ch.data
+		if len(d) == 0 {
+			continue
+		}
+		if n := len(out); n > 0 && contiguous(out[n-1], d) {
+			out[n-1] = out[n-1][:len(out[n-1])+len(d)]
+		} else {
+			out = append(out, d)
 		}
 	}
-	return recv
+	return out
 }
 
 // contiguous reports whether b starts exactly where a ends in the same

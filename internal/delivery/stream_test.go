@@ -1,0 +1,89 @@
+package delivery
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pmsort/internal/comm"
+	"pmsort/internal/native"
+	"pmsort/internal/prng"
+	"pmsort/internal/sim"
+)
+
+// TestDeliverStreamMatchesDeliver pins the streaming delivery contract
+// on both in-process backends, for every strategy and exchange: emit
+// fires exactly once per source, and re-ordering the emitted chunk
+// lists by source and concatenating reproduces Deliver's result
+// exactly — including the coalescing of adjacent spans, which only the
+// zero-copy backends produce.
+func TestDeliverStreamMatchesDeliver(t *testing.T) {
+	const p = 6
+	for _, strat := range []Strategy{Simple, Randomized, RandomizedAdvanced, Deterministic} {
+		for _, exch := range []Exchange{OneFactor, Direct} {
+			for _, backend := range []string{"sim", "native"} {
+				t.Run(fmt.Sprintf("%v/%v/%s", strat, exch, backend), func(t *testing.T) {
+					opt := Options{Strategy: strat, Exchange: exch, Seed: 0xd15c}
+					r := 3
+					locals := make([][]uint64, p)
+					rng := prng.New(42)
+					for rank := range locals {
+						n := int(rng.Next()%64) + 1
+						loc := make([]uint64, n)
+						for i := range loc {
+							loc[i] = rng.Next()
+						}
+						locals[rank] = loc
+					}
+					cut := func(data []uint64) [][]uint64 {
+						pieces := make([][]uint64, r)
+						prev := 0
+						for j := 0; j < r-1; j++ {
+							next := prev + (len(data)-prev)/(r-j)
+							pieces[j] = data[prev:next]
+							prev = next
+						}
+						pieces[r-1] = data[prev:]
+						return pieces
+					}
+
+					batch := make([][][]uint64, p)
+					streamed := make([][][]uint64, p)
+					run := func(c comm.Communicator, rank int) {
+						// Two collective deliveries back to back: the batch
+						// reference, then the streamed one, collected in
+						// rank order like the sorters do.
+						batch[rank] = Deliver(c, cut(locals[rank]), opt)
+						bySrc := make([][][]uint64, p)
+						seen := make([]int, p)
+						DeliverStream(c, cut(locals[rank]), opt, func(src int, chunks [][]uint64) {
+							seen[src]++
+							bySrc[src] = chunks
+						})
+						for src, n := range seen {
+							if n != 1 {
+								t.Errorf("rank %d: source %d emitted %d times", rank, src, n)
+							}
+						}
+						var got [][]uint64
+						for _, chs := range bySrc {
+							got = append(got, chs...)
+						}
+						streamed[rank] = got
+					}
+					switch backend {
+					case "sim":
+						sim.NewDefault(p).Run(func(pe *sim.PE) { run(sim.World(pe), pe.Rank()) })
+					case "native":
+						native.New(p).Run(func(c comm.Communicator) { run(c, c.Rank()) })
+					}
+					for rank := 0; rank < p; rank++ {
+						if !reflect.DeepEqual(batch[rank], streamed[rank]) {
+							t.Errorf("rank %d: batch %v != streamed %v", rank, batch[rank], streamed[rank])
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -70,10 +70,14 @@ func (tc TortureCase) String() string {
 	if tc.Spec.Keyed {
 		elem += "/keyed"
 	}
-	return fmt.Sprintf("seed=%d %v p=%d n/p=%d kind=%v k=%d a=%g b=%d dlv=%v/%d elem=%s %s",
+	exch := "stream"
+	if tc.Spec.Delivery.Batch {
+		exch = "batch"
+	}
+	return fmt.Sprintf("seed=%d %v p=%d n/p=%d kind=%v k=%d a=%g b=%d dlv=%v/%d/%s elem=%s %s",
 		tc.Seed, tc.Spec.Algo, tc.Spec.P, tc.Spec.PerPE, tc.Spec.Kind, tc.Spec.Levels,
 		tc.Spec.Oversampling, tc.Spec.Overpartition, tc.Spec.Delivery.Strategy,
-		tc.Spec.Delivery.Exchange, elem, backends)
+		tc.Spec.Delivery.Exchange, exch, elem, backends)
 }
 
 // tortureAlgos is the sweep's sorter population. Power-of-two-only
@@ -139,6 +143,13 @@ func DeriveTorture(seed uint64) TortureCase {
 	// A TCP loopback cluster per case is expensive (rendezvous, real
 	// sockets); run it on a sixth of the small-p cases.
 	tc.TCP = p <= 4 && rng.Intn(6) == 0
+	// The exchange-consumption dimension: half the cases route the
+	// sorters through the original materialize-then-process delivery
+	// (Batch) instead of the streaming consumers, so the cross-backend
+	// byte-identity invariant continuously cross-checks the two data
+	// paths against each other — on top of the direct batch-vs-stream
+	// delivery check every case runs (tortureDeliveryCheck).
+	tc.Spec.Delivery.Batch = rng.Intn(2) == 0
 	return tc
 }
 
@@ -262,6 +273,111 @@ func tortureRun[E any](tc TortureCase, mk func(k uint64) E, less func(a, b E) bo
 	for _, backend := range tortureBackends(tc)[1:] {
 		if !reflect.DeepEqual(outs[backend], outs["sim"]) {
 			return fmt.Errorf("torture %s: %s output differs from sim", tc, backend)
+		}
+	}
+
+	// The exchange dimension, checked directly: batch and streamed
+	// deliveries of one seeded piece cut must be byte-identical on every
+	// backend leg, and all legs must agree on the delivered bytes.
+	if err := tortureDeliveryCheck(tc, locals); err != nil {
+		return fmt.Errorf("torture %s: %w", tc, err)
+	}
+	return nil
+}
+
+// tortureDeliveryCheck runs delivery.Deliver (the batch reference) and
+// delivery.DeliverStream (collected in rank order) back to back over
+// the case's locals, cut into a seeded number of pieces per PE, on
+// every backend leg of the case — sim, native, and (for TCP cases) a
+// real loopback cluster. It asserts that the two paths deliver
+// identical chunk lists on each backend, and that the delivered
+// concatenations agree across backends (chunk boundaries legitimately
+// differ: zero-copy backends coalesce adjacent spans, serializing ones
+// cannot).
+func tortureDeliveryCheck[E any](tc TortureCase, locals [][]E) error {
+	spec := tc.Spec
+	p := spec.P
+	rng := prng.New(tc.Seed ^ 0x5eed_0dd5)
+	r := 1 + int(rng.Next()%uint64(p))
+	opt := spec.Delivery
+	opt.Seed = rng.Next()
+
+	// Deterministic per-rank piece cut (balanced boundaries).
+	cut := func(rank int) [][]E {
+		data := locals[rank]
+		pieces := make([][]E, r)
+		prev := 0
+		for j := 0; j < r-1; j++ {
+			next := prev + (len(data)-prev)/(r-j)
+			pieces[j] = data[prev:next]
+			prev = next
+		}
+		pieces[r-1] = data[prev:]
+		return pieces
+	}
+
+	type rankResult struct {
+		batch, stream [][]E
+	}
+	runLeg := func(backend string) ([]rankResult, error) {
+		res := make([]rankResult, p)
+		var mu sync.Mutex
+		run := func(c comm.Communicator, rank int) {
+			batch := delivery.Deliver(c, cut(rank), opt)
+			sopt := opt
+			sopt.Batch = false
+			bySrc := make([][][]E, p)
+			delivery.DeliverStream(c, cut(rank), sopt, func(src int, chunks [][]E) { bySrc[src] = chunks })
+			var stream [][]E
+			for _, chs := range bySrc {
+				stream = append(stream, chs...)
+			}
+			mu.Lock()
+			res[rank] = rankResult{batch: batch, stream: stream}
+			mu.Unlock()
+		}
+		var err error
+		switch backend {
+		case "sim":
+			sim.NewDefault(p).Run(func(pe *sim.PE) { run(sim.World(pe), pe.Rank()) })
+		case "native":
+			native.New(p).Run(func(c comm.Communicator) { run(c, c.Rank()) })
+		case "tcp":
+			err = tortureTCP(p, run)
+		}
+		return res, err
+	}
+
+	flatten := func(chunks [][]E) []E {
+		var out []E
+		for _, ch := range chunks {
+			out = append(out, ch...)
+		}
+		return out
+	}
+
+	var simFlat [][]E
+	for _, backend := range tortureBackends(tc) {
+		res, err := runLeg(backend)
+		if err != nil {
+			return fmt.Errorf("delivery check (%s): %w", backend, err)
+		}
+		for rank, rr := range res {
+			if !reflect.DeepEqual(rr.batch, rr.stream) {
+				return fmt.Errorf("delivery check (%s): rank %d streamed chunks differ from batch (r=%d, %v)", backend, rank, r, opt.Strategy)
+			}
+		}
+		if backend == "sim" {
+			simFlat = make([][]E, p)
+			for rank, rr := range res {
+				simFlat[rank] = flatten(rr.batch)
+			}
+			continue
+		}
+		for rank, rr := range res {
+			if !reflect.DeepEqual(flatten(rr.batch), simFlat[rank]) {
+				return fmt.Errorf("delivery check (%s): rank %d delivered bytes differ from sim", backend, rank)
+			}
 		}
 	}
 	return nil

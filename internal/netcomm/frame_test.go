@@ -1,0 +1,181 @@
+package netcomm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pmsort/internal/comm"
+	"pmsort/internal/wire"
+)
+
+// frameTotal computes the frame length (the value of the u32 prefix)
+// the writer will produce for a payload, by encoding it the way
+// writeLoop does.
+func frameTotal(t *testing.T, tag int, words int64, payload any) int {
+	t.Helper()
+	aligned := wire.HostLittleEndian()
+	frame := []byte{0, 0, 0, 0, 0}
+	frame = appendUvarintTest(frame, uint64(tag))
+	frame = appendUvarintTest(frame, uint64(words))
+	segs, err := wire.NewWriter().AppendPayloadVec(frame, payload, wire.VecOptions{Aligned: aligned, AlignBase: 4, MinSpan: vecMinSpan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := -4
+	for _, s := range segs {
+		total += len(s)
+	}
+	return total
+}
+
+func appendUvarintTest(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// TestFrameAtAndOverLimit pins the maxFrame boundary without 1 GiB
+// allocations: with the limit lowered to exactly one message's frame
+// length, the message passes (the check is `total > maxFrame`); one
+// byte lower, the writer fails the machine with the frame-limit
+// diagnosis and Run surfaces it on every rank.
+func TestFrameAtAndOverLimit(t *testing.T) {
+	payload := make([]uint64, 4096)
+	for i := range payload {
+		payload[i] = uint64(i)
+	}
+	const tag = 0x9000
+	limit := frameTotal(t, tag, int64(len(payload)), payload)
+
+	saved := maxFrame
+	defer func() { maxFrame = saved }()
+
+	run := func(lim int) []error {
+		maxFrame = lim
+		errs := make([]error, 2)
+		cluster(t, 2, func(m *Machine, rank int) {
+			_, errs[rank] = m.Run(func(c comm.Communicator) {
+				if rank == 0 {
+					c.Send(1, tag, payload, int64(len(payload)))
+					// Wait for the ack so the frame is known delivered
+					// (or the failure known surfaced) before Close.
+					c.Recv(1, tag+1)
+				} else {
+					pl, _ := c.Recv(0, tag)
+					if got := pl.([]uint64); !reflect.DeepEqual(got, payload) {
+						t.Errorf("payload mangled at the frame limit")
+					}
+					c.Send(0, tag+1, nil, 1)
+				}
+			})
+		})
+		return errs
+	}
+
+	if errs := run(limit); errs[0] != nil || errs[1] != nil {
+		t.Fatalf("frame exactly at maxFrame must pass: %v / %v", errs[0], errs[1])
+	}
+	errs := run(limit - 1)
+	if errs[0] == nil {
+		t.Fatal("frame over maxFrame must fail the sending machine")
+	}
+	if !strings.Contains(errs[0].Error(), "frame limit") {
+		t.Fatalf("sender error does not name the frame limit: %v", errs[0])
+	}
+}
+
+// TestDecodedChunksOutliveReaderScratch is the regression pin for the
+// receive-side buffer handoff (DESIGN.md §10): payloads decoded from
+// one frame — which alias that frame's buffer on the zero-copy path —
+// must stay intact while later frames stream through the same reader.
+// A readLoop that reused its scratch buffer after an aliasing decode
+// would overwrite earlier payloads with later bytes.
+func TestDecodedChunksOutliveReaderScratch(t *testing.T) {
+	const tag = 0x9100
+	const n = 64 << 10 // two bulk frames, both well past any batching threshold
+	mk := func(seed uint64) []uint64 {
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = seed ^ uint64(i)*0x9e3779b97f4a7c15
+		}
+		return s
+	}
+	a, b := mk(0xaaaa), mk(0xbbbb)
+	cluster(t, 2, func(m *Machine, rank int) {
+		_, err := m.Run(func(c comm.Communicator) {
+			if rank == 0 {
+				c.Send(1, tag, a, n)
+				c.Send(1, tag, b, n)
+				c.Recv(1, tag+1)
+				return
+			}
+			// Hold the first payload across the arrival and decode of
+			// the second, then check every word.
+			pa, _ := c.Recv(0, tag)
+			pb, _ := c.Recv(0, tag)
+			got := pa.([]uint64)
+			for i := range got {
+				if got[i] != a[i] {
+					t.Errorf("first payload corrupted at %d after the second frame decoded", i)
+					break
+				}
+			}
+			if gb := pb.([]uint64); !reflect.DeepEqual(gb, b) {
+				t.Error("second payload mangled")
+			}
+			c.Send(0, tag+1, nil, 1)
+		})
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+		}
+	})
+}
+
+// TestSmallControlFramesStillBatch sends a burst of small messages and
+// one nil-payload ("empty") frame between two ranks: the bufio batching
+// path and the vectored bulk path interleave on one connection, and
+// every message must arrive intact and in (sender, tag) FIFO order.
+func TestSmallControlFramesStillBatch(t *testing.T) {
+	const tag = 0x9200
+	big := make([]uint64, 32<<10)
+	for i := range big {
+		big[i] = uint64(i) * 3
+	}
+	cluster(t, 2, func(m *Machine, rank int) {
+		_, err := m.Run(func(c comm.Communicator) {
+			if rank == 0 {
+				for i := 0; i < 100; i++ {
+					c.Send(1, tag, int64(i), 1)
+				}
+				c.Send(1, tag, nil, 1)               // empty frame amid the batch
+				c.Send(1, tag, big, int64(len(big))) // vectored bulk on the same stream
+				c.Send(1, tag, int64(100), 1)
+				c.Recv(1, tag+1)
+				return
+			}
+			for i := 0; i < 100; i++ {
+				pl, _ := c.Recv(0, tag)
+				if pl.(int64) != int64(i) {
+					t.Fatalf("message %d out of order: %v", i, pl)
+				}
+			}
+			if pl, _ := c.Recv(0, tag); pl != nil {
+				t.Fatalf("nil payload decoded to %v", pl)
+			}
+			pl, _ := c.Recv(0, tag)
+			if !reflect.DeepEqual(pl.([]uint64), big) {
+				t.Fatal("bulk payload mangled between batched control frames")
+			}
+			if pl, _ := c.Recv(0, tag); pl.(int64) != 100 {
+				t.Fatalf("trailing message lost: %v", pl)
+			}
+			c.Send(0, tag+1, nil, 1)
+		})
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+		}
+	})
+}

@@ -49,12 +49,30 @@ const (
 	// handshakeMagic opens every connection, followed by the protocol
 	// version byte and the dialer's uvarint rank and world size.
 	handshakeMagic = "PMSC"
-	protoVersion   = 1
+	protoVersion   = 2
 
-	// maxFrame bounds a single message frame (header + encoded
-	// payload). A frame larger than this indicates corruption.
-	maxFrame = 1 << 30
+	// frameFlagAligned marks a frame whose bulk blocks carry alignment
+	// pads (wire.VecOptions.Aligned): the receiver can decode them as
+	// zero-copy views of the frame buffer.
+	frameFlagAligned = 1 << 0
+
+	// vecMinSpan is the smallest bulk block the writer sends as a
+	// vectored view of the payload instead of copying it into the frame
+	// buffer (the zero-copy send path).
+	vecMinSpan = 16 << 10
+
+	// directFrameMin is the smallest single-segment frame that bypasses
+	// the buffered writer: anything this large is written straight to
+	// the socket (one syscall, no staging copy through bufio), while
+	// small control messages keep batching through bufio with
+	// flush-on-drain.
+	directFrameMin = 32 << 10
 )
+
+// maxFrame bounds a single message frame (header + encoded payload).
+// A frame larger than this indicates corruption. A variable only so the
+// frame-edge tests can exercise the limit without 1 GiB allocations.
+var maxFrame = 1 << 30
 
 // Options tunes the rendezvous.
 type Options struct {
@@ -434,14 +452,28 @@ func (m *Machine) enqueue(to, tag int, payload any, words int64) {
 }
 
 // writeLoop serializes and streams the peer's outbound queue. One frame
-// per message: u32 LE frame length, then uvarint tag, uvarint words,
-// then the wire-encoded payload. The bufio writer is flushed whenever
-// the queue momentarily drains, so small messages batch under load but
-// never linger.
+// per message: u32 LE frame length, a flags byte, then uvarint tag,
+// uvarint words, then the wire-encoded payload. Bulk element blocks are
+// NOT copied into the frame: the wire codec returns them as views of
+// the payload (wire.AppendPayloadVec) and the writer sends header
+// segments and payload views together with one vectored write
+// (net.Buffers → writev), bypassing the buffered writer. Small control
+// frames keep batching through bufio, which is flushed whenever the
+// queue momentarily drains, so they coalesce under load but never
+// linger. Deferred reads of the payload are sound for the same reason
+// deferred encoding always was: the sorters only recycle sent buffers
+// after a barrier, and a barrier cannot complete before every receiver
+// has consumed the bulk data (DESIGN.md §10).
 func (m *Machine) writeLoop(pr *peer) {
 	defer close(pr.done)
 	bw := bufio.NewWriterSize(pr.conn, 1<<16)
 	w := wire.NewWriter()
+	aligned := wire.HostLittleEndian()
+	var flags byte
+	if aligned {
+		flags = frameFlagAligned
+	}
+	vopt := wire.VecOptions{Aligned: aligned, AlignBase: 4, MinSpan: vecMinSpan}
 	var frame []byte
 	for {
 		pr.mu.Lock()
@@ -450,26 +482,54 @@ func (m *Machine) writeLoop(pr *peer) {
 		closed := pr.closed
 		pr.mu.Unlock()
 
-		for _, msg := range batch {
+		for i := range batch {
+			msg := &batch[i]
 			frame = frame[:0]
-			frame = append(frame, 0, 0, 0, 0) // length prefix placeholder
+			frame = append(frame, 0, 0, 0, 0, flags) // length prefix placeholder + flags
 			frame = binary.AppendUvarint(frame, uint64(msg.tag))
 			frame = binary.AppendUvarint(frame, uint64(msg.words))
-			var err error
-			frame, err = w.AppendPayload(frame, msg.payload)
+			segs, err := w.AppendPayloadVec(frame, msg.payload, vopt)
 			if err != nil {
 				m.fail(fmt.Errorf("encoding message for rank %d (tag %#x): %w", pr.rank, msg.tag, err))
 				return
 			}
-			if len(frame)-4 > maxFrame {
+			total := -4
+			for _, s := range segs {
+				total += len(s)
+			}
+			if total > maxFrame {
 				m.fail(fmt.Errorf("message for rank %d exceeds the %d-byte frame limit", pr.rank, maxFrame))
 				return
 			}
-			binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
-			if _, err := bw.Write(frame); err != nil {
-				m.fail(fmt.Errorf("writing to rank %d: %w", pr.rank, err))
-				return
+			binary.LittleEndian.PutUint32(segs[0], uint32(total))
+			// The first segment is our reusable frame arena — hold on to
+			// it before the write: net.Buffers.WriteTo consumes the
+			// segment list in place (entries are nilled as they drain).
+			first := segs[0]
+			if len(segs) == 1 && total+4 < directFrameMin {
+				if _, err := bw.Write(first); err != nil {
+					m.fail(fmt.Errorf("writing to rank %d: %w", pr.rank, err))
+					return
+				}
+			} else {
+				// Large or multi-segment frame: flush the batched small
+				// messages, then hand all segments — frame headers and
+				// payload views alike — to one vectored write.
+				if err := bw.Flush(); err != nil {
+					m.fail(fmt.Errorf("writing to rank %d: %w", pr.rank, err))
+					return
+				}
+				bufs := net.Buffers(segs)
+				if _, err := bufs.WriteTo(pr.conn); err != nil {
+					m.fail(fmt.Errorf("writing to rank %d: %w", pr.rank, err))
+					return
+				}
 			}
+			// The kernel copied the frame arena during the write; reuse
+			// it. Payload view segments belong to the (immutable,
+			// post-Send) payload and are dropped.
+			frame = first[:0]
+			batch[i] = outMsg{} // release the payload before the next batch
 		}
 
 		if len(batch) == 0 {
@@ -489,6 +549,17 @@ func (m *Machine) writeLoop(pr *peer) {
 }
 
 // readLoop decodes the peer's inbound frames into the mailbox.
+//
+// Buffer discipline (the receive half of the zero-copy path): each
+// frame's body is read into a scratch buffer, and aligned bulk blocks
+// are decoded as sub-slices of that buffer — one allocation per bulk
+// frame, every chunk aliasing it, no per-chunk copy. Receivers own
+// decoded data indefinitely, so whenever a decode aliased the buffer,
+// ownership moves to the mailbox with the payload and the loop switches
+// to a fresh buffer for the next frame (the double-buffer handoff that
+// makes aliasing sound). Frames that decode without aliasing (control
+// messages, non-bulk payloads, big-endian peers) keep reusing the
+// scratch buffer, with copies carved from the reader's bump arena.
 func (m *Machine) readLoop(pr *peer) {
 	defer close(pr.rdone)
 	br := bufio.NewReaderSize(pr.conn, 1<<16)
@@ -505,8 +576,12 @@ func (m *Machine) readLoop(pr *peer) {
 			return
 		}
 		n := binary.LittleEndian.Uint32(lenBuf[:])
-		if n > maxFrame {
+		if int64(n) > int64(maxFrame) {
 			m.fail(fmt.Errorf("frame from rank %d exceeds the %d-byte limit", pr.rank, maxFrame))
+			return
+		}
+		if n < 1 {
+			m.fail(fmt.Errorf("corrupt frame from rank %d: empty frame", pr.rank))
 			return
 		}
 		if uint32(cap(body)) < n {
@@ -517,7 +592,8 @@ func (m *Machine) readLoop(pr *peer) {
 			m.fail(fmt.Errorf("reading from rank %d: %w", pr.rank, err))
 			return
 		}
-		rest := body
+		aligned := body[0]&frameFlagAligned != 0
+		rest := body[1:]
 		tag, k := binary.Uvarint(rest)
 		if k <= 0 {
 			m.fail(fmt.Errorf("corrupt frame from rank %d: tag", pr.rank))
@@ -530,7 +606,13 @@ func (m *Machine) readLoop(pr *peer) {
 			return
 		}
 		rest = rest[k:]
-		payload, rest, err := r.DecodePayload(rest)
+		if !aligned {
+			// Copy-mode frame (big-endian peer): pre-size the bump arena
+			// from the frame length so all its bulk decodes carve from
+			// one allocation.
+			r.Grow(len(rest))
+		}
+		payload, rest, aliased, err := r.DecodePayloadOpt(rest, wire.DecodeOptions{Aligned: aligned, Alias: aligned})
 		if err != nil {
 			m.fail(fmt.Errorf("decoding message from rank %d (tag %#x): %w", pr.rank, tag, err))
 			return
@@ -540,6 +622,9 @@ func (m *Machine) readLoop(pr *peer) {
 			return
 		}
 		m.mbox.put(pr.rank, int(tag), envelope{payload: payload, words: int64(words)})
+		if aliased {
+			body = nil // handed off with the payload; next frame gets a fresh buffer
+		}
 	}
 }
 

@@ -145,10 +145,19 @@ func PartitionInPlace[E any](data []E, nb int, bucketOf func(E) int, ids []uint1
 	if len(ids) < n {
 		ids = make([]uint16, n)
 	}
-	counts := make([]int, nb+1)
 	for i, x := range data {
-		b := bucketOf(x)
-		ids[i] = uint16(b)
+		ids[i] = uint16(bucketOf(x))
+	}
+	return PartitionInPlaceIDs(data, nb, ids[:n]), ids
+}
+
+// PartitionInPlaceIDs is the reorder half of PartitionInPlace for
+// callers that fill the id scratch themselves (the keyed classification
+// loops, which inline the splitter-tree descent): ids[i] must hold the
+// bucket of data[i]. ids is consumed (permuted alongside data).
+func PartitionInPlaceIDs[E any](data []E, nb int, ids []uint16) (bounds []int) {
+	counts := make([]int, nb+1)
+	for _, b := range ids {
 		counts[b+1]++
 	}
 	for b := 1; b <= nb; b++ {
@@ -171,7 +180,7 @@ func PartitionInPlace[E any](data []E, nb int, bucketOf func(E) int, ids []uint1
 			ids[i], ids[j] = ids[j], ids[i]
 		}
 	}
-	return bounds, ids
+	return bounds
 }
 
 // ClassifyOps returns the modeled branchless-partition operation count

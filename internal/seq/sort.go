@@ -41,38 +41,72 @@ func SortKeyed[E any](data []E, key func(E) uint64, scratch []E) []E {
 		insertionByKey(data, key)
 		return scratch
 	}
+	var h KeyedHist
+	HistKeyed(data, key, &h)
+	sorted, spare := SortKeyedHist(data, key, scratch, &h)
+	if len(sorted) > 0 && len(data) > 0 && &sorted[0] != &data[0] {
+		copy(data, sorted)
+		return sorted // data holds the result; the radix buffer is the reusable scratch
+	}
+	return spare
+}
+
+// KeyedHist accumulates the per-digit histograms of the LSD radix sort.
+// The byte distribution is permutation-invariant, so histograms built
+// incrementally — e.g. per received chunk, while the bulk exchange is
+// still streaming in — stay valid for every pass regardless of the
+// order the data was appended in.
+type KeyedHist struct {
+	hist [8][256]int
+	n    int
+}
+
+// HistKeyed folds data's keys into the histograms.
+func HistKeyed[E any](data []E, key func(E) uint64, h *KeyedHist) {
+	h.n += len(data)
+	for _, e := range data {
+		k := key(e)
+		h.hist[0][k&0xff]++
+		h.hist[1][(k>>8)&0xff]++
+		h.hist[2][(k>>16)&0xff]++
+		h.hist[3][(k>>24)&0xff]++
+		h.hist[4][(k>>32)&0xff]++
+		h.hist[5][(k>>40)&0xff]++
+		h.hist[6][(k>>48)&0xff]++
+		h.hist[7][(k>>56)&0xff]++
+	}
+}
+
+// SortKeyedHist runs the scatter passes of the stable LSD radix sort
+// with histograms accumulated up front (HistKeyed over exactly data's
+// elements, in any order). It returns the buffer holding the sorted
+// result — data or scratch, whichever the last active pass landed in —
+// together with the other (spare) buffer, so callers that own both
+// avoid the copy-back of SortKeyed. scratch is grown as needed; h is
+// consumed.
+func SortKeyedHist[E any](data []E, key func(E) uint64, scratch []E, h *KeyedHist) (sorted, spare []E) {
+	n := len(data)
+	if h.n != n {
+		panic("seq: SortKeyedHist histogram count does not match the data")
+	}
+	if n < 2 {
+		return data, scratch
+	}
 	if len(scratch) < n {
 		scratch = make([]E, n)
 	}
-
-	// One pass builds the histograms of all 8 digits at once (the byte
-	// distribution is permutation-invariant, so the histograms stay
-	// valid for every pass regardless of the current order).
-	var hist [8][256]int
-	for _, e := range data {
-		k := key(e)
-		hist[0][k&0xff]++
-		hist[1][(k>>8)&0xff]++
-		hist[2][(k>>16)&0xff]++
-		hist[3][(k>>24)&0xff]++
-		hist[4][(k>>32)&0xff]++
-		hist[5][(k>>40)&0xff]++
-		hist[6][(k>>48)&0xff]++
-		hist[7][(k>>56)&0xff]++
-	}
-
 	src, dst := data, scratch[:n]
 	for pass := 0; pass < 8; pass++ {
-		h := &hist[pass]
+		hp := &h.hist[pass]
 		// Skip passes whose digit is constant (common for small key
 		// ranges: sorted/dup-heavy workloads need 1-2 passes).
 		trivial := false
 		for b := 0; b < 256; b++ {
-			if h[b] == n {
+			if hp[b] == n {
 				trivial = true
 				break
 			}
-			if h[b] != 0 {
+			if hp[b] != 0 {
 				break
 			}
 		}
@@ -83,7 +117,7 @@ func SortKeyed[E any](data []E, key func(E) uint64, scratch []E) []E {
 		sum := 0
 		for b := 0; b < 256; b++ {
 			starts[b] = sum
-			sum += h[b]
+			sum += hp[b]
 		}
 		shift := uint(8 * pass)
 		for _, e := range src {
@@ -93,10 +127,7 @@ func SortKeyed[E any](data []E, key func(E) uint64, scratch []E) []E {
 		}
 		src, dst = dst, src
 	}
-	if &src[0] != &data[0] {
-		copy(data, src)
-	}
-	return scratch
+	return src, dst
 }
 
 // SortKeyedOps returns the modeled operation count of a radix sort of n

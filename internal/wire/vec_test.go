@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"unsafe"
+)
+
+// vecChunk mirrors delivery's chunk shape (unexported slice field) for
+// the vectored/aligned paths.
+type vecChunk struct {
+	data []uint64
+}
+
+// vecPair is a memmove-safe struct: all-8-byte fields, so []vecPair
+// moves as one raw block.
+type vecPair struct {
+	K, T uint64
+}
+
+// vecMixed is NOT memmove-safe (int32 field is varint-encoded).
+type vecMixed struct {
+	K uint64
+	P int32
+}
+
+func init() {
+	Register[[]vecChunk]()
+	Register[[]vecPair]()
+	Register[[]vecMixed]()
+	Register[[][]int64]()
+}
+
+// encodeFrameStyle encodes payload the way the transport does: a dst
+// prefix of `base` bytes (the length prefix) already present, aligned
+// bulk, vectored spans of at least minSpan bytes. Returns the
+// concatenated stream after the prefix.
+func encodeFrameStyle(t *testing.T, payload any, base, minSpan int) []byte {
+	t.Helper()
+	dst := make([]byte, base)
+	segs, err := NewWriter().AppendPayloadVec(dst, payload, VecOptions{Aligned: true, AlignBase: base, MinSpan: minSpan})
+	if err != nil {
+		t.Fatalf("encode %T: %v", payload, err)
+	}
+	var all []byte
+	for _, s := range segs {
+		all = append(all, s...)
+	}
+	return all[base:]
+}
+
+func TestVecSegmentsMatchSingleBuffer(t *testing.T) {
+	payloads := []any{
+		[]uint64{1, 2, 3, 4, 5, 6, 7, 8},
+		[]vecChunk{{data: []uint64{9, 8, 7}}, {data: nil}, {data: []uint64{}}, {data: []uint64{1}}},
+		[]vecPair{{1, 2}, {3, 4}},
+		[][]int64{{-1, 5}, nil, {}},
+	}
+	for _, p := range payloads {
+		// minSpan 1: every non-empty bulk block becomes its own segment.
+		vec := encodeFrameStyle(t, p, 4, 1)
+		// Huge minSpan: no segments, one contiguous buffer — same bytes.
+		flat := encodeFrameStyle(t, p, 4, 1<<30)
+		if !bytes.Equal(vec, flat) {
+			t.Errorf("%T: vectored bytes differ from single-buffer bytes\nvec:  %x\nflat: %x", p, vec, flat)
+		}
+	}
+}
+
+func TestAlignedRoundtripAliases(t *testing.T) {
+	payload := []vecChunk{{data: []uint64{10, 20, 30}}, {data: []uint64{40, 50}}}
+	stream := encodeFrameStyle(t, payload, 4, 1)
+	// The transport copies the stream into an allocated frame buffer
+	// whose base is 8-aligned; reproduce that.
+	body := append(make([]byte, 0, len(stream)+8), stream...)
+
+	got, rest, aliased, err := NewReader().DecodePayloadOpt(body, DecodeOptions{Aligned: true, Alias: true})
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v (rest %d)", err, len(rest))
+	}
+	chunks := got.([]vecChunk)
+	want := []vecChunk{{data: []uint64{10, 20, 30}}, {data: []uint64{40, 50}}}
+	if !reflect.DeepEqual(chunks, want) {
+		t.Fatalf("decoded %v, want %v", chunks, want)
+	}
+	if !aliased {
+		t.Fatal("aligned+alias decode of bulk chunks did not alias the frame buffer")
+	}
+	// The chunks are views of body — the one-allocation-per-frame
+	// contract: clobbering body must show through.
+	for i := range body {
+		body[i] = 0xff
+	}
+	if chunks[0].data[0] == 10 {
+		t.Fatal("decoded chunk does not alias the frame buffer despite aliased=true")
+	}
+}
+
+func TestNoAliasWithoutOptIn(t *testing.T) {
+	// The regression pin for the handoff rule: without Alias, decoded
+	// payloads must never reference the source buffer (transports reuse
+	// it; chaos re-reads it).
+	for _, aligned := range []bool{true, false} {
+		var stream []byte
+		payload := []vecChunk{{data: []uint64{11, 22, 33, 44}}}
+		if aligned {
+			stream = encodeFrameStyle(t, payload, 0, 1<<30)
+		} else {
+			var err error
+			stream, err = NewWriter().AppendPayload(nil, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, rest, aliased, err := NewReader().DecodePayloadOpt(stream, DecodeOptions{Aligned: aligned})
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("aligned=%v decode: %v (rest %d)", aligned, err, len(rest))
+		}
+		if aliased {
+			t.Fatalf("aligned=%v: decode reported aliasing without opt-in", aligned)
+		}
+		for i := range stream {
+			stream[i] = 0xee
+		}
+		if d := got.([]vecChunk)[0].data; !reflect.DeepEqual(d, []uint64{11, 22, 33, 44}) {
+			t.Fatalf("aligned=%v: decoded chunk aliases the source buffer: %v", aligned, d)
+		}
+	}
+}
+
+func TestMemmovableStructSlices(t *testing.T) {
+	// All-8-byte structs take the raw-block path; mixed structs must
+	// not (their wire format is not their memory layout).
+	if got := memmoveSize(reflect.TypeOf(vecPair{})); got != 16 {
+		t.Fatalf("memmoveSize(vecPair) = %d, want 16", got)
+	}
+	if got := memmoveSize(reflect.TypeOf(vecMixed{})); got != 0 {
+		t.Fatalf("memmoveSize(vecMixed) = %d, want 0", got)
+	}
+	pairs := []vecPair{{1, 1 << 60}, {2, 3}, {0xffffffffffffffff, 0}}
+	if got := roundtrip(t, pairs); !reflect.DeepEqual(got, pairs) {
+		t.Fatalf("pair roundtrip: %v", got)
+	}
+	mixed := []vecMixed{{K: 7, P: -9}, {K: 8, P: 1 << 20}}
+	if got := roundtrip(t, mixed); !reflect.DeepEqual(got, mixed) {
+		t.Fatalf("mixed roundtrip: %v", got)
+	}
+	// Named slice types stay typed through the raw-block path.
+	type keyList []uint64
+	Register[keyList]()
+	kl := keyList{3, 1, 4}
+	if got := roundtrip(t, kl); !reflect.DeepEqual(got, kl) {
+		t.Fatalf("named slice roundtrip: %T %v", got, got)
+	}
+
+	// Aligned+alias frame roundtrip for the memmovable struct slice.
+	stream := encodeFrameStyle(t, pairs, 4, 1)
+	got, _, aliased, err := NewReader().DecodePayloadOpt(stream, DecodeOptions{Aligned: true, Alias: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, pairs) {
+		t.Fatalf("aligned pair roundtrip: %v", got)
+	}
+	_ = aliased // alignment of the test buffer is not guaranteed; value equality is what matters
+}
+
+func TestEmptyAggregatedFrame(t *testing.T) {
+	// An aggregated chunk message whose chunks are all empty — the
+	// degenerate frame the delivery plans can produce — must roundtrip
+	// through the aligned frame path without pads, views, or errors.
+	payload := []vecChunk{{data: []uint64{}}, {data: nil}, {data: []uint64{}}}
+	stream := encodeFrameStyle(t, payload, 4, 1)
+	got, rest, aliased, err := NewReader().DecodePayloadOpt(stream, DecodeOptions{Aligned: true, Alias: true})
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v (rest %d)", err, len(rest))
+	}
+	if aliased {
+		t.Fatal("empty chunks must not alias the frame buffer")
+	}
+	if !reflect.DeepEqual(got, payload) {
+		t.Fatalf("empty aggregate: %#v", got)
+	}
+	// Nil payload: the smallest frame of all.
+	segs, err := NewWriter().AppendPayloadVec(nil, nil, VecOptions{Aligned: true, MinSpan: 1})
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("nil payload: %v (%d segs)", err, len(segs))
+	}
+	gotNil, _, _, err := NewReader().DecodePayloadOpt(segs[0], DecodeOptions{Aligned: true, Alias: true})
+	if err != nil || gotNil != nil {
+		t.Fatalf("nil payload decoded to %v (%v)", gotNil, err)
+	}
+}
+
+func TestReaderGrowOneAllocationPerFrame(t *testing.T) {
+	// Copy-mode decodes carve from the arena: after Grow(frame size),
+	// every chunk of the frame must come out of one block — adjacent
+	// carves, no per-chunk allocations.
+	payload := []vecChunk{{data: []uint64{1, 2, 3}}, {data: []uint64{4, 5}}, {data: []uint64{6}}}
+	stream, err := NewWriter().AppendPayload(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader()
+	r.Grow(len(stream))
+	base := uintptr(unsafe.Pointer(&r.arena[0]))
+	limit := base + uintptr(len(r.arena))
+	got, _, _, err := r.DecodePayloadOpt(stream, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := got.([]vecChunk)
+	if !reflect.DeepEqual(chunks, payload) {
+		t.Fatalf("roundtrip: %v", chunks)
+	}
+	// All three chunks must live inside the pre-grown block.
+	for i, ch := range chunks {
+		p := uintptr(unsafe.Pointer(&ch.data[0]))
+		if p < base || p >= limit {
+			t.Fatalf("chunk %d was not carved from the pre-grown arena block", i)
+		}
+	}
+}

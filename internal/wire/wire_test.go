@@ -198,7 +198,7 @@ func TestFastPathMatchesStructuralCodec(t *testing.T) {
 		ref = binary.AppendUvarint(ref, refInline)
 		ref = binary.AppendUvarint(ref, uint64(len(e.name)))
 		ref = append(ref, e.name...)
-		ref = enc(ref, pv)
+		ref = enc(&encEnv{}, ref, pv)
 		if !bytes.Equal(fast, ref) {
 			t.Errorf("%T: fast path bytes %x != structural %x", payload, fast, ref)
 		}

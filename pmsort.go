@@ -120,6 +120,14 @@ type (
 	DeliveryOptions = delivery.Options
 	// DeliveryStrategy is one of the §4.3 redistribution algorithms.
 	DeliveryStrategy = delivery.Strategy
+	// DeliveryExchange selects the bulk all-to-all algorithm (§7.1).
+	DeliveryExchange = delivery.Exchange
+)
+
+// Bulk exchange algorithms (§7.1).
+const (
+	DeliveryOneFactor = delivery.OneFactor
+	DeliveryDirect    = delivery.Direct
 )
 
 // Phases, in the order the paper's figures stack them.

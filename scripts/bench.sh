@@ -1,22 +1,36 @@
 #!/usr/bin/env sh
-# Runs the native-backend (and wire/TCP) benchmarks and records the
-# results twice: BENCH_native.txt in the standard `go test -bench`
-# format (the input benchstat wants for A/B comparisons against a
-# previous run) and BENCH_native.json (the same measurements as
-# structured records, via cmd/benchjson) so the perf trajectory can
-# accumulate machine-readably across PRs.
+# Runs the benchmark suites and records the results twice per suite:
+# BENCH_<suite>.txt in the standard `go test -bench` format (the input
+# benchstat wants for A/B comparisons against a previous run) and
+# BENCH_<suite>.json (the same measurements as structured records, via
+# cmd/benchjson) so the perf trajectory can accumulate machine-readably
+# across PRs.
 #
-#   scripts/bench.sh                 # default: Native|Wire|TCPCluster, count=6
+#   scripts/bench.sh            # native suite: Native|Wire|TCPCluster, count=6
+#   scripts/bench.sh -tcp       # distributed suite: loopback p=4 AMS/RLM,
+#                               #   alltoallv, wire codec -> BENCH_tcp.{txt,json}
 #   COUNT=10 PATTERN=NativeAMS scripts/bench.sh
 #   benchstat old/BENCH_native.txt BENCH_native.txt
 set -eu
 cd "$(dirname "$0")/.."
 
-COUNT="${COUNT:-6}"
-PATTERN="${PATTERN:-Native|Wire|TCPCluster}"
-TXT="${TXT:-BENCH_native.txt}"
-JSON="${JSON:-BENCH_native.json}"
+if [ "${1:-}" = "-tcp" ]; then
+    # The TCP benchmarks move 8 MB through real loopback sockets per
+    # op; a bounded iteration count keeps the suite under a few
+    # minutes while benchstat still gets COUNT samples per benchmark.
+    COUNT="${COUNT:-6}"
+    PATTERN="${PATTERN:-TCPAMS|TCPRLM|TCPAlltoallv|Wire}"
+    TXT="${TXT:-BENCH_tcp.txt}"
+    JSON="${JSON:-BENCH_tcp.json}"
+    BENCHTIME="${BENCHTIME:-5x}"
+else
+    COUNT="${COUNT:-6}"
+    PATTERN="${PATTERN:-Native|Wire|TCPCluster}"
+    TXT="${TXT:-BENCH_native.txt}"
+    JSON="${JSON:-BENCH_native.json}"
+    BENCHTIME="${BENCHTIME:-1s}"
+fi
 
-go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" . | tee "$TXT"
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$TXT"
 go run ./cmd/benchjson -in "$TXT" -out "$JSON"
 echo "wrote $TXT (benchstat input) and $JSON" >&2
