@@ -204,9 +204,10 @@ func BenchmarkNativeAMS(b *testing.B) {
 	}
 }
 
-// BenchmarkNativeAMSCmp is BenchmarkNativeAMS on the comparator
-// kernels (pdqsort pieces + loser-tree merge, no Config.Key) — the
-// path every element type without an order key takes.
+// BenchmarkNativeAMSCmp is BenchmarkNativeAMS on the plain comparator
+// kernels (stable sort pieces + loser-tree merge, no Config.Key, prefix
+// cache off) — the floor every element type without an order key used
+// to be stuck at.
 func BenchmarkNativeAMSCmp(b *testing.B) {
 	for _, p := range []int{4, 16} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
@@ -217,7 +218,88 @@ func BenchmarkNativeAMSCmp(b *testing.B) {
 				cl := NewNative(p)
 				b.StartTimer()
 				cl.Run(func(c Communicator) {
+					_, _ = AMSSort(c, locals[c.Rank()], u64Less, Config{Levels: 1, Seed: 42, NoPrefix: true})
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkNativeAMSCmpPrefix is BenchmarkNativeAMSCmp with the prefix
+// cache on (the default): the derived uint64 prefix routes local sort,
+// classification, and merging through the cached kernels, with the
+// comparator only on equal-prefix ties. Output is byte-identical to
+// BenchmarkNativeAMSCmp; the gap against BenchmarkNativeAMS is what the
+// comparator path still pays.
+func BenchmarkNativeAMSCmpPrefix(b *testing.B) {
+	for _, p := range []int{4, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.SetBytes(benchNativeN * 8)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				locals := nativeLocals(p, uint64(i))
+				cl := NewNative(p)
+				b.StartTimer()
+				cl.Run(func(c Communicator) {
 					_, _ = AMSSort(c, locals[c.Rank()], u64Less, Config{Levels: 1, Seed: 42})
+				})
+			}
+		})
+	}
+}
+
+// benchRec is the struct-element benchmark payload: padding-free
+// (16 bytes), ordered by K, with a V payload that rides along through
+// every kernel. The wire codec bulk-copies it; the comparator path is
+// the only sorting option (no uint64 order key is configured).
+type benchRec struct {
+	K uint64
+	V uint64
+}
+
+func benchRecLess(a, b benchRec) bool { return a.K < b.K }
+
+// benchStructN is the total struct-element count (1<<19 × 16 B = 8 MB,
+// matching the uint64 benchmarks' footprint).
+const benchStructN = 1 << 19
+
+func structLocals(p int, seed uint64) [][]benchRec {
+	perPE := benchStructN / p
+	locals := make([][]benchRec, p)
+	for rank := 0; rank < p; rank++ {
+		keys := workload.Local(workload.Uniform, seed, p, perPE, rank)
+		loc := make([]benchRec, perPE)
+		for i, k := range keys {
+			loc[i] = benchRec{K: k, V: uint64(rank)<<32 | uint64(i)}
+		}
+		locals[rank] = loc
+	}
+	return locals
+}
+
+// BenchmarkNativeAMSStruct sorts the struct-key workload on the native
+// backend: cmp is the plain comparator path, prefix adds Config.Prefix
+// extracting K — the measured gap is what the prefix cache buys real
+// struct elements (where no radix fast path exists).
+func BenchmarkNativeAMSStruct(b *testing.B) {
+	const p = 4
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"cmp", Config{Levels: 1, Seed: 42, NoPrefix: true}},
+		{"prefix", Config{Levels: 1, Seed: 42, Prefix: func(e benchRec) uint64 { return e.K }}},
+	}
+	for _, v := range variants {
+		b.Run(fmt.Sprintf("%s-p%d", v.name, p), func(b *testing.B) {
+			b.SetBytes(benchStructN * 16)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				locals := structLocals(p, uint64(i))
+				cl := NewNative(p)
+				b.StartTimer()
+				cl.Run(func(c Communicator) {
+					_, _ = AMSSort(c, locals[c.Rank()], benchRecLess, v.cfg)
 				})
 			}
 		})

@@ -61,7 +61,7 @@ func main() {
 		count      = flag.Int("count", 1, "number of consecutive-seed cases for the torture experiment")
 		quick      = flag.Bool("quick", false, "small grids for a fast smoke run")
 		noTCP      = flag.Bool("notcp", false, "skip the multi-process TCP row of the backends experiment")
-		keyed      = flag.Bool("keyed", true, "backends experiment: use the ordered-key radix kernel (Config.Key) instead of generic pdqsort")
+		kernels    = flag.String("kernels", "keyed,cmp,cmp+prefix", "backends experiment: comma-separated local-kernel rows (keyed|cmp|cmp+prefix)")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -140,7 +140,14 @@ func main() {
 				n = 20_000
 			}
 		}
-		expt.Backends(w, ps, n, *reps, *seed, !*noTCP, *keyed, progress)
+		ks := strings.Split(*kernels, ",")
+		for i := range ks {
+			ks[i] = strings.TrimSpace(ks[i])
+		}
+		if err := expt.Backends(w, ps, n, *reps, *seed, !*noTCP, ks, progress); err != nil {
+			fmt.Fprintf(os.Stderr, "sortbench: %v\n", err)
+			os.Exit(2)
+		}
 	})
 }
 

@@ -47,10 +47,16 @@ func taggedLess[E any](less func(a, b E) bool) func(a, b tagged[E]) bool {
 //     passed, the previous level's buffer is referenced by no one and
 //     the next level may recycle it. Levels therefore ping-pong
 //     between two buffers per PE instead of allocating one per level.
+//   - pfx is the prefix sidecar / merge-staging arena of the prefix-
+//     cached comparator path (nil-prefix runs never touch it); like
+//     reuse it is dead between its level's consumers and recycled.
 type localScratch[E any] struct {
-	key   func(E) uint64
-	ids   []uint16
-	reuse []E
+	key    func(E) uint64
+	prefix func(E) uint64
+	ids    []uint16
+	reuse  []E
+	pfx    []uint64
+	psc    seq.PrefixScratch[E]
 }
 
 // grab returns a zero-length buffer with capacity ≥ n, recycling the
@@ -64,6 +70,16 @@ func (st *localScratch[E]) grab(n int) []E {
 	return make([]E, 0, n)
 }
 
+// pfxGrab returns the recycled prefix sidecar as a zero-length slice
+// with capacity for n prefixes, so the per-chunk extraction appends
+// without a realloc chain (the sidecar sibling of grab+recvBound).
+func (st *localScratch[E]) pfxGrab(n int) []uint64 {
+	if cap(st.pfx) < n {
+		st.pfx = make([]uint64, 0, n)
+	}
+	return st.pfx[:0]
+}
+
 // retire records buf for recycling by a later grab, capacity-clamped
 // to its length: the consumed-input contract makes buf's *elements*
 // fair game, but a caller's slice may have spare capacity backed by
@@ -74,26 +90,53 @@ func (st *localScratch[E]) retire(buf []E) {
 }
 
 // sort runs the selected local kernel: in-place MSD radix when the run
-// is keyed (Config.Key), generic pdqsort otherwise. Both are in place,
-// so the kernels never add to a level's allocations.
+// is keyed (Config.Key), prefix-cached LSD radix when a prefix hook is
+// live, stable comparator sort otherwise. The comparator kernels at
+// merge-feeding sites are stable on purpose: with a stable baseline,
+// the prefix path's output is byte-identical to the plain path's even
+// on elements the comparator cannot tell apart (the keyed kernel stays
+// unstable — under the Key contract equal-key elements are
+// order-indistinguishable anyway).
 func (st *localScratch[E]) sort(data []E, less func(a, b E) bool) {
 	if st.key != nil {
 		seq.SortKeyedInPlace(data, st.key)
 		return
 	}
-	seq.Sort(data, less)
+	if st.prefix != nil {
+		st.pfx = seq.ExtractPrefixes(st.pfx[:0], data, st.prefix)
+		seq.SortPrefixed(data, st.pfx, less, &st.psc)
+		return
+	}
+	seq.SortStable(data, less)
 }
 
 // sortCost charges the selected kernel's modeled cost for n elements:
-// the linear radix model when keyed, the n·log n comparison-sort model
-// otherwise — so the simulated backend's virtual time tracks the
-// kernel that actually ran.
+// the linear radix models when keyed or prefixed, the n·log n
+// comparison-sort model otherwise — so the simulated backend's virtual
+// time tracks the kernel that actually ran.
 func (st *localScratch[E]) sortCost(cost comm.Cost, n int64) {
 	if st.key != nil {
 		cost.Ops(seq.SortKeyedOps(n))
 		return
 	}
+	if st.prefix != nil {
+		cost.Ops(seq.SortPrefixedOps(n))
+		return
+	}
 	cost.SortOps(n)
+}
+
+// initScratch builds the run's scratch arena and resolves its kernel:
+// Config.Key wins, else a validated prefix hook that survives the
+// sampled entry guard arms the prefix-cached comparator kernels.
+func initScratch[E any](data []E, less func(a, b E) bool, cfg Config) *localScratch[E] {
+	st := &localScratch[E]{key: keyFor[E](cfg)}
+	// prefixFor also validates an explicit Config.Prefix hook's type, so
+	// call it even on keyed runs (where the key kernel supersedes it).
+	if pf := prefixFor[E](cfg); st.key == nil && pf != nil && prefixGuard(data, less, pf) {
+		st.prefix = pf
+	}
+	return st
 }
 
 // AMSSort sorts the distributed data with adaptive multi-level sample
@@ -114,9 +157,15 @@ func AMSSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg C
 		plan = PlanLevels(c.Size(), cfg.Levels)
 	}
 	stats := &Stats{MaxImbalance: 1}
-	st := &localScratch[E]{key: keyFor[E](cfg)}
+	st := initScratch(data, less, cfg)
 	start := coll.TimedBarrier(c)
 	out := amsLevel(c, data, less, cfg, plan, 0, stats, st)
+	if len(out) == 0 {
+		// Canonical empty: whether an empty result is nil or a zero-length
+		// slice depends on the scratch-arena state of whichever kernel path
+		// produced it; byte-identity comparisons must not see that.
+		out = nil
+	}
 	stats.TotalNS = coll.TimedBarrier(c) - start
 	return out, stats
 }
@@ -224,16 +273,22 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 
 	// After this delivery every group is a single PE: finish inline
 	// instead of recursing, choosing the cheaper last-level shape per
-	// kernel (DESIGN.md §9). On the comparator path each outgoing piece
-	// is sorted now, so receivers multiway-merge sorted runs instead of
-	// re-sorting a concatenation from scratch ("we do not want to
-	// ignore the information already available", §5).
+	// kernel (DESIGN.md §9). On the plain comparator path each outgoing
+	// piece is sorted now, so receivers multiway-merge sorted runs
+	// instead of re-sorting a concatenation from scratch ("we do not
+	// want to ignore the information already available", §5). The keyed
+	// and prefix-cached paths skip the piece sort: their stable radix
+	// over the received concatenation is linear, so pre-sorting pieces
+	// would only add work. The prefix path stays byte-identical to the
+	// merge shape — a stable sort of runs concatenated in sender-rank
+	// order IS the stable merge of those runs stably pre-sorted.
 	last := r == c.Size()
+	plainLast := last && st.key == nil && st.prefix == nil
 	var pieceSortNS int64
-	if last && st.key == nil {
+	if plainLast {
 		ts := cost.Now()
 		for _, piece := range pieces {
-			seq.Sort(piece, less)
+			seq.SortStable(piece, less)
 		}
 		cost.SortOps(int64(len(data)))
 		pieceSortNS = cost.Now() - ts
@@ -246,7 +301,7 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	dopt := cfg.Delivery
 	dopt.Seed = seed ^ 0x1f2e3d4c
 
-	if last && st.key == nil {
+	if plainLast {
 		// The received chunks are sorted runs, staged in rank order as
 		// they arrive; merge them into the recycled buffer once the last
 		// one is in (a loser tree needs all its runs). Delivery coalesced
@@ -272,14 +327,20 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	// level's buffer in rank order while the exchange is still running
 	// (streamConcat); at the keyed last level the copy loop also
 	// accumulates the radix histograms, so the final radix's counting
-	// pass overlaps the exchange too. Options.Batch routes through the
-	// original materialize-then-concatenate path instead (byte-identical;
+	// pass overlaps the exchange too, and at the prefix-cached last
+	// level it extracts the arriving chunks' prefix sidecar the same
+	// way. Options.Batch routes through the original
+	// materialize-then-concatenate path instead (byte-identical;
 	// asserted by the torture harness).
-	var hkey func(E) uint64
+	var hkey, pf func(E) uint64
 	var hist *seq.KeyedHist
 	if last {
 		hkey = st.key
-		hist = &seq.KeyedHist{}
+		if hkey != nil {
+			hist = &seq.KeyedHist{}
+		} else {
+			pf = st.prefix
+		}
 	}
 	var next []E
 	if dopt.Batch {
@@ -289,15 +350,32 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 			total += len(ch)
 		}
 		next = st.grab(total)
+		var pfx []uint64
+		if pf != nil {
+			pfx = st.pfxGrab(total)
+		}
 		for _, ch := range chunks {
 			if hkey != nil {
 				seq.HistKeyed(ch, hkey, hist)
 			}
+			if pf != nil {
+				pfx = seq.ExtractPrefixes(pfx, ch, pf)
+			}
 			next = append(next, ch...)
 		}
+		if pf != nil {
+			st.pfx = pfx
+		}
 	} else {
-		next = streamConcat(c, pieces, dopt,
-			st.grab(recvBound(c.Size(), c.Rank(), r, globalSizes, starts)), hkey, hist)
+		bound := recvBound(c.Size(), c.Rank(), r, globalSizes, starts)
+		var pfx []uint64
+		if pf != nil {
+			pfx = st.pfxGrab(bound)
+		}
+		next, pfx = streamConcat(c, pieces, dopt, st.grab(bound), hkey, hist, pf, pfx)
+		if pf != nil {
+			st.pfx = pfx
+		}
 	}
 	total := len(next)
 	// data is dead once the barrier below has passed: every PE holding
@@ -308,16 +386,27 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	stats.PhaseNS[PhaseDataDelivery] += t3 - t2
 
 	if last {
-		// Keyed fast path: a stable LSD radix sort of the concatenation
-		// is linear in total — no log k merge term — with its histograms
-		// already accumulated during the exchange and the retired level
-		// buffer as the ping-pong scratch (no copy-back: whichever
-		// buffer holds the result is returned, the other dies with the
-		// run).
+		// Fast-path last level: a stable radix sort of the concatenation
+		// is linear in total — no log k merge term. Keyed runs the LSD
+		// radix with its histograms already accumulated during the
+		// exchange and the retired level buffer as the ping-pong scratch
+		// (no copy-back: whichever buffer holds the result is returned,
+		// the other dies with the run); the prefix path runs the stable
+		// prefix radix over the sidecar extracted during the exchange,
+		// with the comparator deciding only equal-prefix runs.
 		t4 := cost.Now()
-		scratch := st.grab(total)
-		sorted, _ := seq.SortKeyedHist(next, st.key, scratch[:cap(scratch)], hist)
-		cost.Ops(seq.SortKeyedOps(int64(total)))
+		var sorted []E
+		if st.key != nil {
+			scratch := st.grab(total)
+			sorted, _ = seq.SortKeyedHist(next, st.key, scratch[:cap(scratch)], hist)
+			cost.Ops(seq.SortKeyedOps(int64(total)))
+		} else {
+			scratch := st.grab(total)
+			st.psc.Donate(scratch[:cap(scratch)])
+			seq.SortPrefixed(next, st.pfx, less, &st.psc)
+			cost.Ops(seq.SortPrefixedOps(int64(total)))
+			sorted = next
+		}
 		stats.PhaseNS[PhaseLocalSort] += cost.Now() - t4
 		stats.Levels = level + 1
 		return sorted
@@ -382,6 +471,30 @@ func amsPartition[E any](c comm.Communicator, data []E, splitters []tagged[E], l
 		} else {
 			seq.ClassifyKeyed(data, st.key, kc, st.ids)
 		}
+		bounds = seq.PartitionInPlaceIDs(data, nb, st.ids[:len(data)])
+	} else if spfx := splitterPrefixes(keys, st); spfx != nil && nb <= seq.MaxInPlaceBuckets {
+		// Prefix fast path: the same branchless uint64 descent as the
+		// keyed classifier, over the splitters' prefixes. Only elements
+		// whose prefix collides with a splitter's ever touch the
+		// comparator: the fallback binary-searches the run of
+		// equal-prefix splitters (plus Appendix-D tie-breaking when
+		// enabled), reproducing the generic classifier's bucket exactly —
+		// for everything else a strict prefix inequality already decides
+		// the order under the Config.Prefix contract.
+		pc := seq.NewPrefixClassifier(spfx)
+		levels = pc.Levels()
+		if len(st.ids) < len(data) {
+			st.ids = make([]uint16, len(data))
+		}
+		fallback := func(i, lo, hi int) int {
+			x := data[i]
+			b := lo + seq.UpperBound(keys[lo:hi], x, less)
+			if cfg.TieBreak && b > 0 && !less(keys[b-1], x) {
+				return tieFix(i, x, 2*(b-1)+1)
+			}
+			return b
+		}
+		seq.ClassifyPrefixed(data, st.prefix, pc, st.ids, fallback)
 		bounds = seq.PartitionInPlaceIDs(data, nb, st.ids[:len(data)])
 	} else {
 		cls := seq.NewClassifier(keys, less)

@@ -112,6 +112,32 @@ type Config struct {
 	// comparator kernel, and under the contract above equal-key
 	// elements are order-indistinguishable anyway.
 	Key any
+	// Prefix optionally supplies an order-preserving uint64 prefix of
+	// the element order for the comparator path: a func(E) uint64 with
+	//
+	//	less(a, b)            ⇒  Prefix(a) ≤ Prefix(b), and
+	//	Prefix(a) < Prefix(b) ⇒  less(a, b)
+	//
+	// (comparing prefixes first and calling less only on prefix ties
+	// must decide every pair exactly like less). Unlike Key it need not
+	// be injective: pack whatever most-significant order bits fit —
+	// sign-flipped integers, totally-ordered float bits, a struct's
+	// leading key field, a string's first 8 bytes (DESIGN.md §11) — and
+	// the kernels run branch-free on the prefix, falling back to the
+	// comparator only inside equal-prefix runs. When unset, Key doubles
+	// as the prefix on keyed runs, and for ordered scalar and string
+	// element types a natural-order prefix is derived automatically
+	// (assuming less is the type's ascending natural order; a sampled
+	// entry guard drops a derived hook that contradicts less, and
+	// NoPrefix opts out entirely). A hook whose type does not match the
+	// element type is rejected at sort entry. The prefix path is
+	// byte-identical to the plain comparator path.
+	Prefix any
+	// NoPrefix disables the comparator path's prefix cache (explicit
+	// Prefix hooks, Key reuse, and automatic derivation alike): every
+	// local kernel then runs on the comparator only. Output is
+	// unchanged either way.
+	NoPrefix bool
 }
 
 // keyFor extracts the Config.Key hook for element type E (nil when
@@ -119,6 +145,35 @@ type Config struct {
 func keyFor[E any](cfg Config) func(E) uint64 {
 	key, _ := cfg.Key.(func(E) uint64)
 	return key
+}
+
+// prefixFor resolves the comparator path's prefix hook for element
+// type E: the explicit Config.Prefix when set — a hook whose type does
+// not match the element type is a configuration error and rejected
+// here, at sort entry, with the same error shape as the other Config
+// checks (instead of panicking mid-classify) — else Config.Key (a full
+// order key is the strongest possible prefix), else a derived
+// natural-order prefix for ordered element types. NoPrefix disables
+// all three.
+func prefixFor[E any](cfg Config) func(E) uint64 {
+	if cfg.Prefix != nil {
+		pf, ok := cfg.Prefix.(func(E) uint64)
+		if !ok {
+			var zero E
+			panic(fmt.Sprintf("core: Config.Prefix is %T, want func(%T) uint64", cfg.Prefix, zero))
+		}
+		if cfg.NoPrefix {
+			return nil
+		}
+		return pf
+	}
+	if cfg.NoPrefix {
+		return nil
+	}
+	if key := keyFor[E](cfg); key != nil {
+		return key
+	}
+	return derivedPrefix[E]()
 }
 
 // registerWire registers every payload type the multi-level sorters can

@@ -28,18 +28,25 @@ func RLMSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg C
 	}
 	cost := c.Cost()
 	stats := &Stats{MaxImbalance: 1}
-	st := &localScratch[E]{key: keyFor[E](cfg)}
+	st := initScratch(data, less, cfg)
 	start := coll.TimedBarrier(c)
 
 	// Initial local sort (the "local sort" phase of Figure 8), through
-	// the selected kernel: keyed radix when Config.Key is set, generic
-	// pdqsort otherwise.
+	// the selected kernel: keyed radix when Config.Key is set,
+	// prefix-cached radix when a prefix hook is live, stable comparator
+	// sort otherwise.
 	t0 := cost.Now()
 	st.sort(data, less)
 	st.sortCost(cost, int64(len(data)))
 	stats.PhaseNS[PhaseLocalSort] += cost.Now() - t0
 
 	out := rlmLevel(c, data, less, cfg, plan, 0, stats, st)
+	if len(out) == 0 {
+		// Canonical empty: whether an empty result is nil or a zero-length
+		// slice depends on the scratch-arena state of whichever kernel path
+		// produced it; byte-identity comparisons must not see that.
+		out = nil
+	}
 	stats.TotalNS = coll.TimedBarrier(c) - start
 	return out, stats
 }
@@ -77,10 +84,17 @@ func rlmLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	// The received runs are staged in rank order as they arrive
 	// (Deliver is the rank-ordered collector over DeliverStream); the
 	// loser-tree merge below needs all of them, so it starts at the
-	// last arrival — the exchange overlap here is the staging and, on
-	// the TCP backend, the decoding of later messages behind earlier
-	// ones (DESIGN.md §10).
-	chunks := delivery.Deliver(c, pieces, dopt)
+	// last arrival — the exchange overlap here is the staging, on the
+	// TCP backend the decoding of later messages behind earlier ones
+	// (DESIGN.md §10), and on the prefix path the extraction of each
+	// chunk's prefix sidecar (streamRuns).
+	var chunks [][]E
+	var cpfx [][]uint64
+	if st.prefix != nil {
+		chunks, cpfx = streamRuns(c, pieces, dopt, st)
+	} else {
+		chunks = delivery.Deliver(c, pieces, dopt)
+	}
 	t2 := coll.TimedBarrier(c)
 	stats.PhaseNS[PhaseDataDelivery] += t2 - t1
 
@@ -95,7 +109,12 @@ func rlmLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	for _, ch := range chunks {
 		total += len(ch)
 	}
-	merged := seq.MultiwayInto(st.grab(total), chunks, less)
+	var merged []E
+	if st.prefix != nil {
+		merged = seq.MultiwayPrefixedInto(st.grab(total), chunks, cpfx, less)
+	} else {
+		merged = seq.MultiwayInto(st.grab(total), chunks, less)
+	}
 	cost.Ops(seq.MultiwayOps(int64(total), len(chunks)))
 	// data is dead once the barrier below has passed: every PE holding
 	// chunks into it has merged them out. Retire it for recycling.

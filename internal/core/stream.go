@@ -12,15 +12,16 @@ import (
 // depends on its shape:
 //
 //   - Concatenation levels (every non-last AMS level, and the keyed
-//     last level feeding the radix kernel) copy chunks into the next
-//     level buffer *during* the exchange — in sender-rank order, so the
-//     result is byte-identical to the materialize-then-concatenate
-//     batch path — and, when keyed, accumulate the radix histograms on
-//     the fly, so the first pass of the final radix has already
-//     happened when the last byte arrives.
-//   - Merge levels (RLM, the comparator last AMS level) only stage the
-//     arriving runs: a loser-tree merge needs all its runs, so the
-//     merge itself starts at the last arrival — they use
+//     and prefix-cached last levels feeding the radix kernels) copy
+//     chunks into the next level buffer *during* the exchange — in
+//     sender-rank order, so the result is byte-identical to the
+//     materialize-then-concatenate batch path — and accumulate the
+//     radix histograms (keyed) or extract the prefix sidecar
+//     (prefix-cached) on the fly, so the first pass of the final radix
+//     has already happened when the last byte arrives.
+//   - Merge levels (RLM, the plain-comparator last AMS level) only
+//     stage the arriving runs: a loser-tree merge needs all its runs,
+//     so the merge itself starts at the last arrival — they use
 //     delivery.Deliver, which since the streaming rewrite IS the
 //     rank-ordered collector over DeliverStream; what overlaps there
 //     is the staging and, on the TCP backend, the decode of later
@@ -37,8 +38,13 @@ import (
 // prefix eagerly — overlapping the memcpy with the remaining exchange —
 // and out-of-order arrivals staged (by reference, no copy) until their
 // turn. key, when non-nil, additionally folds every copied chunk into
-// h, pre-computing the LSD radix histograms of the concatenation.
-func streamConcat[E any](c comm.Communicator, pieces [][]E, opt delivery.Options, buf []E, key func(E) uint64, h *seq.KeyedHist) []E {
+// h, pre-computing the LSD radix histograms of the concatenation; pf,
+// when non-nil, appends every copied chunk's prefixes to pfx — the
+// sidecar is built in the same rank order as buf, so the two stay
+// aligned — pre-computing the prefix extraction of the concatenation
+// the same way. At most one of key/pf is set (they feed the two
+// different last-level kernels).
+func streamConcat[E any](c comm.Communicator, pieces [][]E, opt delivery.Options, buf []E, key func(E) uint64, h *seq.KeyedHist, pf func(E) uint64, pfx []uint64) ([]E, []uint64) {
 	p := c.Size()
 	pending := make([][][]E, p)
 	arrived := make([]bool, p)
@@ -47,6 +53,9 @@ func streamConcat[E any](c comm.Communicator, pieces [][]E, opt delivery.Options
 		for _, ch := range chs {
 			if key != nil {
 				seq.HistKeyed(ch, key, h)
+			}
+			if pf != nil {
+				pfx = seq.ExtractPrefixes(pfx, ch, pf)
 			}
 			buf = append(buf, ch...)
 		}
@@ -60,7 +69,59 @@ func streamConcat[E any](c comm.Communicator, pieces [][]E, opt delivery.Options
 			nextSrc++
 		}
 	})
-	return buf
+	return buf, pfx
+}
+
+// streamRuns delivers pieces and stages the received chunks in
+// sender-rank order — the exact chunk list delivery.Deliver returns —
+// while extracting each chunk's prefix sidecar as it arrives, so the
+// tie-aware loser tree starts (at the last arrival) with its prefixes
+// already cached: the merge-level sibling of streamConcat's
+// histogram-during-exchange overlap. The sidecars are carved from one
+// arena (st.pfx, recycled across levels; dead between a level's merge
+// and the next level's staging); spans are recorded as offsets and
+// sliced only after the stream completes, since the growing arena may
+// reallocate under earlier sub-slices. Options.Batch extracts after a
+// batch Deliver instead — byte-identical, like the concatenation path.
+func streamRuns[E any](c comm.Communicator, pieces [][]E, opt delivery.Options, st *localScratch[E]) (chunks [][]E, pfx [][]uint64) {
+	type span struct{ off, n int }
+	arena := st.pfx[:0]
+	extract := func(chs [][]E) []span {
+		ss := make([]span, len(chs))
+		for i, ch := range chs {
+			off := len(arena)
+			arena = seq.ExtractPrefixes(arena, ch, st.prefix)
+			ss[i] = span{off, len(ch)}
+		}
+		return ss
+	}
+	var spans []span
+	if opt.Batch {
+		chunks = delivery.Deliver(c, pieces, opt)
+		spans = extract(chunks)
+	} else {
+		p := c.Size()
+		bySrc := make([][][]E, p)
+		spansBySrc := make([][]span, p)
+		nchunks := 0
+		delivery.DeliverStream(c, pieces, opt, func(src int, chs [][]E) {
+			bySrc[src] = chs
+			spansBySrc[src] = extract(chs)
+			nchunks += len(chs)
+		})
+		chunks = make([][]E, 0, nchunks)
+		spans = make([]span, 0, nchunks)
+		for src := 0; src < p; src++ {
+			chunks = append(chunks, bySrc[src]...)
+			spans = append(spans, spansBySrc[src]...)
+		}
+	}
+	st.pfx = arena
+	pfx = make([][]uint64, len(chunks))
+	for i, s := range spans {
+		pfx[i] = arena[s.off : s.off+s.n]
+	}
+	return chunks, pfx
 }
 
 // recvBound bounds this PE's received element count for a level with r

@@ -11,6 +11,27 @@ import (
 	"pmsort/internal/workload"
 )
 
+// BackendKernels names the local-kernel variants the backends
+// experiment can compare: the ordered-key radix fast path (Config.Key),
+// the plain comparator path (prefix cache off), and the prefix-cached
+// comparator path.
+var BackendKernels = []string{"keyed", "cmp", "cmp+prefix"}
+
+// kernelSpec applies one kernel variant to a spec.
+func kernelSpec(spec Spec, kernel string) (Spec, error) {
+	switch kernel {
+	case "keyed":
+		spec.Keyed = true
+	case "cmp":
+		spec.PrefixMode = PrefixOff
+	case "cmp+prefix":
+		spec.PrefixMode = PrefixAuto
+	default:
+		return spec, fmt.Errorf("expt: unknown backends kernel %q (want keyed, cmp, or cmp+prefix)", kernel)
+	}
+	return spec, nil
+}
+
 // Backends compares the communication backends on AMS-sort under
 // strong scaling: one fixed input of n elements is split over p PEs and
 // sorted on the simulated backend (reporting virtual α-β time), on the
@@ -24,26 +45,32 @@ import (
 // measured once. Real speedup saturates around p = GOMAXPROCS; beyond
 // that the goroutine-PEs (and rank processes) time-share cores.
 //
+// Each p is measured once per requested kernel (see BackendKernels), so
+// the keyed / plain-comparator / prefix-cached gap is visible side by
+// side in one run. The one-core reference stays sort.Slice for every
+// kernel — it is the fixed sequential baseline every recorded speedup
+// in the README's trajectory is measured against.
+//
 // tcp requires the calling binary to invoke MaybeRunTCPChild at
 // startup: each rank is a re-execution of this executable.
-//
-// keyed selects the ordered-key radix kernel (Config.Key) for the
-// parallel sorters; the one-core reference stays sort.Slice either
-// way — it is the fixed sequential baseline every recorded speedup in
-// the README's trajectory is measured against.
-func Backends(w io.Writer, ps []int, n, reps int, seed uint64, tcp, keyed bool, progress io.Writer) {
+func Backends(w io.Writer, ps []int, n, reps int, seed uint64, tcp bool, kernels []string, progress io.Writer) error {
 	if reps < 1 {
 		reps = 1
 	}
-	kernel := "pdqsort"
-	if keyed {
-		kernel = "keyed radix"
+	if len(kernels) == 0 {
+		kernels = BackendKernels
 	}
-	fmt.Fprintf(w, "Backends: AMS-sort simulated vs native shared-memory vs TCP cluster, n=%d total, kernel=%s, GOMAXPROCS=%d (wall: min of %d)\n",
-		n, kernel, runtime.GOMAXPROCS(0), reps)
+	for _, kernel := range kernels {
+		if _, err := kernelSpec(Spec{}, kernel); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "Backends: AMS-sort simulated vs native shared-memory vs TCP cluster, n=%d total, GOMAXPROCS=%d (wall: min of %d)\n",
+		n, runtime.GOMAXPROCS(0), reps)
+	fmt.Fprintf(w, "kernel: keyed = Config.Key radix; cmp = plain comparator (NoPrefix); cmp+prefix = comparator with the derived prefix cache.\n")
 	fmt.Fprintf(w, "exch = wall time of the data-delivery phase (the bulk exchange, incl. work overlapped into it); local = everything else.\n")
-	fmt.Fprintf(w, "%-6s %-2s %-8s %13s %16s %17s %13s %17s %15s %8s\n",
-		"p", "k", "n/p", "sim-virt(ms)", "native-wall(ms)", "nat exch/local", "tcp-wall(ms)", "tcp exch/local", "1core-wall(ms)", "speedup")
+	fmt.Fprintf(w, "%-6s %-10s %-2s %-8s %13s %16s %17s %13s %17s %15s %8s\n",
+		"p", "kernel", "k", "n/p", "sim-virt(ms)", "native-wall(ms)", "nat exch/local", "tcp-wall(ms)", "tcp exch/local", "1core-wall(ms)", "speedup")
 
 	// Sequential reference: one core sorting the whole input.
 	var seqNS int64 = 1<<63 - 1
@@ -65,61 +92,67 @@ func Backends(w io.Writer, ps []int, n, reps int, seed uint64, tcp, keyed bool, 
 		if p > 16 {
 			k = 2
 		}
-		spec := Spec{Algo: AMS, P: p, PerPE: perPE, Levels: k, Seed: seed, Keyed: keyed}
-		if progress != nil {
-			fmt.Fprintf(progress, "# backends p=%d sim\n", p)
-		}
-		simRes := Run(spec)
-
-		var nativeNS int64 = 1<<63 - 1
-		var nativeBest NativeResult
-		for rep := 0; rep < reps; rep++ {
+		for _, kernel := range kernels {
+			spec, err := kernelSpec(Spec{Algo: AMS, P: p, PerPE: perPE, Levels: k, Seed: seed}, kernel)
+			if err != nil {
+				return err
+			}
 			if progress != nil {
-				fmt.Fprintf(progress, "# backends p=%d native rep %d/%d\n", p, rep+1, reps)
+				fmt.Fprintf(progress, "# backends p=%d kernel=%s sim\n", p, kernel)
 			}
-			if res := RunNative(spec); res.SortNS < nativeNS {
-				nativeNS = res.SortNS
-				nativeBest = res
-			}
-		}
+			simRes := Run(spec)
 
-		// Exchange vs local split: the data-delivery phase against the
-		// rest of the sort, so the overlap gains of the streaming
-		// exchange are visible per backend instead of being folded into
-		// one total.
-		phaseSplit := func(total int64, phase [core.NumPhases]int64) string {
-			exch := phase[core.PhaseDataDelivery]
-			local := total - exch
-			if local < 0 {
-				local = 0
-			}
-			return fmt.Sprintf("%.1f/%.1f", float64(exch)/1e6, float64(local)/1e6)
-		}
-
-		tcpCol, tcpSplit := "-", "-"
-		if tcp {
-			if progress != nil {
-				fmt.Fprintf(progress, "# backends p=%d tcp (one process per rank)\n", p)
-			}
-			if tcpRes, err := RunTCP(spec); err != nil {
-				tcpCol = "error"
+			var nativeNS int64 = 1<<63 - 1
+			var nativeBest NativeResult
+			for rep := 0; rep < reps; rep++ {
 				if progress != nil {
-					fmt.Fprintf(progress, "# backends p=%d tcp failed: %v\n", p, err)
+					fmt.Fprintf(progress, "# backends p=%d kernel=%s native rep %d/%d\n", p, kernel, rep+1, reps)
 				}
-			} else {
-				tcpCol = fmt.Sprintf("%.3f", float64(tcpRes.SortNS)/1e6)
-				tcpSplit = phaseSplit(tcpRes.SortNS, tcpRes.PhaseNS)
+				if res := RunNative(spec); res.SortNS < nativeNS {
+					nativeNS = res.SortNS
+					nativeBest = res
+				}
 			}
-		}
 
-		fmt.Fprintf(w, "%-6d %-2d %-8d %13.3f %16.3f %17s %13s %17s %15.3f %8.2f\n",
-			p, k, perPE,
-			float64(simRes.TotalNS)/1e6,
-			float64(nativeNS)/1e6,
-			phaseSplit(nativeNS, nativeBest.PhaseNS),
-			tcpCol,
-			tcpSplit,
-			float64(seqNS)/1e6,
-			float64(seqNS)/float64(nativeNS))
+			// Exchange vs local split: the data-delivery phase against the
+			// rest of the sort, so the overlap gains of the streaming
+			// exchange are visible per backend instead of being folded into
+			// one total.
+			phaseSplit := func(total int64, phase [core.NumPhases]int64) string {
+				exch := phase[core.PhaseDataDelivery]
+				local := total - exch
+				if local < 0 {
+					local = 0
+				}
+				return fmt.Sprintf("%.1f/%.1f", float64(exch)/1e6, float64(local)/1e6)
+			}
+
+			tcpCol, tcpSplit := "-", "-"
+			if tcp {
+				if progress != nil {
+					fmt.Fprintf(progress, "# backends p=%d kernel=%s tcp (one process per rank)\n", p, kernel)
+				}
+				if tcpRes, err := RunTCP(spec); err != nil {
+					tcpCol = "error"
+					if progress != nil {
+						fmt.Fprintf(progress, "# backends p=%d tcp failed: %v\n", p, err)
+					}
+				} else {
+					tcpCol = fmt.Sprintf("%.3f", float64(tcpRes.SortNS)/1e6)
+					tcpSplit = phaseSplit(tcpRes.SortNS, tcpRes.PhaseNS)
+				}
+			}
+
+			fmt.Fprintf(w, "%-6d %-10s %-2d %-8d %13.3f %16.3f %17s %13s %17s %15.3f %8.2f\n",
+				p, kernel, k, perPE,
+				float64(simRes.TotalNS)/1e6,
+				float64(nativeNS)/1e6,
+				phaseSplit(nativeNS, nativeBest.PhaseNS),
+				tcpCol,
+				tcpSplit,
+				float64(seqNS)/1e6,
+				float64(seqNS)/float64(nativeNS))
+		}
 	}
+	return nil
 }

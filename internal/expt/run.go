@@ -79,6 +79,38 @@ type Spec struct {
 	// uint64 workloads (and the order key for the torture harness's
 	// struct elements).
 	Keyed bool
+	// PrefixMode selects the comparator path's prefix cache (ignored by
+	// keyed runs, which use the radix kernel regardless).
+	PrefixMode PrefixMode
+}
+
+// PrefixMode selects how a comparator-path run uses the prefix cache.
+type PrefixMode int
+
+const (
+	// PrefixAuto (the zero value) leaves the cache to core's automatic
+	// derivation (plus Config.Key reuse on keyed runs).
+	PrefixAuto PrefixMode = iota
+	// PrefixOff disables the cache (core.Config.NoPrefix): every local
+	// kernel runs on the comparator only.
+	PrefixOff
+	// PrefixCoarse installs a deliberately non-injective Config.Prefix
+	// hook (the harness supplies it per element type), exercising the
+	// equal-prefix fallbacks of every kernel.
+	PrefixCoarse
+)
+
+// String names the mode for logs.
+func (m PrefixMode) String() string {
+	switch m {
+	case PrefixAuto:
+		return "auto"
+	case PrefixOff:
+		return "off"
+	case PrefixCoarse:
+		return "coarse"
+	}
+	return "invalid"
 }
 
 func (spec Spec) config() core.Config {
@@ -89,6 +121,7 @@ func (spec Spec) config() core.Config {
 		Seed:          spec.Seed,
 		TieBreak:      spec.TieBreak,
 		Delivery:      spec.Delivery,
+		NoPrefix:      spec.PrefixMode == PrefixOff,
 	}
 }
 
@@ -115,7 +148,9 @@ func runAlgo(c comm.Communicator, spec Spec, data []uint64) ([]uint64, *core.Sta
 	if spec.Keyed {
 		key = func(x uint64) uint64 { return x }
 	}
-	return runAlgoE(c, spec, data, less, key)
+	// The coarse hook drops the low byte: order-preserving, heavily
+	// non-injective on the small-range workloads.
+	return runAlgoE(c, spec, data, less, key, func(x uint64) uint64 { return x >> 8 })
 }
 
 // validate panics unless out is this PE's slice of a globally sorted

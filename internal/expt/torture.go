@@ -74,10 +74,10 @@ func (tc TortureCase) String() string {
 	if tc.Spec.Delivery.Batch {
 		exch = "batch"
 	}
-	return fmt.Sprintf("seed=%d %v p=%d n/p=%d kind=%v k=%d a=%g b=%d dlv=%v/%d/%s elem=%s %s",
+	return fmt.Sprintf("seed=%d %v p=%d n/p=%d kind=%v k=%d a=%g b=%d dlv=%v/%d/%s elem=%s pfx=%v %s",
 		tc.Seed, tc.Spec.Algo, tc.Spec.P, tc.Spec.PerPE, tc.Spec.Kind, tc.Spec.Levels,
 		tc.Spec.Oversampling, tc.Spec.Overpartition, tc.Spec.Delivery.Strategy,
-		tc.Spec.Delivery.Exchange, exch, elem, backends)
+		tc.Spec.Delivery.Exchange, exch, elem, tc.Spec.PrefixMode, backends)
 }
 
 // tortureAlgos is the sweep's sorter population. Power-of-two-only
@@ -150,6 +150,13 @@ func DeriveTorture(seed uint64) TortureCase {
 	// paths against each other — on top of the direct batch-vs-stream
 	// delivery check every case runs (tortureDeliveryCheck).
 	tc.Spec.Delivery.Batch = rng.Intn(2) == 0
+	// The prefix-cache dimension (comparator path only; keyed cases run
+	// the radix kernel regardless): a third of the cases disable the
+	// cache, a third run the auto-derived hook, a third a deliberately
+	// coarse hook with heavy prefix collisions. Every non-keyed case
+	// additionally re-runs natively with the cache toggled and demands
+	// byte-identical output (tortureRun).
+	tc.Spec.PrefixMode = PrefixMode(rng.Intn(3))
 	return tc
 }
 
@@ -184,11 +191,15 @@ func RunTorture(tc TortureCase) (string, error) {
 			return Pair{K: k / 4, T: k}
 		}, pairLess, func(e Pair) uint64 {
 			return prng.Mix64(prng.Mix64(e.K)*0x9e3779b97f4a7c15 ^ e.T)
-		}, func(e Pair) uint64 { return e.K })
+		}, func(e Pair) uint64 { return e.K },
+			// Coarse prefix: collapses another 2 key bits, so distinct K
+			// values collide and every equal-prefix fallback fires.
+			func(e Pair) uint64 { return e.K >> 2 })
 	} else {
 		err = tortureRun(tc, func(k uint64) uint64 { return k },
 			func(a, b uint64) bool { return a < b }, prng.Mix64,
-			func(e uint64) uint64 { return e })
+			func(e uint64) uint64 { return e },
+			func(e uint64) uint64 { return e >> 8 })
 	}
 	if err != nil {
 		return "", fmt.Errorf("%w\nrepro: sortbench -experiment torture -seed %d", err, tc.Seed)
@@ -199,10 +210,15 @@ func RunTorture(tc TortureCase) (string, error) {
 // runAlgoE dispatches the spec's sorter for any element type. key is
 // the Config.Key hook installed when spec.Keyed is set (nil disables
 // the keyed kernel regardless of spec.Keyed; only AMS/RLM consume it).
-func runAlgoE[E any](c comm.Communicator, spec Spec, data []E, less func(a, b E) bool, key func(E) uint64) ([]E, *core.Stats) {
+// coarse is the non-injective Config.Prefix hook installed under
+// PrefixCoarse (nil falls back to automatic derivation).
+func runAlgoE[E any](c comm.Communicator, spec Spec, data []E, less func(a, b E) bool, key func(E) uint64, coarse func(E) uint64) ([]E, *core.Stats) {
 	cfg := spec.config()
 	if spec.Keyed && key != nil {
 		cfg.Key = key
+	}
+	if spec.PrefixMode == PrefixCoarse && coarse != nil {
+		cfg.Prefix = coarse
 	}
 	switch spec.Algo {
 	case AMS:
@@ -226,9 +242,10 @@ func runAlgoE[E any](c comm.Communicator, spec Spec, data []E, less func(a, b E)
 
 // tortureRun executes tc for one element type and checks every
 // invariant. mk maps a workload key to an element, hash is the
-// order-independent per-element hash of the multiset check, and key is
-// the Config.Key hook used when the case runs the keyed kernel.
-func tortureRun[E any](tc TortureCase, mk func(k uint64) E, less func(a, b E) bool, hash func(E) uint64, key func(E) uint64) error {
+// order-independent per-element hash of the multiset check, key is the
+// Config.Key hook used when the case runs the keyed kernel, and coarse
+// is the non-injective Config.Prefix hook of PrefixCoarse cases.
+func tortureRun[E any](tc TortureCase, mk func(k uint64) E, less func(a, b E) bool, hash func(E) uint64, key func(E) uint64, coarse func(E) uint64) error {
 	spec := tc.Spec
 	locals := make([][]E, spec.P)
 	var n int64
@@ -249,7 +266,7 @@ func tortureRun[E any](tc TortureCase, mk func(k uint64) E, less func(a, b E) bo
 
 	outs := make(map[string][][]E)
 	for _, backend := range tortureBackends(tc) {
-		out, aud, err := tortureBackendRun(tc, backend, locals, less, key)
+		out, aud, err := tortureBackendRun(tc, backend, locals, less, key, coarse)
 		if err != nil {
 			return fmt.Errorf("torture %s: backend %s: %w", tc, backend, err)
 		}
@@ -273,6 +290,29 @@ func tortureRun[E any](tc TortureCase, mk func(k uint64) E, less func(a, b E) bo
 	for _, backend := range tortureBackends(tc)[1:] {
 		if !reflect.DeepEqual(outs[backend], outs["sim"]) {
 			return fmt.Errorf("torture %s: %s output differs from sim", tc, backend)
+		}
+	}
+
+	// The prefix-cache byte-identity invariant: re-run the case natively
+	// with the cache toggled (off ↔ on) and demand identical output —
+	// the prefix kernels must be invisible in the bytes, tie-heavy
+	// element types included. Keyed cases skip it (the radix kernel
+	// ignores the cache), as do the baselines (only AMS/RLM consume
+	// it). TCP identity for the flipped mode follows by transitivity
+	// from the cross-backend check above.
+	if !spec.Keyed && (spec.Algo == AMS || spec.Algo == RLM) {
+		alt := tc
+		if alt.Spec.PrefixMode == PrefixOff {
+			alt.Spec.PrefixMode = PrefixAuto
+		} else {
+			alt.Spec.PrefixMode = PrefixOff
+		}
+		out, _, err := tortureBackendRun(alt, "native", locals, less, key, coarse)
+		if err != nil {
+			return fmt.Errorf("torture %s: prefix-toggled leg (pfx=%v): %w", tc, alt.Spec.PrefixMode, err)
+		}
+		if !reflect.DeepEqual(out, outs["sim"]) {
+			return fmt.Errorf("torture %s: prefix-toggled output (pfx=%v) differs — prefix path is not byte-identical", tc, alt.Spec.PrefixMode)
 		}
 	}
 
@@ -384,7 +424,7 @@ func tortureDeliveryCheck[E any](tc TortureCase, locals [][]E) error {
 }
 
 // tortureBackendRun sorts the locals on one backend under chaos.
-func tortureBackendRun[E any](tc TortureCase, backend string, locals [][]E, less func(a, b E) bool, key func(E) uint64) ([][]E, *chaos.Audit, error) {
+func tortureBackendRun[E any](tc TortureCase, backend string, locals [][]E, less func(a, b E) bool, key func(E) uint64, coarse func(E) uint64) ([][]E, *chaos.Audit, error) {
 	spec := tc.Spec
 	aud := &chaos.Audit{}
 	ccfg := chaos.Config{
@@ -400,7 +440,7 @@ func tortureBackendRun[E any](tc TortureCase, backend string, locals [][]E, less
 	var mu sync.Mutex // guards outs writes from rank goroutines (tcp)
 	run := func(c comm.Communicator, rank int) {
 		cc := chaos.Wrap(c, ccfg)
-		out, _ := runAlgoE(cc, spec, append([]E(nil), locals[rank]...), less, key)
+		out, _ := runAlgoE(cc, spec, append([]E(nil), locals[rank]...), less, key, coarse)
 		mu.Lock()
 		outs[rank] = out
 		mu.Unlock()

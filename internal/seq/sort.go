@@ -19,6 +19,24 @@ func Sort[E any](data []E, less func(a, b E) bool) {
 	})
 }
 
+// SortStable sorts data by less with the standard library's stable sort
+// (slices.SortStableFunc: insertion-sorted blocks + in-place symmerge).
+// The comparator sorters feed their merge levels with it: a stable
+// local order is what makes the prefix-cached kernels (SortPrefixed,
+// MultiwayPrefixedInto) byte-identical to the plain comparator path
+// even on elements the comparator cannot tell apart.
+func SortStable[E any](data []E, less func(a, b E) bool) {
+	slices.SortStableFunc(data, func(a, b E) int {
+		if less(a, b) {
+			return -1
+		}
+		if less(b, a) {
+			return 1
+		}
+		return 0
+	})
+}
+
 // SortKeyed sorts data ascending by the uint64 key with least-
 // significant-digit radix sort (8-bit digits, up to 8 counting passes;
 // passes whose digit is constant across the input are skipped). The

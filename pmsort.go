@@ -107,9 +107,15 @@ type (
 	// RunResult reports the virtual clocks after a Run.
 	RunResult = sim.RunResult
 	// Config tunes the sorting algorithms (levels, sampling factors,
-	// delivery strategy, tie-breaking, and the ordered-key kernel fast
-	// path: set Key to a func(E) uint64 embedding the element order to
-	// switch the local sort phases to radix kernels).
+	// delivery strategy, tie-breaking, and the local-kernel fast paths:
+	// set Key to a func(E) uint64 embedding the element order to switch
+	// the local sort phases to radix kernels, or — for comparator sorts
+	// — set Prefix to an order-preserving, not necessarily injective
+	// func(E) uint64 to route classification, local sorting, and merging
+	// through cached uint64 compares with the comparator deciding only
+	// equal-prefix ties; output stays byte-identical to the plain
+	// comparator path. Ordered scalar/string element types derive a
+	// Prefix automatically; NoPrefix opts out. See DESIGN.md §11.)
 	Config = core.Config
 	// Stats reports per-phase times and balance of a run (virtual ns on
 	// the simulated backend, wall-clock ns on the native one).
