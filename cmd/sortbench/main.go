@@ -15,6 +15,8 @@
 //	sortbench -experiment torture -seed 1027       # replay one torture case
 //	sortbench -experiment torture -seed 1000 -count 100  # seeded sweep
 //	sortbench -quick                          # small grids for a smoke run
+//	sortbench -trace trace.json -report -     # one traced AMS run (native p=4):
+//	                                          # Chrome trace JSON + text report
 package main
 
 import (
@@ -63,12 +65,33 @@ func main() {
 		noTCP      = flag.Bool("notcp", false, "skip the multi-process TCP row of the backends experiment")
 		kernels    = flag.String("kernels", "keyed,cmp,cmp+prefix", "backends experiment: comma-separated local-kernel rows (keyed|cmp|cmp+prefix)")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		traceOut   = flag.String("trace", "", "run one traced AMS sort and write the merged Chrome trace JSON here (chrome://tracing / Perfetto); skips the experiments")
+		reportOut  = flag.String("report", "", "with/instead of -trace: write the traced run's plain-text span+counter report here ('-' = stdout)")
+		traceBack  = flag.String("tracebackend", "native", "backend for the traced run: sim|native|tcp")
+		traceP     = flag.Int("tracep", 4, "PE count for the traced run")
 	)
 	flag.Parse()
 
 	var progress io.Writer = os.Stderr
 	if *quiet {
 		progress = nil
+	}
+
+	// Traced run: one instrumented AMS sort on the chosen backend, merged
+	// multi-rank trace out, no experiment tables.
+	if *traceOut != "" || *reportOut != "" {
+		p := *traceP
+		perPE := *nativeN / p
+		k := 1
+		if p >= 4 {
+			k = 2 // multi-level traces show the per-level span hierarchy
+		}
+		spec := expt.Spec{Algo: expt.AMS, P: p, PerPE: perPE, Levels: k, Seed: *seed, Keyed: true}
+		if err := expt.TraceRun(spec, *traceBack, *traceOut, *reportOut, progress); err != nil {
+			fmt.Fprintf(os.Stderr, "sortbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	opt := expt.SuiteOptions{
 		Ps:     parseInts(*psFlag),

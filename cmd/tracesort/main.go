@@ -1,10 +1,15 @@
-// Command tracesort runs a small AMS-sort with event tracing enabled and
-// dumps the full virtual-time message trace — every send, receive and
-// phase mark with its timestamp — for debugging the communication
-// structure or feeding a visualizer.
+// Command tracesort runs one fully traced AMS-sort and exports the
+// merged multi-rank observability trace — nested per-level phase spans,
+// communication counters, and per-peer traffic — as Chrome trace-event
+// JSON (load in chrome://tracing or Perfetto) plus a plain-text report.
+// It works on every backend: the simulator (virtual timestamps), the
+// native goroutine cluster (wall clock), and a real multi-process TCP
+// cluster on loopback (wall clock, ranks clock-aligned at gather).
 //
-//	tracesort -p 16 -n 100 -levels 2            # trace to stdout
-//	tracesort -p 64 -n 1000 -o trace.txt -summary
+//	tracesort -p 4 -n 10000 -levels 2                  # native, trace.json + report on stdout
+//	tracesort -backend sim -p 64 -o sim.json           # virtual-time trace of 64 simulated PEs
+//	tracesort -backend tcp -p 4 -o tcp.json            # one process per rank, merged at rank 0
+//	tracesort -events -p 16 -n 100 -summary            # legacy: raw simulator message trace
 package main
 
 import (
@@ -15,34 +20,56 @@ import (
 	"os"
 
 	"pmsort"
+	"pmsort/internal/expt"
 )
 
 func main() {
+	// A tracesort process doubles as one rank of the TCP cluster the tcp
+	// backend launches (one re-execution per rank).
+	expt.MaybeRunTCPChild()
 	var (
-		p       = flag.Int("p", 16, "number of PEs")
-		n       = flag.Int("n", 100, "elements per PE")
+		p       = flag.Int("p", 4, "number of PEs / ranks")
+		n       = flag.Int("n", 10000, "elements per PE")
 		levels  = flag.Int("levels", 2, "recursion levels")
-		out     = flag.String("o", "", "write trace to file (default stdout)")
-		summary = flag.Bool("summary", false, "print per-kind event counts only")
+		backend = flag.String("backend", "native", "sim|native|tcp")
+		out     = flag.String("o", "trace.json", "Chrome trace JSON output path ('' = none)")
+		report  = flag.String("report", "-", "plain-text report path ('-' = stdout, '' = none)")
+		events  = flag.Bool("events", false, "dump the simulator's raw message/event trace instead (sim only)")
+		summary = flag.Bool("summary", false, "with -events: print per-kind event counts only")
 	)
 	flag.Parse()
 
-	cl := pmsort.NewCustom(*p, pmsort.DefaultTopology(), pmsort.DefaultCost())
+	if *events {
+		eventTrace(*p, *n, *levels, *out, *summary)
+		return
+	}
+
+	spec := expt.Spec{Algo: expt.AMS, P: *p, PerPE: *n, Levels: *levels, Seed: 7, Keyed: true}
+	if err := expt.TraceRun(spec, *backend, *out, *report, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracesort:", err)
+		os.Exit(1)
+	}
+}
+
+// eventTrace is the original sim-only mode: record every send, receive,
+// and PE.Mark with its virtual timestamp and dump the raw event list.
+func eventTrace(p, n, levels int, out string, summary bool) {
+	cl := pmsort.NewCustom(p, pmsort.DefaultTopology(), pmsort.DefaultCost())
 	cl.EnableTracing()
 	cl.Run(func(pe *pmsort.PE) {
 		rng := rand.New(rand.NewSource(int64(pe.Rank()) + 1))
-		data := make([]uint64, *n)
+		data := make([]uint64, n)
 		for i := range data {
 			data[i] = rng.Uint64()
 		}
 		pe.Mark("sort start")
 		_, _ = pmsort.AMSSort(pmsort.World(pe), data,
 			func(a, b uint64) bool { return a < b },
-			pmsort.Config{Levels: *levels, Seed: 7})
+			pmsort.Config{Levels: levels, Seed: 7})
 		pe.Mark("sort done")
 	})
 
-	if *summary {
+	if summary {
 		counts := map[string]int{}
 		var words int64
 		for _, ev := range cl.Trace() {
@@ -52,13 +79,13 @@ func main() {
 			}
 		}
 		fmt.Printf("p=%d n/p=%d levels=%d: %d sends (%d words), %d recvs, %d marks\n",
-			*p, *n, *levels, counts["send"], words, counts["recv"], counts["mark"])
+			p, n, levels, counts["send"], words, counts["recv"], counts["mark"])
 		return
 	}
 
 	w := bufio.NewWriter(os.Stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracesort:", err)
 			os.Exit(1)

@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"pmsort/internal/comm"
+	"pmsort/internal/obs"
 	"pmsort/internal/prng"
 	"pmsort/internal/wire"
 )
@@ -445,3 +446,7 @@ func (c *Comm) Subset(lo, hi int) comm.Communicator {
 // Cost passes through to the wrapped backend: chaos perturbs real
 // schedules, never modeled time.
 func (c *Comm) Cost() comm.Cost { return c.inner.Cost() }
+
+// ObsRecorder forwards to the wrapped backend's recorder, so tracing
+// sees through the middleware.
+func (c *Comm) ObsRecorder() *obs.Recorder { return obs.From(c.inner) }

@@ -1,6 +1,26 @@
 package coll
 
-import "pmsort/internal/comm"
+import (
+	"pmsort/internal/comm"
+	"pmsort/internal/obs"
+)
+
+// obsEmit wraps a stream-emit callback so the consumer work overlapped
+// into the exchange is accumulated into the CtrEmitNS counter — the
+// observable half of the streaming-delivery overlap (DESIGN.md §10).
+// With tracing off (rec == nil) the callback is returned untouched: the
+// disabled path allocates nothing.
+func obsEmit[T any](rec *obs.Recorder, emit func(src int, msg []T)) func(src int, msg []T) {
+	if rec == nil {
+		return emit
+	}
+	ctr := rec.Counter(obs.CtrEmitNS)
+	return func(src int, msg []T) {
+		t0 := rec.Now()
+		emit(src, msg)
+		ctr.Add(rec.Now() - t0)
+	}
+}
 
 // AlltoallI64 exchanges one int64 with every member (v[i] goes to member
 // i) using the Bruck algorithm: ⌈log₂ p⌉ rounds of aggregated messages of
@@ -101,15 +121,20 @@ func AlltoallvDirectStreamFunc[T any](c comm.Communicator, out [][]T, itemWords 
 	if len(out) != p {
 		panic("coll: AlltoallvDirect buffer count != group size")
 	}
+	rec := obs.From(c)
+	emit = obsEmit(rec, emit)
 	for i := 1; i < p; i++ {
 		to := (r + i) % p
-		c.Send(to, tagAlltoallv, out[to], wordsOf(out[to], itemWords))
+		w := wordsOf(out[to], itemWords)
+		c.Send(to, tagAlltoallv, out[to], w)
+		rec.PeerSend(c.GlobalRank(to), 1, w)
 	}
 	c.Cost().Scan(wordsOf(out[r], itemWords))
 	emit(r, out[r])
 	for i := 1; i < p; i++ {
 		from := (r - i + p) % p
-		pl, _ := c.Recv(from, tagAlltoallv)
+		pl, w := c.Recv(from, tagAlltoallv)
+		rec.PeerRecv(c.GlobalRank(from), 1, w)
 		emit(from, pl.([]T))
 	}
 }
@@ -160,15 +185,19 @@ func Alltoallv1FactorStreamFunc[T any](c comm.Communicator, out [][]T, itemWords
 	}
 	incoming := AlltoallI64(c, counts)
 
+	rec := obs.From(c)
+	emit = obsEmit(rec, emit)
 	c.Cost().Scan(wordsOf(out[r], itemWords))
 	emit(r, out[r])
 
 	exchange := func(partner int) {
 		if len(out[partner]) > 0 {
 			c.Send(partner, tagAlltoallv, out[partner], counts[partner])
+			rec.PeerSend(c.GlobalRank(partner), 1, counts[partner])
 		}
 		if incoming[partner] > 0 {
-			pl, _ := c.Recv(partner, tagAlltoallv)
+			pl, w := c.Recv(partner, tagAlltoallv)
+			rec.PeerRecv(c.GlobalRank(partner), 1, w)
 			emit(partner, pl.([]T))
 		} else {
 			emit(partner, nil)

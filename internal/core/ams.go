@@ -2,12 +2,14 @@ package core
 
 import (
 	"math"
+	"unsafe"
 
 	"pmsort/internal/coll"
 	"pmsort/internal/comm"
 	"pmsort/internal/delivery"
 	"pmsort/internal/fwis"
 	"pmsort/internal/grouping"
+	"pmsort/internal/obs"
 	"pmsort/internal/prng"
 	"pmsort/internal/seq"
 )
@@ -57,6 +59,12 @@ type localScratch[E any] struct {
 	reuse  []E
 	pfx    []uint64
 	psc    seq.PrefixScratch[E]
+
+	// rec is the run's obs recorder (nil when tracing is off — every
+	// span call no-ops); eb is the element size for the PhaseBytes
+	// accounting.
+	rec *obs.Recorder
+	eb  int64
 }
 
 // grab returns a zero-length buffer with capacity ≥ n, recycling the
@@ -130,7 +138,7 @@ func (st *localScratch[E]) sortCost(cost comm.Cost, n int64) {
 // Config.Key wins, else a validated prefix hook that survives the
 // sampled entry guard arms the prefix-cached comparator kernels.
 func initScratch[E any](data []E, less func(a, b E) bool, cfg Config) *localScratch[E] {
-	st := &localScratch[E]{key: keyFor[E](cfg)}
+	st := &localScratch[E]{key: keyFor[E](cfg), eb: int64(unsafe.Sizeof(*new(E)))}
 	// prefixFor also validates an explicit Config.Prefix hook's type, so
 	// call it even on keyed runs (where the key kernel supersedes it).
 	if pf := prefixFor[E](cfg); st.key == nil && pf != nil && prefixGuard(data, less, pf) {
@@ -158,7 +166,9 @@ func AMSSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg C
 	}
 	stats := &Stats{MaxImbalance: 1}
 	st := initScratch(data, less, cfg)
+	st.rec = obs.From(c)
 	start := coll.TimedBarrier(c)
+	root := st.rec.Start(obs.SpanAMS).N(int64(len(data)))
 	out := amsLevel(c, data, less, cfg, plan, 0, stats, st)
 	if len(out) == 0 {
 		// Canonical empty: whether an empty result is nil or a zero-length
@@ -166,6 +176,7 @@ func AMSSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg C
 		// produced it; byte-identity comparisons must not see that.
 		out = nil
 	}
+	root.End()
 	stats.TotalNS = coll.TimedBarrier(c) - start
 	return out, stats
 }
@@ -175,22 +186,29 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	if c.Size() == 1 {
 		// Base case: sort locally (the "local sort" phase).
 		t0 := cost.Now()
+		sp := st.rec.StartLevel(obs.SpanLocalSort, level).N(int64(len(data)))
 		st.sort(data, less)
 		st.sortCost(cost, int64(len(data)))
-		stats.PhaseNS[PhaseLocalSort] += cost.Now() - t0
+		sp.End()
+		stats.addLevel(level, PhaseLocalSort, cost.Now()-t0)
+		stats.PhaseBytes[PhaseLocalSort] += int64(len(data)) * st.eb
 		stats.Levels = level
 		return data
 	}
 	r := levelR(cfg, plan, level, c.Size())
 	b := effectiveB(cfg, r)
 	seed := cfg.Seed + uint64(level)*0x9e3779b97f4a7c15
+	lvl := st.rec.StartLevel(obs.SpanLevel, level).N(int64(len(data)))
+	defer lvl.End() // covers the level's recursion subtree in the trace
 
 	// --- Phase: splitter selection -------------------------------------
 	t0 := coll.TimedBarrier(c)
+	sel := st.rec.StartLevel(obs.SpanSplitterSel, level)
 	n := coll.Allreduce(c, int64(len(data)), 1, addI64)
 	if n == 0 {
 		// Nothing to sort anywhere; recurse trivially to keep the
 		// collective call structure aligned.
+		sel.End()
 		sub, _ := c.SplitEqual(r)
 		return amsLevel(sub, data, less, cfg, plan, level+1, stats, st)
 	}
@@ -220,6 +238,7 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	// tagged order strict for fwis, and position tags make the implicit
 	// tie-breaking splits uniform over each PE's data.
 	rng := prng.New(seed).Fork(uint64(c.Rank()) + 0xabcd)
+	smp := st.rec.StartLevel(obs.SpanSample, level).N(int64(share))
 	sample := make([]tagged[E], 0, share)
 	taken := make(map[int]bool, share)
 	for i := len(data) - share; i < len(data); i++ {
@@ -231,8 +250,10 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 		sample = append(sample, tagged[E]{key: data[j], pe: int32(c.Rank()), idx: int32(j)})
 	}
 	cost.Scan(int64(share))
+	smp.End()
 
 	tLess := taggedLess(less)
+	sps := st.rec.StartLevel(obs.SpanSplitterSort, level)
 	sorter := fwis.New(c, sample, tLess)
 	numSplitters := b*r - 1
 	if s := sorter.Total(); int64(numSplitters) > s {
@@ -243,10 +264,14 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 		targets[i] = (int64(i) + 1) * sorter.Total() / int64(b*r)
 	}
 	splitters := sorter.SelectRanks(targets)
+	sps.N(int64(numSplitters)).End()
 	t1 := coll.TimedBarrier(c)
-	stats.PhaseNS[PhaseSplitterSelection] += t1 - t0
+	sel.N(int64(share)).End()
+	stats.addLevel(level, PhaseSplitterSelection, t1-t0)
+	stats.PhaseBytes[PhaseSplitterSelection] += int64(share) * st.eb
 
 	// --- Phase: bucket processing --------------------------------------
+	cls := st.rec.StartLevel(obs.SpanClassify, level).N(int64(len(data)))
 	sizes, bounds := amsPartition(c, data, splitters, less, cfg, st)
 	// The b·r-long bucket-size vectors are the one long reduction in
 	// AMS-sort; use the full-bandwidth algorithm where it applies.
@@ -259,9 +284,11 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 		maxLoad, starts = grouping.OptimalL(globalSizes, r)
 		cost.Scan(int64(len(globalSizes)) * 8) // ≈ log(br) scans
 	}
-	if imb := float64(maxLoad) * float64(r) / float64(n); imb > stats.MaxImbalance {
+	imb := float64(maxLoad) * float64(r) / float64(n)
+	if imb > stats.MaxImbalance {
 		stats.MaxImbalance = imb
 	}
+	cls.Imb(imb)
 	// Bucket ranges -> r pieces (trailing groups may be empty). The
 	// pieces are bucket-contiguous sub-slices of data itself
 	// (PartitionInPlace), so delivery stays zero-copy on the in-process
@@ -284,18 +311,25 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	// order IS the stable merge of those runs stably pre-sorted.
 	last := r == c.Size()
 	plainLast := last && st.key == nil && st.prefix == nil
+	cls.End()
 	var pieceSortNS int64
 	if plainLast {
 		ts := cost.Now()
+		ps := st.rec.StartLevel(obs.SpanPieceSort, level).N(int64(len(data)))
 		for _, piece := range pieces {
 			seq.SortStable(piece, less)
 		}
 		cost.SortOps(int64(len(data)))
+		ps.End()
 		pieceSortNS = cost.Now() - ts
 	}
 	t2 := coll.TimedBarrier(c)
-	stats.PhaseNS[PhaseBucketProcessing] += t2 - t1 - pieceSortNS
-	stats.PhaseNS[PhaseLocalSort] += pieceSortNS
+	stats.addLevel(level, PhaseBucketProcessing, t2-t1-pieceSortNS)
+	stats.addLevel(level, PhaseLocalSort, pieceSortNS)
+	stats.PhaseBytes[PhaseBucketProcessing] += int64(len(data)) * st.eb
+	if plainLast {
+		stats.PhaseBytes[PhaseLocalSort] += int64(len(data)) * st.eb
+	}
 
 	// --- Phase: data delivery ------------------------------------------
 	dopt := cfg.Delivery
@@ -307,18 +341,24 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 		// one is in (a loser tree needs all its runs). Delivery coalesced
 		// contiguous same-sender spans, so k is bounded by the number of
 		// senders.
+		exch := st.rec.StartLevel(obs.SpanExchange, level)
 		chunks := delivery.Deliver(c, pieces, dopt)
 		var total int
 		for _, ch := range chunks {
 			total += len(ch)
 		}
 		tm := cost.Now()
+		mg := st.rec.StartLevel(obs.SpanMerge, level).N(int64(total))
 		out := seq.MultiwayInto(st.grab(total), chunks, less)
 		cost.Ops(seq.MultiwayOps(int64(total), len(chunks)))
+		mg.End()
 		mergeNS := cost.Now() - tm
 		t3 := coll.TimedBarrier(c)
-		stats.PhaseNS[PhaseDataDelivery] += t3 - t2 - mergeNS
-		stats.PhaseNS[PhaseBucketProcessing] += mergeNS
+		exch.N(int64(total)).End()
+		stats.addLevel(level, PhaseDataDelivery, t3-t2-mergeNS)
+		stats.addLevel(level, PhaseBucketProcessing, mergeNS)
+		stats.PhaseBytes[PhaseDataDelivery] += int64(total) * st.eb
+		stats.PhaseBytes[PhaseBucketProcessing] += int64(total) * st.eb
 		stats.Levels = level + 1
 		return out
 	}
@@ -342,6 +382,7 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 			pf = st.prefix
 		}
 	}
+	exch := st.rec.StartLevel(obs.SpanExchange, level)
 	var next []E
 	if dopt.Batch {
 		chunks := delivery.Deliver(c, pieces, dopt)
@@ -383,7 +424,9 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	st.retire(data)
 	cost.Scan(int64(total))
 	t3 := coll.TimedBarrier(c)
-	stats.PhaseNS[PhaseDataDelivery] += t3 - t2
+	exch.N(int64(total)).End()
+	stats.addLevel(level, PhaseDataDelivery, t3-t2)
+	stats.PhaseBytes[PhaseDataDelivery] += int64(total) * st.eb
 
 	if last {
 		// Fast-path last level: a stable radix sort of the concatenation
@@ -395,6 +438,7 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 		// prefix radix over the sidecar extracted during the exchange,
 		// with the comparator deciding only equal-prefix runs.
 		t4 := cost.Now()
+		ls := st.rec.StartLevel(obs.SpanLocalSort, level).N(int64(total))
 		var sorted []E
 		if st.key != nil {
 			scratch := st.grab(total)
@@ -407,7 +451,9 @@ func amsLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 			cost.Ops(seq.SortPrefixedOps(int64(total)))
 			sorted = next
 		}
-		stats.PhaseNS[PhaseLocalSort] += cost.Now() - t4
+		ls.End()
+		stats.addLevel(level, PhaseLocalSort, cost.Now()-t4)
+		stats.PhaseBytes[PhaseLocalSort] += int64(total) * st.eb
 		stats.Levels = level + 1
 		return sorted
 	}

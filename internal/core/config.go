@@ -55,6 +55,18 @@ type Stats struct {
 	// PhaseNS[ph] is the accumulated virtual time of phase ph over all
 	// levels, measured between synchronized barriers.
 	PhaseNS [NumPhases]int64
+	// LevelPhaseNS[level][ph] breaks PhaseNS down by recursion level:
+	// summing a phase's column over all levels reproduces PhaseNS[ph]
+	// exactly (both are fed from the same barrier deltas). RLM's initial
+	// local sort is charged to level 0; a level's trailing local work
+	// (AMS base case, last-level radix) is charged to the level it ran
+	// on. Always populated — Stats stays the cheap always-on summary.
+	LevelPhaseNS [][NumPhases]int64
+	// PhaseBytes[ph] estimates the bytes each phase put through memory
+	// or the network on this PE: sample bytes for splitter selection,
+	// classified/merged bytes for bucket processing, received bytes for
+	// data delivery, sorted bytes for the local sort.
+	PhaseBytes [NumPhases]int64
 	// TotalNS is the virtual time from start to finish.
 	TotalNS int64
 	// MaxImbalance is the largest observed max-group-load / avg-group-load
@@ -62,6 +74,16 @@ type Stats struct {
 	MaxImbalance float64
 	// Levels is the number of recursion levels executed.
 	Levels int
+}
+
+// addLevel accumulates ns into both the flat and the per-level phase
+// breakdown, growing the level table on first touch of a level.
+func (s *Stats) addLevel(level int, ph Phase, ns int64) {
+	s.PhaseNS[ph] += ns
+	for len(s.LevelPhaseNS) <= level {
+		s.LevelPhaseNS = append(s.LevelPhaseNS, [NumPhases]int64{})
+	}
+	s.LevelPhaseNS[level][ph] += ns
 }
 
 // Config tunes the sorters.

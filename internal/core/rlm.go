@@ -5,6 +5,7 @@ import (
 	"pmsort/internal/comm"
 	"pmsort/internal/delivery"
 	"pmsort/internal/msel"
+	"pmsort/internal/obs"
 	"pmsort/internal/seq"
 )
 
@@ -29,16 +30,21 @@ func RLMSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg C
 	cost := c.Cost()
 	stats := &Stats{MaxImbalance: 1}
 	st := initScratch(data, less, cfg)
+	st.rec = obs.From(c)
 	start := coll.TimedBarrier(c)
+	root := st.rec.Start(obs.SpanRLM).N(int64(len(data)))
 
 	// Initial local sort (the "local sort" phase of Figure 8), through
 	// the selected kernel: keyed radix when Config.Key is set,
 	// prefix-cached radix when a prefix hook is live, stable comparator
 	// sort otherwise.
 	t0 := cost.Now()
+	ls := st.rec.StartLevel(obs.SpanLocalSort, 0).N(int64(len(data)))
 	st.sort(data, less)
 	st.sortCost(cost, int64(len(data)))
-	stats.PhaseNS[PhaseLocalSort] += cost.Now() - t0
+	ls.End()
+	stats.addLevel(0, PhaseLocalSort, cost.Now()-t0)
+	stats.PhaseBytes[PhaseLocalSort] += int64(len(data)) * st.eb
 
 	out := rlmLevel(c, data, less, cfg, plan, 0, stats, st)
 	if len(out) == 0 {
@@ -47,6 +53,7 @@ func RLMSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg C
 		// produced it; byte-identity comparisons must not see that.
 		out = nil
 	}
+	root.End()
 	stats.TotalNS = coll.TimedBarrier(c) - start
 	return out, stats
 }
@@ -59,9 +66,12 @@ func rlmLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	}
 	r := levelR(cfg, plan, level, c.Size())
 	seed := cfg.Seed + uint64(level)*0x7f4a7c159e3779b9
+	lvl := st.rec.StartLevel(obs.SpanLevel, level).N(int64(len(data)))
+	defer lvl.End() // covers the level's recursion subtree in the trace
 
 	// --- Phase: splitter selection (multisequence selection) -----------
 	t0 := coll.TimedBarrier(c)
+	sel := st.rec.StartLevel(obs.SpanSplitterSel, level).N(int64(len(data)))
 	n := coll.Allreduce(c, int64(len(data)), 1, addI64)
 	targets := make([]int64, r-1)
 	for j := 1; j < r; j++ {
@@ -69,7 +79,8 @@ func rlmLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	}
 	pos := msel.Select(c, data, targets, less, seed)
 	t1 := coll.TimedBarrier(c)
-	stats.PhaseNS[PhaseSplitterSelection] += t1 - t0
+	sel.End()
+	stats.addLevel(level, PhaseSplitterSelection, t1-t0)
 
 	// --- Phase: data delivery ------------------------------------------
 	pieces := make([][]E, r)
@@ -88,6 +99,7 @@ func rlmLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	// TCP backend the decoding of later messages behind earlier ones
 	// (DESIGN.md §10), and on the prefix path the extraction of each
 	// chunk's prefix sidecar (streamRuns).
+	exch := st.rec.StartLevel(obs.SpanExchange, level)
 	var chunks [][]E
 	var cpfx [][]uint64
 	if st.prefix != nil {
@@ -96,7 +108,8 @@ func rlmLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 		chunks = delivery.Deliver(c, pieces, dopt)
 	}
 	t2 := coll.TimedBarrier(c)
-	stats.PhaseNS[PhaseDataDelivery] += t2 - t1
+	exch.End()
+	stats.addLevel(level, PhaseDataDelivery, t2-t1)
 
 	// --- Phase: bucket processing (multiway merging) --------------------
 	// The received chunks are sorted runs; merge instead of re-sorting
@@ -109,6 +122,9 @@ func rlmLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	for _, ch := range chunks {
 		total += len(ch)
 	}
+	exch.N(int64(total))
+	stats.PhaseBytes[PhaseDataDelivery] += int64(total) * st.eb
+	mg := st.rec.StartLevel(obs.SpanMerge, level).N(int64(total))
 	var merged []E
 	if st.prefix != nil {
 		merged = seq.MultiwayPrefixedInto(st.grab(total), chunks, cpfx, less)
@@ -120,7 +136,9 @@ func rlmLevel[E any](c comm.Communicator, data []E, less func(a, b E) bool, cfg 
 	// chunks into it has merged them out. Retire it for recycling.
 	st.retire(data)
 	t3 := coll.TimedBarrier(c)
-	stats.PhaseNS[PhaseBucketProcessing] += t3 - t2
+	mg.End()
+	stats.addLevel(level, PhaseBucketProcessing, t3-t2)
+	stats.PhaseBytes[PhaseBucketProcessing] += int64(total) * st.eb
 
 	sub, _ := c.SplitEqual(r)
 	return rlmLevel(sub, merged, less, cfg, plan, level+1, stats, st)

@@ -28,6 +28,7 @@ import (
 
 	"pmsort/internal/coll"
 	"pmsort/internal/comm"
+	"pmsort/internal/obs"
 	"pmsort/internal/wire"
 )
 
@@ -163,6 +164,8 @@ func DeliverStream[E any](c comm.Communicator, pieces [][]E, opt Options, emit f
 	if r == 0 || r > c.Size() {
 		panic(fmt.Sprintf("delivery: %d pieces for %d PEs", r, c.Size()))
 	}
+	sp := obs.From(c).Start(obs.SpanDeliver)
+	defer sp.End()
 	var out [][]chunk[E]
 	switch opt.Strategy {
 	case Simple, Randomized:

@@ -17,6 +17,21 @@ import (
 // comparator path.
 var BackendKernels = []string{"keyed", "cmp", "cmp+prefix"}
 
+// writeLevelPhases prints one indented row per recursion level with the
+// four phase times in ms (max over PEs; see Stats.LevelPhaseNS). A nil
+// breakdown (tcp off / failed) prints nothing.
+func writeLevelPhases(w io.Writer, backend string, levels [][core.NumPhases]int64) {
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	for lv, row := range levels {
+		fmt.Fprintf(w, "       %-7s L%-2d sel=%9.3f  bucket=%9.3f  exch=%9.3f  sort=%9.3f\n",
+			backend, lv,
+			ms(row[core.PhaseSplitterSelection]),
+			ms(row[core.PhaseBucketProcessing]),
+			ms(row[core.PhaseDataDelivery]),
+			ms(row[core.PhaseLocalSort]))
+	}
+}
+
 // kernelSpec applies one kernel variant to a spec.
 func kernelSpec(spec Spec, kernel string) (Spec, error) {
 	switch kernel {
@@ -68,9 +83,10 @@ func Backends(w io.Writer, ps []int, n, reps int, seed uint64, tcp bool, kernels
 	fmt.Fprintf(w, "Backends: AMS-sort simulated vs native shared-memory vs TCP cluster, n=%d total, GOMAXPROCS=%d (wall: min of %d)\n",
 		n, runtime.GOMAXPROCS(0), reps)
 	fmt.Fprintf(w, "kernel: keyed = Config.Key radix; cmp = plain comparator (NoPrefix); cmp+prefix = comparator with the derived prefix cache.\n")
-	fmt.Fprintf(w, "exch = wall time of the data-delivery phase (the bulk exchange, incl. work overlapped into it); local = everything else.\n")
-	fmt.Fprintf(w, "%-6s %-10s %-2s %-8s %13s %16s %17s %13s %17s %15s %8s\n",
-		"p", "kernel", "k", "n/p", "sim-virt(ms)", "native-wall(ms)", "nat exch/local", "tcp-wall(ms)", "tcp exch/local", "1core-wall(ms)", "speedup")
+	fmt.Fprintf(w, "Per-level phase rows (ms, max over PEs): sel = splitter selection, bucket = bucket processing (classify + merge),\n")
+	fmt.Fprintf(w, "exch = data delivery (the bulk exchange, incl. work overlapped into it), sort = local sort. RLM-style level 0 holds the initial sort.\n")
+	fmt.Fprintf(w, "%-6s %-10s %-2s %-8s %13s %16s %13s %15s %8s\n",
+		"p", "kernel", "k", "n/p", "sim-virt(ms)", "native-wall(ms)", "tcp-wall(ms)", "1core-wall(ms)", "speedup")
 
 	// Sequential reference: one core sorting the whole input.
 	var seqNS int64 = 1<<63 - 1
@@ -114,20 +130,8 @@ func Backends(w io.Writer, ps []int, n, reps int, seed uint64, tcp bool, kernels
 				}
 			}
 
-			// Exchange vs local split: the data-delivery phase against the
-			// rest of the sort, so the overlap gains of the streaming
-			// exchange are visible per backend instead of being folded into
-			// one total.
-			phaseSplit := func(total int64, phase [core.NumPhases]int64) string {
-				exch := phase[core.PhaseDataDelivery]
-				local := total - exch
-				if local < 0 {
-					local = 0
-				}
-				return fmt.Sprintf("%.1f/%.1f", float64(exch)/1e6, float64(local)/1e6)
-			}
-
-			tcpCol, tcpSplit := "-", "-"
+			tcpCol := "-"
+			var tcpLevels [][core.NumPhases]int64
 			if tcp {
 				if progress != nil {
 					fmt.Fprintf(progress, "# backends p=%d kernel=%s tcp (one process per rank)\n", p, kernel)
@@ -139,19 +143,20 @@ func Backends(w io.Writer, ps []int, n, reps int, seed uint64, tcp bool, kernels
 					}
 				} else {
 					tcpCol = fmt.Sprintf("%.3f", float64(tcpRes.SortNS)/1e6)
-					tcpSplit = phaseSplit(tcpRes.SortNS, tcpRes.PhaseNS)
+					tcpLevels = tcpRes.LevelPhaseNS
 				}
 			}
 
-			fmt.Fprintf(w, "%-6d %-10s %-2d %-8d %13.3f %16.3f %17s %13s %17s %15.3f %8.2f\n",
+			fmt.Fprintf(w, "%-6d %-10s %-2d %-8d %13.3f %16.3f %13s %15.3f %8.2f\n",
 				p, kernel, k, perPE,
 				float64(simRes.TotalNS)/1e6,
 				float64(nativeNS)/1e6,
-				phaseSplit(nativeNS, nativeBest.PhaseNS),
 				tcpCol,
-				tcpSplit,
 				float64(seqNS)/1e6,
 				float64(seqNS)/float64(nativeNS))
+			writeLevelPhases(w, "sim", simRes.LevelPhaseNS)
+			writeLevelPhases(w, "native", nativeBest.LevelPhaseNS)
+			writeLevelPhases(w, "tcp", tcpLevels)
 		}
 	}
 	return nil

@@ -131,6 +131,9 @@ type Result struct {
 	TotalNS int64
 	// PhaseNS is the per-phase maximum over PEs, accumulated over levels.
 	PhaseNS [core.NumPhases]int64
+	// LevelPhaseNS is the per-level per-phase maximum over PEs (rows as
+	// in Stats.LevelPhaseNS; ragged rank vectors are max-merged row-wise).
+	LevelPhaseNS [][core.NumPhases]int64
 	// OutImbalance is max_PE |out|·p/n (1 = perfectly balanced output).
 	OutImbalance float64
 	// LevelImbalance is the largest per-level group imbalance (AMS).
@@ -234,6 +237,7 @@ func Run(spec Spec) Result {
 				res.PhaseNS[ph] = st.PhaseNS[ph]
 			}
 		}
+		res.LevelPhaseNS = maxLevels(res.LevelPhaseNS, st.LevelPhaseNS)
 		if st.MaxImbalance > res.LevelImbalance {
 			res.LevelImbalance = st.MaxImbalance
 		}
@@ -261,8 +265,26 @@ type NativeResult struct {
 	SortNS int64
 	// PhaseNS is the per-phase maximum over PEs.
 	PhaseNS [core.NumPhases]int64
+	// LevelPhaseNS is the per-level per-phase maximum over PEs.
+	LevelPhaseNS [][core.NumPhases]int64
 	// OutImbalance is max_PE |out|·p/n.
 	OutImbalance float64
+}
+
+// maxLevels max-merges one rank's per-level phase vector into the
+// aggregate, growing the aggregate to the deeper of the two.
+func maxLevels(agg, st [][core.NumPhases]int64) [][core.NumPhases]int64 {
+	for len(agg) < len(st) {
+		agg = append(agg, [core.NumPhases]int64{})
+	}
+	for lv := range st {
+		for ph := 0; ph < int(core.NumPhases); ph++ {
+			if st[lv][ph] > agg[lv][ph] {
+				agg[lv][ph] = st[lv][ph]
+			}
+		}
+	}
+	return agg
 }
 
 // RunNative executes and validates one run on the native backend (p
@@ -306,6 +328,7 @@ func (res *NativeResult) absorb(st *core.Stats, outLen int64, spec Spec) {
 			res.PhaseNS[ph] = st.PhaseNS[ph]
 		}
 	}
+	res.LevelPhaseNS = maxLevels(res.LevelPhaseNS, st.LevelPhaseNS)
 	if n := int64(spec.P) * int64(spec.PerPE); n > 0 {
 		imb := float64(outLen) * float64(spec.P) / float64(n)
 		if imb > res.OutImbalance {

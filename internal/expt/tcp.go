@@ -12,6 +12,7 @@ import (
 	"pmsort/internal/comm"
 	"pmsort/internal/core"
 	"pmsort/internal/netcomm"
+	"pmsort/internal/obs"
 )
 
 // Child-process environment protocol: a tool that wants to host TCP
@@ -23,6 +24,11 @@ const (
 	envTCPPeers  = "PMSORT_TCP_PEERS"  // comma-separated host:port list
 	envTCPSpec   = "PMSORT_TCP_SPEC"   // JSON-encoded Spec
 	envTCPResult = "PMSORT_TCP_RESULT" // path for the gob-encoded tcpChildResult
+	// envTCPTrace/envTCPReport enable observability tracing on every
+	// rank; rank 0 gathers the per-rank snapshots (clock-aligned) and
+	// writes the merged Chrome trace / text report to these paths.
+	envTCPTrace  = "PMSORT_TCP_TRACE"
+	envTCPReport = "PMSORT_TCP_REPORT"
 )
 
 // tcpChildResult is what one rank process reports back to the parent.
@@ -59,7 +65,9 @@ func runTCPChild() int {
 		return 2
 	}
 
-	m, err := netcomm.New(rank, peers, netcomm.Options{})
+	tracePath := os.Getenv(envTCPTrace)
+	reportPath := os.Getenv(envTCPReport)
+	m, err := netcomm.New(rank, peers, netcomm.Options{Obs: tracePath != "" || reportPath != ""})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tcp child %d: %v\n", rank, err)
 		return 1
@@ -67,14 +75,24 @@ func runTCPChild() int {
 	defer m.Close()
 
 	var res tcpChildResult
+	var trace *obs.Trace
 	_, err = m.Run(func(c comm.Communicator) {
 		out, st := RunOn(c, spec)
 		res.Stats = *st
 		res.OutLen = int64(len(out))
+		if tracePath != "" || reportPath != "" {
+			trace = obs.Gather(c, m.Recorder()) // non-nil on rank 0 only
+		}
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tcp child %d: %v\n", rank, err)
 		return 1
+	}
+	if trace != nil {
+		if err := writeTraceFiles(trace, tracePath, reportPath); err != nil {
+			fmt.Fprintf(os.Stderr, "tcp child %d: %v\n", rank, err)
+			return 1
+		}
 	}
 	if path := os.Getenv(envTCPResult); path != "" {
 		f, err := os.Create(path)
@@ -121,6 +139,19 @@ func ReserveLoopbackAddrs(p int) ([]string, error) {
 // down. All times are wall-clock nanoseconds. The returned NativeResult
 // aggregates the ranks exactly like RunNative does for goroutine-PEs.
 func RunTCP(spec Spec) (NativeResult, error) {
+	return runTCP(spec, "", "")
+}
+
+// RunTCPTraced is RunTCP with observability tracing on every rank:
+// after the sort, rank 0 gathers the per-rank trace snapshots with
+// clock-offset alignment and writes the merged Chrome trace JSON to
+// tracePath and/or the plain-text report to reportPath (empty paths are
+// skipped; at least one must be set for tracing to engage).
+func RunTCPTraced(spec Spec, tracePath, reportPath string) (NativeResult, error) {
+	return runTCP(spec, tracePath, reportPath)
+}
+
+func runTCP(spec Spec, tracePath, reportPath string) (NativeResult, error) {
 	var res NativeResult
 	exe, err := os.Executable()
 	if err != nil {
@@ -158,6 +189,8 @@ func RunTCP(spec Spec) (NativeResult, error) {
 			envTCPPeers+"="+peerList,
 			envTCPSpec+"="+string(specJSON),
 			envTCPResult+"="+filepath.Join(dir, fmt.Sprintf("rank%d.gob", rank)),
+			envTCPTrace+"="+tracePath,
+			envTCPReport+"="+reportPath,
 		)
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {

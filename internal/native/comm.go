@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pmsort/internal/comm"
+	"pmsort/internal/obs"
 )
 
 // Comm is the native backend's communicator: an ordered group of
@@ -86,3 +87,8 @@ func (c *Comm) Subset(lo, hi int) comm.Communicator {
 // Cost returns the wall-clock hook: annotations are free, Now reads
 // real elapsed time since the Run started.
 func (c *Comm) Cost() comm.Cost { return comm.WallClock{Epoch: c.pe.m.epoch} }
+
+// ObsRecorder returns this PE's obs recorder (nil unless the machine's
+// EnableObs was called) — the obs.Source hook; split communicators
+// share the PE and so stay traced.
+func (c *Comm) ObsRecorder() *obs.Recorder { return c.pe.m.ObsRecorder(c.pe.rank) }

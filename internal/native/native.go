@@ -13,11 +13,15 @@
 package native
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"pmsort/internal/comm"
+	"pmsort/internal/obs"
 )
 
 // Machine is a shared-memory machine of p PEs (goroutines).
@@ -28,6 +32,10 @@ type Machine struct {
 
 	worldOnce sync.Once
 	world     []int
+
+	// rec holds the per-PE obs recorders when EnableObs was called
+	// (nil otherwise — the disabled fast path).
+	rec []*obs.Recorder
 }
 
 // pe is one processing element. Its mailbox is drained only by the
@@ -65,6 +73,28 @@ func (m *Machine) worldRanks() []int {
 	return m.world
 }
 
+// EnableObs attaches one obs recorder per PE, timestamped by the wall
+// clock relative to the run epoch — the same clock the phase statistics
+// read — and labels the PE goroutines for CPU profiles.
+func (m *Machine) EnableObs() {
+	if m.rec != nil {
+		return
+	}
+	m.rec = make([]*obs.Recorder, m.p)
+	for i := range m.rec {
+		m.rec[i] = obs.NewRecorder(i, m.p, func() int64 { return time.Since(m.epoch).Nanoseconds() })
+	}
+}
+
+// ObsRecorder returns the given PE's obs recorder (nil when EnableObs
+// was not called).
+func (m *Machine) ObsRecorder(rank int) *obs.Recorder {
+	if m.rec == nil {
+		return nil
+	}
+	return m.rec[rank]
+}
+
 // Run executes fn once per PE, each on its own goroutine, handing every
 // PE its world communicator. It returns the wall-clock makespan of the
 // whole program. If any PE panics, Run re-panics on the calling
@@ -82,6 +112,15 @@ func (m *Machine) Run(fn func(c comm.Communicator)) time.Duration {
 					panics[p.rank] = fmt.Sprintf("PE %d: %v", p.rank, r)
 				}
 			}()
+			if m.rec != nil {
+				// Label the PE goroutine so CPU profiles attribute samples
+				// per rank; only when observability is on — labels cost an
+				// allocation per goroutine.
+				pprof.Do(context.Background(), pprof.Labels("pmsort_rank", strconv.Itoa(p.rank)), func(context.Context) {
+					fn(&Comm{pe: p, ranks: m.worldRanks(), me: p.rank})
+				})
+				return
+			}
 			fn(&Comm{pe: p, ranks: m.worldRanks(), me: p.rank})
 		}(m.pes[i])
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pmsort/internal/comm"
+	"pmsort/internal/obs"
 )
 
 // Comm is the TCP backend's communicator: an ordered group of process
@@ -92,3 +93,8 @@ func (c *Comm) Subset(lo, hi int) comm.Communicator {
 // Cost returns the wall-clock hook: annotations are free, Now reads
 // real elapsed time since this rank's Run started.
 func (c *Comm) Cost() comm.Cost { return comm.WallClock{Epoch: c.m.epoch} }
+
+// ObsRecorder returns this rank's obs recorder (nil unless Options.Obs
+// was set) — the obs.Source hook; split communicators share the machine
+// and so stay traced.
+func (c *Comm) ObsRecorder() *obs.Recorder { return c.m.rec }

@@ -3,6 +3,9 @@ package netcomm
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"pmsort/internal/obs"
 )
 
 // envelope is an in-flight point-to-point message.
@@ -33,6 +36,13 @@ type mailbox struct {
 	err    error        // fatal transport error, sticky
 	closed map[int]bool // peers that reached EOF (graceful hangup)
 	wake   chan struct{}
+
+	// Observability hooks (nil when off — the disabled path pays one nil
+	// check per put/park): depthMax tracks the high-watermark of
+	// undelivered messages, waitNS accumulates blocked-receive wait time.
+	depth    int // current undelivered count, guarded by mu
+	depthMax *obs.Counter
+	waitNS   *obs.Counter
 }
 
 func newMailbox() *mailbox {
@@ -55,7 +65,13 @@ func (mb *mailbox) put(from, tag int, e envelope) {
 	k := mbKey{from, tag}
 	mb.mu.Lock()
 	mb.queues[k] = append(mb.queues[k], e)
+	var depth int
+	if mb.depthMax != nil {
+		mb.depth++
+		depth = mb.depth
+	}
 	mb.mu.Unlock()
+	mb.depthMax.Max(int64(depth))
 	mb.signal()
 }
 
@@ -98,6 +114,9 @@ func (mb *mailbox) take(from, tag int) envelope {
 				q[len(q)-1] = envelope{}
 				mb.queues[k] = q[:len(q)-1]
 			}
+			if mb.depthMax != nil {
+				mb.depth--
+			}
 			mb.mu.Unlock()
 			return e
 		}
@@ -109,7 +128,13 @@ func (mb *mailbox) take(from, tag int) envelope {
 		if closed {
 			panic(fmt.Sprintf("netcomm: recv(from=%d, tag=%#x): peer closed the connection with no matching message", from, tag))
 		}
-		<-mb.wake
+		if mb.waitNS != nil {
+			t0 := time.Now()
+			<-mb.wake
+			mb.waitNS.Add(time.Since(t0).Nanoseconds())
+		} else {
+			<-mb.wake
+		}
 	}
 }
 

@@ -33,14 +33,18 @@ package netcomm
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"pmsort/internal/comm"
+	"pmsort/internal/obs"
 	"pmsort/internal/wire"
 )
 
@@ -79,6 +83,23 @@ type Options struct {
 	// RendezvousTimeout bounds the whole mesh construction (bind, dial
 	// retries, handshakes). 0 means 30s.
 	RendezvousTimeout time.Duration
+	// Obs attaches an obs recorder to this rank: the PE program's spans
+	// plus the transport counters (frames, vectored-write sizes, mailbox
+	// depth and blocked-receive wait). Off by default — the data path
+	// then carries no instrumentation beyond nil checks.
+	Obs bool
+}
+
+// netMetrics caches the transport's obs counter cells, looked up once
+// at machine construction. All pointers are nil when observability is
+// off, and every Counter method is nil-safe — the disabled data path
+// pays one nil check per site.
+type netMetrics struct {
+	framesOut   *obs.Counter
+	framesIn    *obs.Counter
+	writevCalls *obs.Counter
+	writevBytes *obs.Counter
+	bufWrites   *obs.Counter
 }
 
 // Machine is this process's endpoint of a TCP cluster: rank `rank` of
@@ -89,6 +110,9 @@ type Machine struct {
 	mbox  *mailbox
 	peers []*peer // indexed by rank; nil at m.rank
 	epoch time.Time
+
+	rec *obs.Recorder // nil unless Options.Obs
+	met netMetrics
 
 	closing  sync.Once
 	closeErr error
@@ -139,6 +163,20 @@ func New(rank int, addrs []string, opt Options) (*Machine, error) {
 	m.world = make([]int, p)
 	for i := range m.world {
 		m.world[i] = i
+	}
+	if opt.Obs {
+		// The recorder's clock shares its zero with the Stats clock: wall
+		// time since the run epoch (set by Run's alignment barrier).
+		m.rec = obs.NewRecorder(rank, p, func() int64 { return time.Since(m.epoch).Nanoseconds() })
+		m.met = netMetrics{
+			framesOut:   m.rec.Counter(obs.CtrNetFramesOut),
+			framesIn:    m.rec.Counter(obs.CtrNetFramesIn),
+			writevCalls: m.rec.Counter(obs.CtrNetWritevCalls),
+			writevBytes: m.rec.Counter(obs.CtrNetWritevBytes),
+			bufWrites:   m.rec.Counter(obs.CtrNetBufWrites),
+		}
+		m.mbox.depthMax = m.rec.Counter(obs.CtrMboxDepthMax)
+		m.mbox.waitNS = m.rec.Counter(obs.CtrMboxWaitNS)
 	}
 	if p == 1 {
 		return m, nil
@@ -414,9 +452,19 @@ func (m *Machine) Run(fn func(c comm.Communicator)) (d time.Duration, err error)
 	epochBarrier(world)
 	start = time.Now()
 	m.epoch = start
+	if m.rec != nil {
+		// Label the PE goroutine for CPU profiles (obs-enabled runs only).
+		pprof.Do(context.Background(), pprof.Labels("pmsort_rank", strconv.Itoa(m.rank)), func(context.Context) {
+			fn(world)
+		})
+		return d, nil
+	}
 	fn(world)
 	return d, nil
 }
+
+// Recorder returns this rank's obs recorder (nil unless Options.Obs).
+func (m *Machine) Recorder() *obs.Recorder { return m.rec }
 
 // tagEpoch is reserved for Run's epoch-alignment barrier. Tag reuse by
 // the algorithms is harmless — (sender, tag) FIFO keeps streams apart —
@@ -466,6 +514,11 @@ func (m *Machine) enqueue(to, tag int, payload any, words int64) {
 // has consumed the bulk data (DESIGN.md §10).
 func (m *Machine) writeLoop(pr *peer) {
 	defer close(pr.done)
+	if m.rec != nil {
+		// Label the IO goroutine for CPU profiles (obs-enabled runs only).
+		pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+			pprof.Labels("pmsort_io", "write", "pmsort_peer", strconv.Itoa(pr.rank))))
+	}
 	bw := bufio.NewWriterSize(pr.conn, 1<<16)
 	w := wire.NewWriter()
 	aligned := wire.HostLittleEndian()
@@ -511,6 +564,7 @@ func (m *Machine) writeLoop(pr *peer) {
 					m.fail(fmt.Errorf("writing to rank %d: %w", pr.rank, err))
 					return
 				}
+				m.met.bufWrites.Add(1)
 			} else {
 				// Large or multi-segment frame: flush the batched small
 				// messages, then hand all segments — frame headers and
@@ -524,7 +578,10 @@ func (m *Machine) writeLoop(pr *peer) {
 					m.fail(fmt.Errorf("writing to rank %d: %w", pr.rank, err))
 					return
 				}
+				m.met.writevCalls.Add(1)
+				m.met.writevBytes.Add(int64(total) + 4)
 			}
+			m.met.framesOut.Add(1)
 			// The kernel copied the frame arena during the write; reuse
 			// it. Payload view segments belong to the (immutable,
 			// post-Send) payload and are dropped.
@@ -562,6 +619,10 @@ func (m *Machine) writeLoop(pr *peer) {
 // scratch buffer, with copies carved from the reader's bump arena.
 func (m *Machine) readLoop(pr *peer) {
 	defer close(pr.rdone)
+	if m.rec != nil {
+		pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+			pprof.Labels("pmsort_io", "read", "pmsort_peer", strconv.Itoa(pr.rank))))
+	}
 	br := bufio.NewReaderSize(pr.conn, 1<<16)
 	r := wire.NewReader()
 	var body []byte
@@ -621,6 +682,7 @@ func (m *Machine) readLoop(pr *peer) {
 			m.fail(fmt.Errorf("frame from rank %d has %d trailing bytes (tag %#x)", pr.rank, len(rest), tag))
 			return
 		}
+		m.met.framesIn.Add(1)
 		m.mbox.put(pr.rank, int(tag), envelope{payload: payload, words: int64(words)})
 		if aliased {
 			body = nil // handed off with the payload; next frame gets a fresh buffer

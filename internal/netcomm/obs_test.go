@@ -1,0 +1,105 @@
+package netcomm
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"pmsort/internal/comm"
+	"pmsort/internal/core"
+	"pmsort/internal/obs"
+	"pmsort/internal/workload"
+)
+
+// TestTCPObsLoopbackMerge is the acceptance test of the trace gather: a
+// 4-rank loopback cluster with tracing on sorts, gathers the per-rank
+// snapshots at rank 0 with clock alignment, and the merged trace must
+// validate — every rank present exactly once, every rank carrying its
+// own sort spans and transport counters — and export parseable Chrome
+// trace JSON.
+func TestTCPObsLoopbackMerge(t *testing.T) {
+	const p, perPE = 4, 2000
+	addrs := reserveAddrs(t, p)
+	var trace *obs.Trace
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for rank := 0; rank < p; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			m, err := New(rank, addrs, Options{Obs: true, RendezvousTimeout: 20 * time.Second})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer m.Close()
+			_, errs[rank] = m.Run(func(c comm.Communicator) {
+				data := workload.Local(workload.Uniform, 7, p, perPE, rank)
+				core.AMSSort(c, data, func(a, b uint64) bool { return a < b },
+					core.Config{Levels: 1, Seed: 7, Key: func(x uint64) uint64 { return x }})
+				if tr := obs.Gather(c, m.Recorder()); tr != nil {
+					trace = tr
+				}
+			})
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	if trace == nil {
+		t.Fatal("rank 0 did not receive the merged trace")
+	}
+	if err := trace.Validate(); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+
+	seen := map[int32]int{}
+	for _, snap := range trace.Snaps {
+		seen[snap.Rank]++
+		sorts := 0
+		framesOut := int64(-1)
+		for _, sp := range snap.Spans {
+			if sp.Name == obs.SpanAMS {
+				sorts++
+			}
+		}
+		for _, c := range snap.Counters {
+			if c.Name == obs.CtrNetFramesOut {
+				framesOut = c.Value
+			}
+		}
+		if sorts != 1 {
+			t.Errorf("rank %d: %d %q spans, want exactly 1", snap.Rank, sorts, obs.SpanAMS)
+		}
+		if framesOut <= 0 {
+			t.Errorf("rank %d: missing transport frame counter (%d)", snap.Rank, framesOut)
+		}
+	}
+	if len(seen) != p {
+		t.Fatalf("merged trace covers %d ranks, want %d", len(seen), p)
+	}
+	for rank := int32(0); rank < p; rank++ {
+		if seen[rank] != 1 {
+			t.Errorf("rank %d appears %d times in the merged trace", rank, seen[rank])
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome trace JSON does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("Chrome trace JSON has no events")
+	}
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Trace is a merged run trace: one Snapshot per rank, clock-aligned to
+// rank 0's timeline. It is what Gather returns on rank 0 and what the
+// exporters consume.
+type Trace struct {
+	Snaps []Snapshot
+}
+
+// chromeEvent is one Chrome trace-event object ("X" complete events for
+// spans, "M" metadata events for process names, "C" counter events for
+// the per-rank counters). Timestamps and durations are microseconds, as
+// the format requires; Perfetto and chrome://tracing both load the
+// resulting JSON directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int32          `json:"pid"`
+	Tid  int32          `json:"tid"`
+	Ts   float64        `json:"ts,omitempty"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes the trace as Chrome trace-event JSON: one process
+// per rank (pid = rank), spans as complete events with their element
+// count, imbalance, and level in args, counters as a trailing counter
+// event per rank. Timestamps are shifted so the earliest span in the
+// trace lands at t=0 — Chrome's UI dislikes negative timestamps, which
+// clock alignment can otherwise produce.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	shift := int64(0)
+	first := true
+	for _, s := range t.Snaps {
+		for _, sp := range s.Spans {
+			if first || sp.Start < shift {
+				shift = sp.Start
+				first = false
+			}
+		}
+	}
+	var events []chromeEvent
+	for _, s := range t.Snaps {
+		events = append(events, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  s.Rank,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", s.Rank)},
+		})
+		for _, sp := range s.Spans {
+			end := sp.End
+			if end < sp.Start {
+				end = sp.Start // open span: zero-duration marker
+			}
+			args := map[string]any{}
+			if sp.Level >= 0 {
+				args["level"] = sp.Level
+			}
+			if sp.N >= 0 {
+				args["n"] = sp.N
+			}
+			if sp.Imb != 0 {
+				args["imb"] = sp.Imb
+			}
+			if len(args) == 0 {
+				args = nil
+			}
+			events = append(events, chromeEvent{
+				Name: sp.Name,
+				Ph:   "X",
+				Pid:  s.Rank,
+				Tid:  0,
+				Ts:   float64(sp.Start-shift) / 1e3,
+				Dur:  float64(end-sp.Start) / 1e3,
+				Args: args,
+			})
+		}
+		for _, c := range s.Counters {
+			events = append(events, chromeEvent{
+				Name: c.Name,
+				Ph:   "C",
+				Pid:  s.Rank,
+				Ts:   0,
+				Args: map[string]any{"value": c.Value},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ns"})
+}
+
+// WriteReport writes a plain-text run report: per rank, the span tree
+// rolled up by (level, name) with total durations and element counts,
+// then counters and per-peer traffic.
+func (t *Trace) WriteReport(w io.Writer) error {
+	for _, s := range t.Snaps {
+		if _, err := fmt.Fprintf(w, "== rank %d/%d", s.Rank, s.P); err != nil {
+			return err
+		}
+		if s.ClockOffsetNS != 0 {
+			fmt.Fprintf(w, "  (clock offset %+d ns)", s.ClockOffsetNS)
+		}
+		fmt.Fprintln(w)
+		type key struct {
+			level int32
+			depth int32
+			name  string
+		}
+		agg := map[key]*struct {
+			ns    int64
+			n     int64
+			count int64
+			imb   float64
+		}{}
+		var order []key
+		for _, sp := range s.Spans {
+			k := key{sp.Level, sp.Depth, sp.Name}
+			a := agg[k]
+			if a == nil {
+				a = &struct {
+					ns    int64
+					n     int64
+					count int64
+					imb   float64
+				}{}
+				agg[k] = a
+				order = append(order, k)
+			}
+			if sp.End >= sp.Start {
+				a.ns += sp.End - sp.Start
+			}
+			if sp.N >= 0 {
+				a.n += sp.N
+			}
+			if sp.Imb > a.imb {
+				a.imb = sp.Imb
+			}
+			a.count++
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			if order[i].level != order[j].level {
+				return order[i].level < order[j].level
+			}
+			return order[i].depth < order[j].depth
+		})
+		for _, k := range order {
+			a := agg[k]
+			indent := ""
+			for i := int32(0); i < k.depth; i++ {
+				indent += "  "
+			}
+			lvl := "     "
+			if k.level >= 0 {
+				lvl = fmt.Sprintf("L%-4d", k.level)
+			}
+			fmt.Fprintf(w, "  %s %s%-20s %12.3f ms", lvl, indent, k.name, float64(a.ns)/1e6)
+			if a.n > 0 {
+				fmt.Fprintf(w, "  n=%d", a.n)
+			}
+			if a.imb > 0 {
+				fmt.Fprintf(w, "  imb=%.3f", a.imb)
+			}
+			if a.count > 1 {
+				fmt.Fprintf(w, "  (x%d)", a.count)
+			}
+			fmt.Fprintln(w)
+		}
+		for _, c := range s.Counters {
+			fmt.Fprintf(w, "  ctr   %-24s %d\n", c.Name, c.Value)
+		}
+		for _, p := range s.Peers {
+			fmt.Fprintf(w, "  peer  %-4d sent %d msgs / %d words, recv %d msgs / %d words\n",
+				p.Peer, p.SentMsgs, p.SentWords, p.RecvMsgs, p.RecvWords)
+		}
+	}
+	return nil
+}
+
+// Validate checks the merged trace's structural invariants: every rank
+// 0..P-1 present exactly once, every span closed with End ≥ Start, span
+// starts monotone non-decreasing per rank (spans are recorded in start
+// order), and nesting consistent (a span's interval lies within its
+// nearest open ancestor's). Returns the first violation found.
+func (t *Trace) Validate() error {
+	if len(t.Snaps) == 0 {
+		return fmt.Errorf("obs: empty trace")
+	}
+	p := int(t.Snaps[0].P)
+	if len(t.Snaps) != p {
+		return fmt.Errorf("obs: trace has %d snapshots for p=%d", len(t.Snaps), p)
+	}
+	seen := make([]bool, p)
+	for _, s := range t.Snaps {
+		if s.Rank < 0 || int(s.Rank) >= p {
+			return fmt.Errorf("obs: snapshot rank %d out of range [0,%d)", s.Rank, p)
+		}
+		if seen[s.Rank] {
+			return fmt.Errorf("obs: rank %d appears twice", s.Rank)
+		}
+		seen[s.Rank] = true
+		if int(s.P) != p {
+			return fmt.Errorf("obs: rank %d reports p=%d, want %d", s.Rank, s.P, p)
+		}
+		var open []SpanRec // stack of enclosing spans
+		prevStart := int64(0)
+		for i, sp := range s.Spans {
+			if sp.End < sp.Start {
+				return fmt.Errorf("obs: rank %d span %d (%s) not closed (start=%d end=%d)", s.Rank, i, sp.Name, sp.Start, sp.End)
+			}
+			if i > 0 && sp.Start < prevStart {
+				return fmt.Errorf("obs: rank %d span %d (%s) starts at %d before previous start %d", s.Rank, i, sp.Name, sp.Start, prevStart)
+			}
+			prevStart = sp.Start
+			// Pop ancestors this span no longer nests under.
+			for len(open) > int(sp.Depth) {
+				open = open[:len(open)-1]
+			}
+			if int(sp.Depth) != len(open) {
+				return fmt.Errorf("obs: rank %d span %d (%s) has depth %d with %d open ancestors", s.Rank, i, sp.Name, sp.Depth, len(open))
+			}
+			if len(open) > 0 {
+				parent := open[len(open)-1]
+				if sp.Start < parent.Start || sp.End > parent.End {
+					return fmt.Errorf("obs: rank %d span %d (%s [%d,%d]) escapes parent %s [%d,%d]",
+						s.Rank, i, sp.Name, sp.Start, sp.End, parent.Name, parent.Start, parent.End)
+				}
+			}
+			open = append(open, sp)
+		}
+	}
+	for r, ok := range seen {
+		if !ok {
+			return fmt.Errorf("obs: rank %d missing from trace", r)
+		}
+	}
+	return nil
+}

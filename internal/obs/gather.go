@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"pmsort/internal/comm"
+	"pmsort/internal/wire"
+)
+
+// Tag space for the trace gather, outside the collectives' 0x7c block,
+// netcomm's 0x7b epoch tag, and the experiment harness's 0x7f block.
+const (
+	tagObsSync   = 0x7d0001
+	tagObsGather = 0x7d0002
+)
+
+func init() {
+	wire.Register[Snapshot]()
+	wire.Register[int64]()
+}
+
+// Gather merges the members' recorders into one clock-aligned Trace at
+// rank 0 (other ranks get nil). It must be called collectively on c —
+// normally the world communicator after the sort finishes.
+//
+// Clock alignment: the per-rank clocks already share an epoch on the
+// in-process backends (the sim's virtual time is global; the native
+// machine's wall clock has one epoch), but the TCP backend's ranks are
+// separate processes whose run epochs differ by the scatter of the
+// startup barrier. Before collecting each peer's snapshot, rank 0 runs
+// one rendezvous round: it sends its clock t0, the peer replies with
+// its clock tr, rank 0 receives the reply at t1 and estimates the
+// peer's clock offset as tr − (t0+t1)/2 — the NTP midpoint estimate,
+// exact when the two message delays are symmetric. The peer's span
+// timestamps are shifted onto rank 0's timeline by subtracting the
+// offset. On the in-process backends the estimate degenerates to ≈0
+// (exactly 0 on the simulator, whose barriered virtual clocks agree),
+// so the same code is backend-neutral. See DESIGN.md §12.
+func Gather(c comm.Communicator, r *Recorder) *Trace {
+	p := c.Size()
+	if c.Rank() != 0 {
+		pl, _ := c.Recv(0, tagObsSync)
+		_ = pl // rank 0's t0; only the reply timestamp matters to the estimate
+		c.Send(0, tagObsSync, r.Now(), 1)
+		snap := r.Snapshot()
+		c.Send(0, tagObsGather, snap, int64(len(snap.Spans))*8+int64(len(snap.Counters))*2)
+		return nil
+	}
+	t := &Trace{Snaps: make([]Snapshot, 0, p)}
+	self := r.Snapshot()
+	if self.Rank < 0 {
+		// Disabled recorder at the root: synthesize an empty snapshot so
+		// the merged trace still carries every rank (peers may be enabled).
+		self = Snapshot{Rank: 0, P: int32(p)}
+	}
+	t.Snaps = append(t.Snaps, self)
+	for peer := 1; peer < p; peer++ {
+		t0 := r.Now()
+		c.Send(peer, tagObsSync, t0, 1)
+		pl, _ := c.Recv(peer, tagObsSync)
+		t1 := r.Now()
+		tr := pl.(int64)
+		offset := tr - (t0+t1)/2
+		pl, _ = c.Recv(peer, tagObsGather)
+		snap := pl.(Snapshot)
+		if snap.Rank < 0 {
+			snap = Snapshot{Rank: int32(peer), P: int32(p)}
+		}
+		for i := range snap.Spans {
+			snap.Spans[i].Start -= offset
+			if snap.Spans[i].End >= 0 {
+				snap.Spans[i].End -= offset
+			}
+		}
+		snap.ClockOffsetNS = -offset
+		t.Snaps = append(t.Snaps, snap)
+	}
+	return t
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pmsort/internal/comm"
+	"pmsort/internal/obs"
 )
 
 // Comm is a communicator: an ordered group of PEs (identified by global
@@ -121,6 +122,11 @@ func (c *Comm) subset(lo, hi int) *Comm {
 // Cost returns the hook charging cost annotations against this PE's
 // virtual clock under the machine's cost model.
 func (c *Comm) Cost() comm.Cost { return costHook{c} }
+
+// ObsRecorder returns this PE's obs recorder (nil unless the machine's
+// EnableObs was called) — the obs.Source hook; split communicators
+// share the PE and so stay traced.
+func (c *Comm) ObsRecorder() *obs.Recorder { return c.pe.m.ObsRecorder(c.pe.rank) }
 
 // Link classifies the network link between this PE and member `to`.
 func (c *Comm) Link(to int) LinkClass {

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"sync"
+
+	"pmsort/internal/obs"
 )
 
 // Machine is a simulated distributed-memory machine of p PEs.
@@ -17,6 +19,10 @@ type Machine struct {
 
 	// trace collects Send/Recv/Mark events when enabled (trace.go).
 	trace *tracer
+
+	// rec holds the per-PE obs recorders when EnableObs was called
+	// (nil otherwise — the disabled fast path).
+	rec []*obs.Recorder
 }
 
 // New creates a machine with p PEs, the given topology and cost model.
@@ -47,6 +53,29 @@ func (m *Machine) Topology() Topology { return m.topo }
 // PE returns the PE with the given rank. Exposed for counter inspection
 // between runs; PE methods remain bound to the goroutine running it.
 func (m *Machine) PE(rank int) *PE { return m.pes[rank] }
+
+// EnableObs attaches one obs recorder per PE, timestamped by the PE's
+// virtual clock — spans recorded by the backend-neutral instrumentation
+// land in virtual time, consistent with the Stats phase timings.
+func (m *Machine) EnableObs() {
+	if m.rec != nil {
+		return
+	}
+	m.rec = make([]*obs.Recorder, m.p)
+	for i, pe := range m.pes {
+		pe := pe
+		m.rec[i] = obs.NewRecorder(i, m.p, pe.Now)
+	}
+}
+
+// ObsRecorder returns the given PE's obs recorder (nil when EnableObs
+// was not called).
+func (m *Machine) ObsRecorder(rank int) *obs.Recorder {
+	if m.rec == nil {
+		return nil
+	}
+	return m.rec[rank]
+}
 
 // RunResult summarizes a bulk-synchronous program execution.
 type RunResult struct {
@@ -101,5 +130,8 @@ func (m *Machine) Reset() {
 		}
 		pe.now = 0
 		pe.ResetCounters()
+	}
+	for _, r := range m.rec {
+		r.Reset()
 	}
 }

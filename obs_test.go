@@ -1,0 +1,196 @@
+package pmsort
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"pmsort/internal/obs"
+)
+
+func obsTestLocals(p, perPE int) [][]uint64 {
+	locals := make([][]uint64, p)
+	for rank := range locals {
+		rng := rand.New(rand.NewSource(int64(rank) + 99))
+		locals[rank] = make([]uint64, perPE)
+		for i := range locals[rank] {
+			locals[rank][i] = rng.Uint64()
+		}
+	}
+	return locals
+}
+
+// parseChrome unmarshals a Chrome trace buffer and returns the set of
+// pids carrying "X" span events.
+func parseChrome(t *testing.T, buf []byte) map[int32]int {
+	t.Helper()
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int32  `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("Chrome trace JSON does not parse: %v", err)
+	}
+	pids := map[int32]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			pids[ev.Pid]++
+		}
+	}
+	return pids
+}
+
+// TestObsNativeGatherTrace runs a traced sort on the native backend
+// through the public API and checks the merged trace end to end.
+func TestObsNativeGatherTrace(t *testing.T) {
+	const p = 4
+	cl := NewNative(p)
+	cl.EnableObs()
+	locals := obsTestLocals(p, 3000)
+	var trace *ObsTrace
+	cl.Run(func(c Communicator) {
+		_, _ = AMSSort(c, locals[c.Rank()], u64Less, Config{Levels: 1, Seed: 5, Key: u64Key})
+		if tr := GatherTrace(c); tr != nil {
+			trace = tr
+		}
+	})
+	if trace == nil {
+		t.Fatal("GatherTrace returned nil on rank 0")
+	}
+	if err := trace.Validate(); err != nil {
+		t.Fatalf("merged native trace invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pids := parseChrome(t, buf.Bytes())
+	if len(pids) != p {
+		t.Fatalf("trace spans cover %d ranks, want %d", len(pids), p)
+	}
+	var report bytes.Buffer
+	if err := trace.WriteReport(&report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+// TestObsSimMultiLevel checks the simulated backend's virtual-time
+// trace on a two-level sort: level spans for both levels, and the
+// satellite Stats breakdown — per-level phase columns summing exactly
+// to the per-phase totals.
+func TestObsSimMultiLevel(t *testing.T) {
+	const p, perPE = 64, 200
+	cl := New(p)
+	cl.EnableObs()
+	locals := obsTestLocals(p, perPE)
+	allStats := make([]*Stats, p)
+	var trace *ObsTrace
+	cl.Run(func(pe *PE) {
+		c := World(pe)
+		_, st := AMSSort(c, locals[pe.Rank()], u64Less, Config{Levels: 2, Seed: 5, Key: u64Key})
+		allStats[pe.Rank()] = st
+		if tr := GatherTrace(c); tr != nil {
+			trace = tr
+		}
+	})
+
+	for rank, st := range allStats {
+		if len(st.LevelPhaseNS) < 2 {
+			t.Fatalf("rank %d: %d levels in LevelPhaseNS, want >= 2", rank, len(st.LevelPhaseNS))
+		}
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			var sum int64
+			for _, row := range st.LevelPhaseNS {
+				sum += row[ph]
+			}
+			if sum != st.PhaseNS[ph] {
+				t.Errorf("rank %d phase %v: level columns sum to %d, PhaseNS %d",
+					rank, ph, sum, st.PhaseNS[ph])
+			}
+		}
+	}
+
+	if trace == nil {
+		t.Fatal("GatherTrace returned nil on rank 0")
+	}
+	if err := trace.Validate(); err != nil {
+		t.Fatalf("merged sim trace invalid: %v", err)
+	}
+	levels := map[int32]int{}
+	for _, snap := range trace.Snaps {
+		for _, sp := range snap.Spans {
+			if sp.Name == obs.SpanLevel {
+				levels[sp.Level]++
+			}
+		}
+	}
+	if levels[0] != p || levels[1] != p {
+		t.Fatalf("level spans per level: %v, want %d each for levels 0 and 1", levels, p)
+	}
+}
+
+// TestObsGatherDisabled: gathering from an untracked cluster still
+// produces a valid (empty) merged trace covering every rank.
+func TestObsGatherDisabled(t *testing.T) {
+	const p = 2
+	cl := NewNative(p)
+	locals := obsTestLocals(p, 100)
+	var trace *ObsTrace
+	cl.Run(func(c Communicator) {
+		_, _ = AMSSort(c, locals[c.Rank()], u64Less, Config{Levels: 1, Seed: 5})
+		if tr := GatherTrace(c); tr != nil {
+			trace = tr
+		}
+	})
+	if trace == nil {
+		t.Fatal("GatherTrace returned nil on rank 0")
+	}
+	if err := trace.Validate(); err != nil {
+		t.Fatalf("disabled-tracing gather invalid: %v", err)
+	}
+	if len(trace.Snaps) != p {
+		t.Fatalf("%d snapshots, want %d", len(trace.Snaps), p)
+	}
+	for _, snap := range trace.Snaps {
+		if len(snap.Spans) != 0 {
+			t.Errorf("rank %d: %d spans with tracing off", snap.Rank, len(snap.Spans))
+		}
+	}
+}
+
+// TestObsRLMLevelPhase: RLM charges its initial sort to level 0 and its
+// level columns also sum exactly to the phase totals.
+func TestObsRLMLevelPhase(t *testing.T) {
+	const p = 8
+	cl := NewNative(p)
+	locals := obsTestLocals(p, 2000)
+	allStats := make([]*Stats, p)
+	cl.Run(func(c Communicator) {
+		_, st := RLMSort(c, locals[c.Rank()], u64Less, Config{Levels: 1, Seed: 5, Key: u64Key})
+		allStats[c.Rank()] = st
+	})
+	for rank, st := range allStats {
+		if len(st.LevelPhaseNS) == 0 {
+			t.Fatalf("rank %d: empty LevelPhaseNS", rank)
+		}
+		if st.LevelPhaseNS[0][PhaseLocalSort] == 0 {
+			t.Errorf("rank %d: initial sort not charged to level 0", rank)
+		}
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			var sum int64
+			for _, row := range st.LevelPhaseNS {
+				sum += row[ph]
+			}
+			if sum != st.PhaseNS[ph] {
+				t.Errorf("rank %d phase %v: level columns sum to %d, PhaseNS %d",
+					rank, ph, sum, st.PhaseNS[ph])
+			}
+		}
+	}
+}

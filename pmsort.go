@@ -81,6 +81,7 @@ import (
 	"pmsort/internal/msel"
 	"pmsort/internal/native"
 	"pmsort/internal/netcomm"
+	"pmsort/internal/obs"
 	"pmsort/internal/sim"
 	"pmsort/internal/wire"
 )
@@ -320,6 +321,87 @@ func (cl *Cluster) Trace() []Event { return cl.m.Trace() }
 
 // WriteTrace dumps the trace in a one-line-per-event text format.
 func (cl *Cluster) WriteTrace(w io.Writer) error { return cl.m.WriteTrace(w) }
+
+// Observability (internal/obs): a backend-neutral tracer per rank —
+// nestable spans with the backend's native clock (virtual nanoseconds on
+// the simulator, wall-clock on native/TCP), named counters, and per-peer
+// traffic tables. Tracing is off by default and costs nothing while off
+// (every recording call is a nil-receiver no-op; benchmark-pinned).
+// Enable it on the cluster, run a sort, then GatherTrace and export:
+//
+//	cl := pmsort.NewNative(4)
+//	cl.EnableObs()
+//	var trace *pmsort.ObsTrace
+//	cl.Run(func(c pmsort.Communicator) {
+//		sorted, _ := pmsort.AMSSort(c, data[c.Rank()], less, cfg)
+//		if t := pmsort.GatherTrace(c); t != nil { trace = t } // rank 0
+//	})
+//	trace.WriteChrome(f)    // chrome://tracing / Perfetto JSON
+//	trace.WriteReport(os.Stdout)
+type (
+	// ObsRecorder is one rank's tracer; recording methods on a nil
+	// recorder are no-ops, which is the disabled path.
+	ObsRecorder = obs.Recorder
+	// ObsSnapshot is one rank's frozen trace (spans, counters, peers).
+	ObsSnapshot = obs.Snapshot
+	// ObsTrace is the merged multi-rank trace GatherTrace returns; it
+	// exports WriteChrome, WriteReport, and Validate.
+	ObsTrace = obs.Trace
+	// ObsSpan is one recorded span interval.
+	ObsSpan = obs.SpanRec
+)
+
+// EnableObs attaches an observability recorder to every PE; subsequent
+// sorts emit spans and counters with virtual timestamps. Call before
+// Run.
+func (cl *Cluster) EnableObs() { cl.m.EnableObs() }
+
+// ObsRecorder returns rank's recorder (nil before EnableObs).
+func (cl *Cluster) ObsRecorder(rank int) *ObsRecorder { return cl.m.ObsRecorder(rank) }
+
+// EnableObs attaches an observability recorder to every PE; subsequent
+// sorts emit spans and counters with wall-clock timestamps, and PE
+// goroutines get pprof labels (pmsort_rank). Call before Run.
+func (cl *NativeCluster) EnableObs() { cl.m.EnableObs() }
+
+// ObsRecorder returns rank's recorder (nil before EnableObs).
+func (cl *NativeCluster) ObsRecorder(rank int) *ObsRecorder { return cl.m.ObsRecorder(rank) }
+
+// TCPOptions configures a TCP cluster endpoint beyond the defaults.
+type TCPOptions struct {
+	// Obs attaches an observability recorder to this rank: sorts emit
+	// spans and counters, the transport counts frames and vectored
+	// writes, the mailbox tracks queue depth and blocked-receive wait,
+	// and the IO goroutines get pprof labels.
+	Obs bool
+}
+
+// NewTCPOpts is NewTCP with explicit options.
+func NewTCPOpts(rank int, peers []string, opt TCPOptions) (*TCPCluster, error) {
+	m, err := netcomm.New(rank, peers, netcomm.Options{Obs: opt.Obs})
+	if err != nil {
+		return nil, err
+	}
+	return &TCPCluster{m: m}, nil
+}
+
+// ObsRecorder returns this rank's recorder (nil unless the cluster was
+// created with TCPOptions.Obs).
+func (cl *TCPCluster) ObsRecorder() *ObsRecorder { return cl.m.Recorder() }
+
+// RecorderOf returns the observability recorder attached to a
+// communicator, or nil when tracing is off — the hook PE programs use
+// to add their own spans and counters next to the built-in ones.
+func RecorderOf(c Communicator) *ObsRecorder { return obs.From(c) }
+
+// GatherTrace collects every rank's trace snapshot at rank 0 and
+// returns the merged trace there (nil on all other ranks). Collective
+// call, made inside the PE program after the instrumented work. On the
+// TCP backend the per-rank clocks are aligned with an NTP-style
+// midpoint exchange before merging; on sim/native the offsets are ≈0.
+// Ranks that never enabled tracing contribute empty snapshots, so the
+// merged trace always covers all ranks.
+func GatherTrace(c Communicator) *ObsTrace { return obs.Gather(c, obs.From(c)) }
 
 // World returns the communicator containing all PEs of pe's cluster.
 func World(pe *PE) *Comm { return sim.World(pe) }
