@@ -1,0 +1,331 @@
+// Command sortload hammers a sort service (sortnode -serve) with many
+// small concurrent jobs and validates every result — the traffic
+// generator for the service layer.
+//
+// Against a running service:
+//
+//	sortload -url http://127.0.0.1:8080 -jobs 1000 -concurrency 8 -n 4096
+//
+// Self-contained (brings up a p-rank loopback cluster inside this
+// process — real TCP sockets and a real HTTP server — runs the load,
+// and shuts it down):
+//
+//	sortload -local -p 4 -jobs 1000 -concurrency 16 -n 4096
+//
+// Each job is either a workload-spec sort (the service generates the
+// input from a seed; sortload independently recomputes the expected
+// multiset hash) or — for -rawpct of jobs — a raw-key sort (sortload
+// generates random keys, submits them, and compares the returned keys
+// against its own sorted copy). Jobs cycle through -kinds and use
+// distinct seeds. Any wrong answer, failed job, or non-2xx response
+// counts as a failure and makes sortload exit 1. The run ends with a
+// GET /metrics scrape and a one-line summary.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmsort/internal/comm"
+	"pmsort/internal/netcomm"
+	"pmsort/internal/prng"
+	"pmsort/internal/svc"
+	"pmsort/internal/workload"
+)
+
+var kindVals = map[string]workload.Kind{
+	"uniform":       workload.Uniform,
+	"skewed":        workload.Skewed,
+	"dup-heavy":     workload.DupHeavy,
+	"sorted":        workload.Sorted,
+	"reverse":       workload.Reverse,
+	"almost-sorted": workload.AlmostSorted,
+}
+
+func main() {
+	var (
+		url         = flag.String("url", "", "base URL of a running sort service")
+		local       = flag.Bool("local", false, "bring up an in-process loopback service instead of -url")
+		p           = flag.Int("p", 4, "cluster size for -local")
+		jobs        = flag.Int("jobs", 1000, "total jobs to submit")
+		concurrency = flag.Int("concurrency", 8, "concurrent submitters")
+		n           = flag.Int64("n", 4096, "total elements per job")
+		algoStr     = flag.String("algo", "ams", "algorithm for every job")
+		kindsStr    = flag.String("kinds", "uniform,dup-heavy,sorted", "comma-separated workload kinds, cycled across jobs")
+		levels      = flag.Int("levels", 1, "recursion levels per job")
+		rawPct      = flag.Int("rawpct", 20, "percent of jobs submitted as raw keys (0-100)")
+		seed        = flag.Uint64("seed", 1, "base seed; job i uses seed+i")
+		verbose     = flag.Bool("v", false, "log every failure as it happens")
+	)
+	flag.Parse()
+
+	kinds := strings.Split(*kindsStr, ",")
+	for _, k := range kinds {
+		if _, ok := kindVals[strings.TrimSpace(k)]; !ok {
+			fatalf("unknown kind %q (one-pe is not load-generator material)", k)
+		}
+	}
+	if *rawPct < 0 || *rawPct > 100 {
+		fatalf("-rawpct must be 0-100")
+	}
+
+	ld := &loader{
+		jobs:        *jobs,
+		concurrency: *concurrency,
+		n:           *n,
+		algo:        *algoStr,
+		kinds:       kinds,
+		levels:      *levels,
+		rawPct:      *rawPct,
+		seed:        *seed,
+		verbose:     *verbose,
+		client:      &http.Client{Timeout: 5 * time.Minute},
+	}
+
+	switch {
+	case *local:
+		os.Exit(runLocal(ld, *p))
+	case *url != "":
+		ld.base = strings.TrimRight(*url, "/")
+		os.Exit(ld.run())
+	default:
+		fatalf("need -url or -local")
+	}
+}
+
+// runLocal hosts the service in-process: a p-rank loopback TCP cluster,
+// every rank serving, rank 0's HTTP address handed to the loader. The
+// loader shuts the service down over HTTP when it is done.
+func runLocal(ld *loader, p int) int {
+	urlCh := make(chan string, 1)
+	clusterErr := make(chan error, 1)
+	status := make(chan int, 1)
+	go func() {
+		clusterErr <- netcomm.LocalCluster(p, 0, func(m *netcomm.Machine, rank int) error {
+			var serveErr error
+			_, runErr := m.Run(func(c comm.Communicator) {
+				serveErr = svc.Serve(context.Background(), c, svc.Options{
+					Ready: func(u string) { urlCh <- u },
+				})
+			})
+			if runErr != nil {
+				return runErr
+			}
+			return serveErr
+		})
+	}()
+	go func() {
+		ld.base = <-urlCh
+		s := ld.run()
+		resp, err := ld.client.Post(ld.base+"/shutdown", "application/json", nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sortload: shutdown: %v\n", err)
+			s = 1
+		} else {
+			resp.Body.Close()
+		}
+		status <- s
+	}()
+	if err := <-clusterErr; err != nil {
+		fmt.Fprintf(os.Stderr, "sortload: cluster: %v\n", err)
+		return 1
+	}
+	return <-status
+}
+
+type loader struct {
+	base        string
+	jobs        int
+	concurrency int
+	n           int64
+	algo        string
+	kinds       []string
+	levels      int
+	rawPct      int
+	seed        uint64
+	verbose     bool
+	client      *http.Client
+
+	p int // cluster size, learned from /metrics before the load starts
+
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+func (ld *loader) run() int {
+	met, err := ld.scrapeMetrics()
+	if err != nil || met.P <= 0 {
+		fmt.Fprintf(os.Stderr, "sortload: service not answering /metrics at %s: %v\n", ld.base, err)
+		return 1
+	}
+	ld.p = met.P
+
+	start := time.Now()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < ld.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ld.oneJob(i); err != nil {
+					ld.failed.Add(1)
+					if ld.verbose {
+						fmt.Fprintf(os.Stderr, "sortload: job %d: %v\n", i, err)
+					}
+				} else {
+					ld.completed.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < ld.jobs; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	met, err = ld.scrapeMetrics()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sortload: scraping /metrics: %v\n", err)
+		ld.failed.Add(1)
+	}
+
+	ok, bad := ld.completed.Load(), ld.failed.Load()
+	fmt.Printf("sortload: %d jobs in %v (%.1f jobs/s), %d ok, %d failed",
+		ld.jobs, elapsed.Round(time.Millisecond),
+		float64(ld.jobs)/elapsed.Seconds(), ok, bad)
+	if met != nil {
+		fmt.Printf("; service: %d completed, %d failed, %d elements, %d bytes moved",
+			met.Jobs.Completed, met.Jobs.Failed, met.ElementsSorted, met.BytesMoved)
+		if met.Jobs.Failed > 0 {
+			bad += met.Jobs.Failed
+		}
+	}
+	fmt.Println()
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// oneJob submits and validates the i-th job.
+func (ld *loader) oneJob(i int) error {
+	seed := ld.seed + uint64(i)
+	if ld.rawPct > 0 && i%100 < ld.rawPct {
+		return ld.rawJob(i, seed)
+	}
+	return ld.workloadJob(i, seed)
+}
+
+// rawJob submits locally generated keys and checks the echoed output is
+// exactly the sorted input.
+func (ld *loader) rawJob(i int, seed uint64) error {
+	rng := prng.New(seed)
+	keys := make([]uint64, ld.n)
+	for j := range keys {
+		keys[j] = rng.Next()
+	}
+	st, err := ld.post(svc.JobRequest{Algo: ld.algo, Keys: keys, Seed: seed, Levels: ld.levels, Wait: true})
+	if err != nil {
+		return err
+	}
+	if st.Status != svc.StatusDone {
+		return fmt.Errorf("status %q: %s", st.Status, st.Error)
+	}
+	want := slices.Clone(keys)
+	slices.Sort(want)
+	if !slices.Equal(st.Keys, want) {
+		return fmt.Errorf("raw job output is not the sorted input (%d keys back, %d submitted)", len(st.Keys), len(want))
+	}
+	return nil
+}
+
+// workloadJob submits a spec job and validates the count and the
+// independently recomputed multiset hash (plus order, when gathered).
+func (ld *loader) workloadJob(i int, seed uint64) error {
+	kindName := strings.TrimSpace(ld.kinds[i%len(ld.kinds)])
+	st, err := ld.post(svc.JobRequest{
+		Algo: ld.algo, Kind: kindName, N: ld.n, Seed: seed, Levels: ld.levels, Wait: true,
+	})
+	if err != nil {
+		return err
+	}
+	if st.Status != svc.StatusDone {
+		return fmt.Errorf("status %q: %s", st.Status, st.Error)
+	}
+	if st.Count != st.N {
+		return fmt.Errorf("count %d, want %d", st.Count, st.N)
+	}
+	// Recompute the expected multiset hash the way the service's ranks
+	// generated their slices — same kind, seed, and geometry (the service
+	// rounds n up to perPE·p; st.N reports the rounded total).
+	perPE := int(st.N) / ld.p
+	var want uint64
+	for rank := 0; rank < ld.p; rank++ {
+		for _, k := range workload.Local(kindVals[kindName], seed, ld.p, perPE, rank) {
+			want += prng.Mix64(k)
+		}
+	}
+	if st.Sum != want {
+		return fmt.Errorf("multiset hash %#x, want %#x", st.Sum, want)
+	}
+	if len(st.Keys) > 0 && !slices.IsSorted(st.Keys) {
+		return fmt.Errorf("gathered output not sorted")
+	}
+	return nil
+}
+
+func (ld *loader) post(req svc.JobRequest) (*svc.JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := ld.client.Post(ld.base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var st svc.JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, fmt.Errorf("decoding job status: %w", err)
+	}
+	return &st, nil
+}
+
+func (ld *loader) scrapeMetrics() (*svc.Metrics, error) {
+	resp, err := ld.client.Get(ld.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var met svc.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&met); err != nil {
+		return nil, err
+	}
+	return &met, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sortload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -19,16 +19,29 @@
 // phase breakdown. With -out, the rank's sorted output is written as
 // little-endian uint64s for external byte-comparison against the
 // simulated and native backends.
+//
+// With -serve the cluster becomes a long-lived sort service instead of
+// running one sort: rank 0 serves the job API over HTTP on -http (POST
+// /jobs, GET /jobs/{id}, GET /metrics, POST /shutdown) and dispatches
+// submitted jobs to all ranks; many jobs run concurrently on the one
+// mesh. cmd/sortload is the matching load generator:
+//
+//	sortnode -launch -p 4 -serve -http 127.0.0.1:8080
+//	sortload -url http://127.0.0.1:8080 -jobs 1000 -concurrency 8 -n 4096
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"pmsort"
 	"pmsort/internal/core"
@@ -70,6 +83,10 @@ func main() {
 		tieBreak = flag.Bool("tiebreak", true, "enable implicit (PE, position) tie-breaking (ams)")
 		outPath  = flag.String("out", "", "write this rank's sorted output as little-endian uint64s to this file")
 		quiet    = flag.Bool("quiet", false, "suppress the per-rank summary line")
+
+		serve      = flag.Bool("serve", false, "run as a long-lived sort service instead of one sort")
+		httpAddr   = flag.String("http", "127.0.0.1:8080", "rank 0's HTTP listen address in -serve mode")
+		rendezvous = flag.Duration("rendezvous", 0, "mesh rendezvous timeout (0: 30s)")
 	)
 	flag.Parse()
 
@@ -94,6 +111,17 @@ func main() {
 		fatalf("-rank %d outside the %d-entry peer list", *rank, len(peers))
 	}
 
+	// Test hook: make this rank die before the rendezvous so the launcher
+	// failure path can be exercised without a real crash.
+	if fr := os.Getenv("SORTNODE_TEST_FAIL_RANK"); fr != "" && fr == strconv.Itoa(*rank) {
+		fmt.Fprintf(os.Stderr, "sortnode: rank %d failing on request (SORTNODE_TEST_FAIL_RANK)\n", *rank)
+		os.Exit(3)
+	}
+
+	if *serve {
+		os.Exit(serveRank(*rank, peers, *httpAddr, *rendezvous, *quiet))
+	}
+
 	spec := expt.Spec{
 		Algo:     algo,
 		P:        len(peers),
@@ -104,7 +132,7 @@ func main() {
 		TieBreak: *tieBreak,
 	}
 
-	cl, err := pmsort.NewTCP(*rank, peers)
+	cl, err := pmsort.NewTCPOpts(*rank, peers, pmsort.TCPOptions{RendezvousTimeout: *rendezvous})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -136,10 +164,46 @@ func main() {
 	}
 }
 
+// serveRank runs this rank's side of the sort service until a signal or
+// a POST /shutdown stops it.
+func serveRank(rank int, peers []string, httpAddr string, rendezvous time.Duration, quiet bool) int {
+	cl, err := pmsort.NewTCPOpts(rank, peers, pmsort.TCPOptions{
+		Obs:               true, // feeds the transport section of /metrics
+		RendezvousTimeout: rendezvous,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sortnode: %v\n", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opt := pmsort.ServeOptions{Addr: httpAddr}
+	if !quiet {
+		opt.Ready = func(url string) { fmt.Printf("sortnode: rank 0 serving jobs on %s\n", url) }
+	}
+	serveErr := cl.Serve(ctx, opt)
+	closeErr := cl.Close()
+	if serveErr != nil {
+		fmt.Fprintf(os.Stderr, "sortnode: rank %d: %v\n", rank, serveErr)
+		return 1
+	}
+	if closeErr != nil {
+		fmt.Fprintf(os.Stderr, "sortnode: rank %d: close: %v\n", rank, closeErr)
+		return 1
+	}
+	return 0
+}
+
 // launchCluster re-executes this binary once per rank on auto-assigned
 // loopback ports, forwarding every explicitly set flag except the
 // cluster-topology ones. A -out path fans out to one file per rank
 // (path.rank0, path.rank1, ...).
+//
+// The first rank to exit nonzero takes the cluster down: the remaining
+// ranks are killed and the launcher exits 1 naming the failing rank.
+// (Leaving them running would park the launcher on ranks that can never
+// finish — their mesh is missing a peer.) Interrupt/terminate signals
+// are forwarded as kills too, so ctrl-C leaves no orphan ranks behind.
 func launchCluster(p int, outPath string, fs *flag.FlagSet) int {
 	if p < 1 {
 		fatalf("-launch needs -p >= 1")
@@ -184,12 +248,44 @@ func launchCluster(p int, outPath string, fs *flag.FlagSet) int {
 		}
 		cmds[rank] = cmd
 	}
-	status := 0
-	for rank, cmd := range cmds {
-		if err := cmd.Wait(); err != nil {
-			fmt.Fprintf(os.Stderr, "sortnode: rank %d: %v\n", rank, err)
-			status = 1
+
+	killOthers := func(except int) {
+		for r, c := range cmds {
+			if r != except {
+				_ = c.Process.Kill()
+			}
 		}
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		if _, ok := <-sigc; ok {
+			killOthers(-1)
+		}
+	}()
+
+	type exit struct {
+		rank int
+		err  error
+	}
+	exits := make(chan exit, p)
+	for rank, cmd := range cmds {
+		go func(rank int, cmd *exec.Cmd) {
+			exits <- exit{rank, cmd.Wait()}
+		}(rank, cmd)
+	}
+
+	status := 0
+	for done := 0; done < p; done++ {
+		e := <-exits
+		if e.err == nil || status != 0 {
+			continue // healthy exit, or the reap after a kill
+		}
+		status = 1
+		fmt.Fprintf(os.Stderr, "sortnode: rank %d failed: %v; killing the remaining ranks\n", e.rank, e.err)
+		killOthers(e.rank)
 	}
 	return status
 }

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildSortnode compiles the command once into a temp dir.
+func buildSortnode(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "sortnode")
+	cmd := exec.Command("go", "build", "-o", exe, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building sortnode: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// TestLaunchKillsClusterOnRankFailure pins the launcher failure path: a
+// rank dying must take the whole loopback cluster down promptly with
+// exit 1 naming the rank — not leave the launcher parked on survivors
+// that wait out their full rendezvous window for the dead peer.
+func TestLaunchKillsClusterOnRankFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and launches real processes")
+	}
+	exe := buildSortnode(t)
+
+	cmd := exec.Command(exe, "-launch", "-p", "3", "-n", "1000", "-quiet",
+		"-rendezvous", "2m") // far longer than the test allows: the kill must end it, not this window
+	cmd.Env = append(os.Environ(), "SORTNODE_TEST_FAIL_RANK=2")
+	start := time.Now()
+	out, err := cmd.CombinedOutput()
+	elapsed := time.Since(start)
+
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("launcher: err=%v (want exit code 1)\n%s", err, out)
+	}
+	if ee.ExitCode() != 1 {
+		t.Fatalf("launcher exit code %d, want 1\n%s", ee.ExitCode(), out)
+	}
+	if !strings.Contains(string(out), "rank 2 failed") {
+		t.Fatalf("launcher output does not name the failing rank:\n%s", out)
+	}
+	// The survivors were killed, not waited out: well under the 2m
+	// rendezvous window (generous bound for slow CI).
+	if elapsed > 30*time.Second {
+		t.Fatalf("launcher took %v — survivors were not killed", elapsed)
+	}
+}
+
+// TestLaunchHealthyCluster pins the happy path end-to-end: a full
+// loopback sort run through the launcher exits 0.
+func TestLaunchHealthyCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and launches real processes")
+	}
+	exe := buildSortnode(t)
+	out, err := exec.Command(exe, "-launch", "-p", "3", "-n", "2000", "-levels", "1", "-quiet").CombinedOutput()
+	if err != nil {
+		t.Fatalf("healthy launch failed: %v\n%s", err, out)
+	}
+}

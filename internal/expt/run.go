@@ -198,6 +198,16 @@ func validate(c comm.Communicator, inCount int64, out []uint64) {
 // backends. Collective call.
 func RunOn(c comm.Communicator, spec Spec) ([]uint64, *core.Stats) {
 	data := workload.Local(spec.Kind, spec.Seed, spec.P, spec.PerPE, c.Rank())
+	return RunData(c, spec, data)
+}
+
+// RunData sorts caller-supplied per-PE data with the spec's algorithm
+// and validates the result (locally sorted, globally ordered, count
+// preserved) before returning it — the entry point for callers that
+// bring their own input, like the sort service's raw-key jobs
+// (internal/svc). The input slice is consumed. Collective call; spec's
+// workload fields (Kind, Seed, PerPE) are ignored.
+func RunData(c comm.Communicator, spec Spec, data []uint64) ([]uint64, *core.Stats) {
 	inCount := int64(len(data))
 	out, st := runAlgo(c, spec, data)
 	validate(c, inCount, out)

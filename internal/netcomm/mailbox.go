@@ -8,6 +8,26 @@ import (
 	"pmsort/internal/obs"
 )
 
+// TransportError is the failure a receive surfaces when the TCP mesh
+// breaks underneath it: a peer process died (connection reset, decode
+// failure) or hung up with a message still awaited. The mailbox panics
+// with a *TransportError, Machine.Run recovers it into the returned
+// error, and long-lived callers that run collectives on their own
+// goroutines (the job runner of internal/svc) recover it the same way —
+// a dead peer fails the in-flight job, not the process.
+type TransportError struct {
+	// Peer is the global rank the failure was observed on, or -1 when it
+	// cannot be attributed to one peer.
+	Peer int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *TransportError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *TransportError) Unwrap() error { return e.Err }
+
 // envelope is an in-flight point-to-point message.
 type envelope struct {
 	payload any
@@ -22,20 +42,26 @@ type mbKey struct {
 // mailbox is the process's incoming message store, shared by all peer
 // reader goroutines. Messages are matched by (source, tag) and are FIFO
 // within each such pair — the same matching discipline as the native
-// backend's mailbox. Readers never block (eager, unbounded buffering);
-// the single receiver — the goroutine running this process's PE — parks
-// on a capacity-1 wake channel between queue scans.
+// backend's mailbox. Readers never block (eager, unbounded buffering).
+//
+// Receivers: any number of goroutines may block in take concurrently as
+// long as no two of them wait on the same (source, tag) pair at once —
+// the service layer's concurrent jobs satisfy this by construction
+// (disjoint per-job tag namespaces; within a job, one goroutine per
+// rank). Each blocked take parks on its own per-key wake channel, so a
+// put wakes exactly the receivers of its key and a thousand concurrent
+// jobs do not stampede each other.
 //
 // Unlike the in-process mailboxes, a take can also end because the
 // transport failed or because the awaited peer hung up: both conditions
-// wake the receiver and make take panic with a diagnosis instead of
-// blocking forever.
+// wake every receiver and make take panic with a *TransportError
+// diagnosis instead of blocking forever.
 type mailbox struct {
-	mu     sync.Mutex
-	queues map[mbKey][]envelope
-	err    error        // fatal transport error, sticky
-	closed map[int]bool // peers that reached EOF (graceful hangup)
-	wake   chan struct{}
+	mu      sync.Mutex
+	queues  map[mbKey][]envelope
+	err     *TransportError // fatal transport error, sticky
+	closed  map[int]bool    // peers that reached EOF (graceful hangup)
+	waiters map[mbKey][]chan struct{}
 
 	// Observability hooks (nil when off — the disabled path pays one nil
 	// check per put/park): depthMax tracks the high-watermark of
@@ -47,16 +73,29 @@ type mailbox struct {
 
 func newMailbox() *mailbox {
 	return &mailbox{
-		queues: make(map[mbKey][]envelope),
-		closed: make(map[int]bool),
-		wake:   make(chan struct{}, 1),
+		queues:  make(map[mbKey][]envelope),
+		closed:  make(map[int]bool),
+		waiters: make(map[mbKey][]chan struct{}),
 	}
 }
 
-func (mb *mailbox) signal() {
-	select {
-	case mb.wake <- struct{}{}:
-	default: // token already pending; the receiver will rescan anyway
+// wakeKeyLocked closes (and drops) the wake channels of one key.
+// Callers must hold mb.mu; the close itself is safe under the lock.
+func (mb *mailbox) wakeKeyLocked(k mbKey) {
+	for _, ch := range mb.waiters[k] {
+		close(ch)
+	}
+	delete(mb.waiters, k)
+}
+
+// wakeAllLocked closes every parked receiver's wake channel (transport
+// failure and hangups must unblock everyone so they can re-check).
+func (mb *mailbox) wakeAllLocked() {
+	for k, ws := range mb.waiters {
+		for _, ch := range ws {
+			close(ch)
+		}
+		delete(mb.waiters, k)
 	}
 }
 
@@ -70,20 +109,21 @@ func (mb *mailbox) put(from, tag int, e envelope) {
 		mb.depth++
 		depth = mb.depth
 	}
+	mb.wakeKeyLocked(k)
 	mb.mu.Unlock()
 	mb.depthMax.Max(int64(depth))
-	mb.signal()
 }
 
-// fail records a fatal transport error; every blocked and future take
-// panics with it. The first error wins.
-func (mb *mailbox) fail(err error) {
+// fail records a fatal transport error attributed to the given peer
+// (-1: none); every blocked and future take panics with it. The first
+// error wins.
+func (mb *mailbox) fail(peer int, err error) {
 	mb.mu.Lock()
 	if mb.err == nil {
-		mb.err = err
+		mb.err = &TransportError{Peer: peer, Err: err}
 	}
+	mb.wakeAllLocked()
 	mb.mu.Unlock()
-	mb.signal()
 }
 
 // hangup records that the peer's stream ended. Its already-delivered
@@ -91,14 +131,14 @@ func (mb *mailbox) fail(err error) {
 func (mb *mailbox) hangup(from int) {
 	mb.mu.Lock()
 	mb.closed[from] = true
+	mb.wakeAllLocked()
 	mb.mu.Unlock()
-	mb.signal()
 }
 
 // take blocks until a message from the given source with the given tag
-// is available and dequeues it. Must only be called by the goroutine
-// running this process's PE. Panics when the transport has failed or
-// the awaited peer hung up with no matching message buffered.
+// is available and dequeues it. Panics with a *TransportError when the
+// transport has failed or the awaited peer hung up with no matching
+// message buffered.
 func (mb *mailbox) take(from, tag int) envelope {
 	k := mbKey{from, tag}
 	for {
@@ -121,19 +161,22 @@ func (mb *mailbox) take(from, tag int) envelope {
 			return e
 		}
 		err, closed := mb.err, mb.closed[from]
+		if err != nil || closed {
+			mb.mu.Unlock()
+			if err != nil {
+				panic(&TransportError{Peer: err.Peer, Err: fmt.Errorf("recv(from=%d, tag=%#x) after transport failure: %w", from, tag, err.Err)})
+			}
+			panic(&TransportError{Peer: from, Err: fmt.Errorf("recv(from=%d, tag=%#x): peer closed the connection with no matching message", from, tag)})
+		}
+		ch := make(chan struct{})
+		mb.waiters[k] = append(mb.waiters[k], ch)
 		mb.mu.Unlock()
-		if err != nil {
-			panic(fmt.Sprintf("netcomm: recv(from=%d, tag=%#x) after transport failure: %v", from, tag, err))
-		}
-		if closed {
-			panic(fmt.Sprintf("netcomm: recv(from=%d, tag=%#x): peer closed the connection with no matching message", from, tag))
-		}
 		if mb.waitNS != nil {
 			t0 := time.Now()
-			<-mb.wake
+			<-ch
 			mb.waitNS.Add(time.Since(t0).Nanoseconds())
 		} else {
-			<-mb.wake
+			<-ch
 		}
 	}
 }

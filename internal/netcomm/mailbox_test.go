@@ -1,0 +1,108 @@
+package netcomm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMailboxConcurrentReceivers pins the contract the service layer
+// leans on: many goroutines blocked in take on distinct (from, tag)
+// keys, each woken by exactly its own put, no lost wakeups.
+func TestMailboxConcurrentReceivers(t *testing.T) {
+	mb := newMailbox()
+	const n = 64
+	var wg sync.WaitGroup
+	got := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = mb.take(i%4, 100+i).payload
+		}(i)
+	}
+	// Let the receivers park, then deliver in reverse order.
+	time.Sleep(10 * time.Millisecond)
+	for i := n - 1; i >= 0; i-- {
+		mb.put(i%4, 100+i, envelope{payload: i, words: 1})
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if got[i] != i {
+			t.Fatalf("receiver %d got %v", i, got[i])
+		}
+	}
+	if mb.pending() != 0 {
+		t.Fatalf("%d messages left over", mb.pending())
+	}
+}
+
+// TestMailboxFailWakesAllReceivers pins the poison path: a transport
+// failure unblocks every parked receiver with a *TransportError instead
+// of leaving them parked forever.
+func TestMailboxFailWakesAllReceivers(t *testing.T) {
+	mb := newMailbox()
+	const n = 8
+	panics := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer func() {
+				r := recover()
+				te, ok := r.(*TransportError)
+				if !ok {
+					panics <- fmt.Errorf("receiver %d: recovered %v, want *TransportError", i, r)
+					return
+				}
+				if te.Peer != 2 {
+					panics <- fmt.Errorf("receiver %d: peer %d, want 2", i, te.Peer)
+					return
+				}
+				panics <- nil
+			}()
+			mb.take(1, 7000+i)
+			panics <- errors.New("take returned without a message")
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	mb.fail(2, errors.New("connection reset by peer"))
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-panics:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("receiver still parked after fail")
+		}
+	}
+	// The error is sticky: a fresh take fails immediately.
+	func() {
+		defer func() {
+			if _, ok := recover().(*TransportError); !ok {
+				t.Fatalf("take after fail did not panic with *TransportError")
+			}
+		}()
+		mb.take(0, 1)
+	}()
+}
+
+// TestMailboxHangupFailsWaiters pins graceful-EOF handling: buffered
+// messages from a hung-up peer stay takeable, waiting for a new one
+// panics.
+func TestMailboxHangupFailsWaiters(t *testing.T) {
+	mb := newMailbox()
+	mb.put(3, 9, envelope{payload: "buffered", words: 1})
+	mb.hangup(3)
+	if got := mb.take(3, 9).payload; got != "buffered" {
+		t.Fatalf("buffered message lost: %v", got)
+	}
+	defer func() {
+		te, ok := recover().(*TransportError)
+		if !ok || te.Peer != 3 {
+			t.Fatalf("take after hangup: recovered %v", te)
+		}
+	}()
+	mb.take(3, 9)
+}

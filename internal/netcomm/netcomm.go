@@ -19,6 +19,18 @@
 // order per pair — the exact discipline of the native backend.
 // Self-sends short-circuit through the mailbox without serialization.
 //
+// Concurrency: unlike the in-process backends, this backend's data path
+// is safe for concurrent use from several goroutines of the rank
+// process — Send enqueues under a per-peer mutex and any number of
+// goroutines may block in Recv as long as no two of them await the same
+// (sender, tag) pair at once. That is the substrate the service layer
+// (internal/svc) schedules concurrent sort jobs on: each job runs its
+// collectives through a comm.WithTagOffset view, so jobs occupy
+// disjoint tag namespaces and the single-receiver-per-pair rule holds
+// by construction. A peer dying mid-collective surfaces as a
+// *TransportError from Machine.Run (or from whatever goroutine was
+// receiving), not as a process crash.
+//
 // Cost annotations are no-ops and Now reads the wall clock
 // (comm.WallClock), so the backend-neutral phase statistics report real
 // elapsed time, like the native backend.
@@ -307,10 +319,17 @@ func bindRetry(addr string, deadline time.Time) (net.Listener, error) {
 // dialRetry dials addr until the peer is listening, then handshakes.
 func dialRetry(addr string, peerRank, myRank, p int, deadline time.Time) (*net.TCPConn, error) {
 	backoff := 10 * time.Millisecond
+	var lastErr error
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return nil, fmt.Errorf("dial %s: rendezvous timeout", addr)
+			// Name the unreachable peer and the last dial failure: a
+			// restarting service rank needs to know which address never
+			// answered, not just that the window elapsed.
+			if lastErr != nil {
+				return nil, fmt.Errorf("rank %d at %s unreachable: rendezvous window elapsed (last dial error: %v)", peerRank, addr, lastErr)
+			}
+			return nil, fmt.Errorf("rank %d at %s unreachable: rendezvous window elapsed", peerRank, addr)
 		}
 		conn, err := net.DialTimeout("tcp", addr, remaining)
 		if err == nil {
@@ -321,6 +340,7 @@ func dialRetry(addr string, peerRank, myRank, p int, deadline time.Time) (*net.T
 			}
 			return tc, nil
 		}
+		lastErr = err
 		time.Sleep(backoff)
 		if backoff < 200*time.Millisecond {
 			backoff *= 2
@@ -439,6 +459,14 @@ func (m *Machine) Run(fn func(c comm.Communicator)) (d time.Duration, err error)
 	defer func() {
 		d = time.Since(start)
 		if r := recover(); r != nil {
+			// A *TransportError (a peer died or hung up mid-collective)
+			// surfaces as a typed, unwrappable error — the caller can
+			// errors.As it and keep the process alive; everything else is
+			// an algorithm panic and is reported verbatim.
+			if te, ok := r.(*TransportError); ok {
+				err = fmt.Errorf("netcomm: rank %d: %w", m.rank, te)
+				return
+			}
 			err = fmt.Errorf("netcomm: rank %d: %v", m.rank, r)
 		}
 	}()
@@ -543,7 +571,7 @@ func (m *Machine) writeLoop(pr *peer) {
 			frame = binary.AppendUvarint(frame, uint64(msg.words))
 			segs, err := w.AppendPayloadVec(frame, msg.payload, vopt)
 			if err != nil {
-				m.fail(fmt.Errorf("encoding message for rank %d (tag %#x): %w", pr.rank, msg.tag, err))
+				m.fail(pr.rank, fmt.Errorf("encoding message for rank %d (tag %#x): %w", pr.rank, msg.tag, err))
 				return
 			}
 			total := -4
@@ -551,7 +579,7 @@ func (m *Machine) writeLoop(pr *peer) {
 				total += len(s)
 			}
 			if total > maxFrame {
-				m.fail(fmt.Errorf("message for rank %d exceeds the %d-byte frame limit", pr.rank, maxFrame))
+				m.fail(pr.rank, fmt.Errorf("message for rank %d exceeds the %d-byte frame limit", pr.rank, maxFrame))
 				return
 			}
 			binary.LittleEndian.PutUint32(segs[0], uint32(total))
@@ -561,7 +589,7 @@ func (m *Machine) writeLoop(pr *peer) {
 			first := segs[0]
 			if len(segs) == 1 && total+4 < directFrameMin {
 				if _, err := bw.Write(first); err != nil {
-					m.fail(fmt.Errorf("writing to rank %d: %w", pr.rank, err))
+					m.fail(pr.rank, fmt.Errorf("writing to rank %d: %w", pr.rank, err))
 					return
 				}
 				m.met.bufWrites.Add(1)
@@ -570,12 +598,12 @@ func (m *Machine) writeLoop(pr *peer) {
 				// messages, then hand all segments — frame headers and
 				// payload views alike — to one vectored write.
 				if err := bw.Flush(); err != nil {
-					m.fail(fmt.Errorf("writing to rank %d: %w", pr.rank, err))
+					m.fail(pr.rank, fmt.Errorf("writing to rank %d: %w", pr.rank, err))
 					return
 				}
 				bufs := net.Buffers(segs)
 				if _, err := bufs.WriteTo(pr.conn); err != nil {
-					m.fail(fmt.Errorf("writing to rank %d: %w", pr.rank, err))
+					m.fail(pr.rank, fmt.Errorf("writing to rank %d: %w", pr.rank, err))
 					return
 				}
 				m.met.writevCalls.Add(1)
@@ -591,7 +619,7 @@ func (m *Machine) writeLoop(pr *peer) {
 
 		if len(batch) == 0 {
 			if err := bw.Flush(); err != nil {
-				m.fail(fmt.Errorf("writing to rank %d: %w", pr.rank, err))
+				m.fail(pr.rank, fmt.Errorf("writing to rank %d: %w", pr.rank, err))
 				return
 			}
 			if closed {
@@ -633,16 +661,16 @@ func (m *Machine) readLoop(pr *peer) {
 				m.mbox.hangup(pr.rank)
 				return
 			}
-			m.fail(fmt.Errorf("reading from rank %d: %w", pr.rank, err))
+			m.fail(pr.rank, fmt.Errorf("reading from rank %d: %w", pr.rank, err))
 			return
 		}
 		n := binary.LittleEndian.Uint32(lenBuf[:])
 		if int64(n) > int64(maxFrame) {
-			m.fail(fmt.Errorf("frame from rank %d exceeds the %d-byte limit", pr.rank, maxFrame))
+			m.fail(pr.rank, fmt.Errorf("frame from rank %d exceeds the %d-byte limit", pr.rank, maxFrame))
 			return
 		}
 		if n < 1 {
-			m.fail(fmt.Errorf("corrupt frame from rank %d: empty frame", pr.rank))
+			m.fail(pr.rank, fmt.Errorf("corrupt frame from rank %d: empty frame", pr.rank))
 			return
 		}
 		if uint32(cap(body)) < n {
@@ -650,20 +678,20 @@ func (m *Machine) readLoop(pr *peer) {
 		}
 		body = body[:n]
 		if _, err := io.ReadFull(br, body); err != nil {
-			m.fail(fmt.Errorf("reading from rank %d: %w", pr.rank, err))
+			m.fail(pr.rank, fmt.Errorf("reading from rank %d: %w", pr.rank, err))
 			return
 		}
 		aligned := body[0]&frameFlagAligned != 0
 		rest := body[1:]
 		tag, k := binary.Uvarint(rest)
 		if k <= 0 {
-			m.fail(fmt.Errorf("corrupt frame from rank %d: tag", pr.rank))
+			m.fail(pr.rank, fmt.Errorf("corrupt frame from rank %d: tag", pr.rank))
 			return
 		}
 		rest = rest[k:]
 		words, k := binary.Uvarint(rest)
 		if k <= 0 {
-			m.fail(fmt.Errorf("corrupt frame from rank %d: words", pr.rank))
+			m.fail(pr.rank, fmt.Errorf("corrupt frame from rank %d: words", pr.rank))
 			return
 		}
 		rest = rest[k:]
@@ -675,11 +703,11 @@ func (m *Machine) readLoop(pr *peer) {
 		}
 		payload, rest, aliased, err := r.DecodePayloadOpt(rest, wire.DecodeOptions{Aligned: aligned, Alias: aligned})
 		if err != nil {
-			m.fail(fmt.Errorf("decoding message from rank %d (tag %#x): %w", pr.rank, tag, err))
+			m.fail(pr.rank, fmt.Errorf("decoding message from rank %d (tag %#x): %w", pr.rank, tag, err))
 			return
 		}
 		if len(rest) != 0 {
-			m.fail(fmt.Errorf("frame from rank %d has %d trailing bytes (tag %#x)", pr.rank, len(rest), tag))
+			m.fail(pr.rank, fmt.Errorf("frame from rank %d has %d trailing bytes (tag %#x)", pr.rank, len(rest), tag))
 			return
 		}
 		m.met.framesIn.Add(1)
@@ -690,9 +718,36 @@ func (m *Machine) readLoop(pr *peer) {
 	}
 }
 
-// fail records a fatal transport error and wakes the PE.
-func (m *Machine) fail(err error) {
-	m.mbox.fail(err)
+// fail records a fatal transport error attributed to the given peer and
+// wakes every blocked receiver.
+func (m *Machine) fail(peer int, err error) {
+	m.mbox.fail(peer, err)
+}
+
+// Abort tears this rank's endpoint down abruptly: every connection is
+// closed with linger 0 (RST where the stack supports it), nothing is
+// flushed, and no hangup handshake happens — the closest in-process
+// stand-in for this rank's process dying. Peers observe a transport
+// failure (*TransportError) on their next receive, not a graceful
+// hangup, and this rank's own blocked receives fail the same way. A
+// failure-injection hook for tests of the layers above; a subsequent
+// Close is a no-op.
+func (m *Machine) Abort() {
+	m.closing.Do(func() {
+		err := fmt.Errorf("netcomm: rank %d aborted", m.rank)
+		for _, pr := range m.peers {
+			if pr == nil {
+				continue
+			}
+			pr.mu.Lock()
+			pr.closed = true
+			pr.mu.Unlock()
+			_ = pr.conn.SetLinger(0)
+			_ = pr.conn.Close()
+		}
+		m.mbox.fail(m.rank, err)
+		m.closeErr = err
+	})
 }
 
 // Close flushes and half-closes every outbound stream, waits for the

@@ -1,0 +1,124 @@
+package svc
+
+import (
+	"time"
+
+	"pmsort/internal/core"
+)
+
+// metrics is the coordinator's service-level accounting, guarded by
+// co.mu. Job counts, sorted elements, exchanged bytes, and per-phase
+// time come from completed jobs; the transport counters under "net"
+// come from the machine's obs recorder (atomic, read without the lock).
+type metrics struct {
+	submitted int64
+	completed int64
+	failed    int64
+	rejected  int64
+
+	elements   int64
+	bytesMoved int64
+	totalNS    int64
+	phaseNS    [core.NumPhases]int64
+
+	wallCount int64
+	wallSumNS int64
+	wallMinNS int64
+	wallMaxNS int64
+}
+
+func (m *metrics) observeWall(ns int64) {
+	if m.wallCount == 0 || ns < m.wallMinNS {
+		m.wallMinNS = ns
+	}
+	if ns > m.wallMaxNS {
+		m.wallMaxNS = ns
+	}
+	m.wallCount++
+	m.wallSumNS += ns
+}
+
+// JobCounts is the jobs section of a metrics snapshot.
+type JobCounts struct {
+	Submitted int64 `json:"submitted"`
+	Queued    int64 `json:"queued"`
+	Running   int64 `json:"running"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Rejected  int64 `json:"rejected"`
+}
+
+// WallStats summarizes completed-job wall time.
+type WallStats struct {
+	Count int64 `json:"count"`
+	SumNS int64 `json:"sum_ns"`
+	MinNS int64 `json:"min_ns"`
+	MaxNS int64 `json:"max_ns"`
+}
+
+// Metrics is the GET /metrics response.
+type Metrics struct {
+	P        int    `json:"p"`
+	UptimeNS int64  `json:"uptime_ns"`
+	Degraded string `json:"degraded,omitempty"`
+
+	Jobs JobCounts `json:"jobs"`
+
+	ElementsSorted int64            `json:"elements_sorted"`
+	BytesMoved     int64            `json:"bytes_moved"`
+	SortNS         int64            `json:"sort_ns"`
+	PhaseNS        map[string]int64 `json:"phase_ns"`
+	JobWallNS      WallStats        `json:"job_wall_ns"`
+
+	// Net is rank 0's transport counter snapshot (frames, writev calls,
+	// mailbox depth/wait); present only when the machine runs with
+	// tracing enabled.
+	Net map[string]int64 `json:"net,omitempty"`
+}
+
+func (co *coordinator) snapshotMetrics() Metrics {
+	co.mu.Lock()
+	out := Metrics{
+		P:        co.world.Size(),
+		UptimeNS: time.Since(co.start).Nanoseconds(),
+		Jobs: JobCounts{
+			Submitted: co.met.submitted,
+			Queued:    int64(len(co.queue)),
+			Running:   int64(co.running),
+			Completed: co.met.completed,
+			Failed:    co.met.failed,
+			Rejected:  co.met.rejected,
+		},
+		ElementsSorted: co.met.elements,
+		BytesMoved:     co.met.bytesMoved,
+		SortNS:         co.met.totalNS,
+		PhaseNS:        make(map[string]int64, core.NumPhases),
+		JobWallNS: WallStats{
+			Count: co.met.wallCount,
+			SumNS: co.met.wallSumNS,
+			MinNS: co.met.wallMinNS,
+			MaxNS: co.met.wallMaxNS,
+		},
+	}
+	for ph := core.Phase(0); ph < core.NumPhases; ph++ {
+		out.PhaseNS[ph.String()] = co.met.phaseNS[ph]
+	}
+	if co.degraded != nil {
+		out.Degraded = co.degraded.Error()
+	}
+	co.mu.Unlock()
+
+	// Counter cells are atomic; reading them off the HTTP goroutine while
+	// jobs run is safe (and jobs never record spans — their tag-offset
+	// views hide the recorder).
+	if co.rec != nil {
+		snap := co.rec.Snapshot()
+		if len(snap.Counters) > 0 {
+			out.Net = make(map[string]int64, len(snap.Counters))
+			for _, c := range snap.Counters {
+				out.Net[c.Name] = c.Value
+			}
+		}
+	}
+	return out
+}

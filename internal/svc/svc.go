@@ -1,0 +1,701 @@
+// Package svc is the sort service: a long-lived TCP cluster that
+// accepts sort jobs over HTTP and runs many of them concurrently on one
+// mesh — the layer that turns the benchmark harness into a system with
+// traffic (ROADMAP open item 1).
+//
+// Topology: every rank of a netcomm cluster calls Serve collectively.
+// Rank 0 is the coordinator — it listens for HTTP job submissions
+// (POST /jobs with a workload spec or raw keys), admits them against a
+// concurrency limit and a per-job memory budget, and dispatches each
+// admitted job to all ranks over a reserved control tag. Every other
+// rank runs a worker loop: it receives job descriptors in FIFO order
+// and runs each job on its own goroutine.
+//
+// Concurrency contract — the tag/epoch namespace: each job is assigned
+// a monotonically increasing epoch e and all of its collectives run
+// through comm.WithTagOffset(world, (e+1)<<24). Every tag the sorting
+// stack uses sits below 1<<24, so concurrent jobs occupy disjoint tag
+// namespaces on the shared mesh and their messages cannot be confused:
+// backends match messages by (sender, tag), and per (sender, tag) pair
+// each job has exactly one receiving goroutine per rank. The un-offset
+// control tags (0x7a…) are below 1<<24 and therefore collide with no
+// job namespace. Concurrent jobs produce output byte-identical to the
+// same jobs run sequentially (pinned by svc_test.go).
+//
+// Failure: a peer process dying poisons the mesh's mailbox, which fails
+// every in-flight and future job with a *netcomm.TransportError — the
+// job errors, the coordinator marks itself degraded (503 for new
+// submissions) and keeps serving status and metrics. The server never
+// panics because of a dead peer.
+package svc
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pmsort/internal/comm"
+	"pmsort/internal/core"
+	"pmsort/internal/expt"
+	"pmsort/internal/netcomm"
+	"pmsort/internal/obs"
+	"pmsort/internal/prng"
+	"pmsort/internal/wire"
+	"pmsort/internal/workload"
+)
+
+// Reserved service tags. The control tag is used un-offset on the world
+// communicator; the job tags are used through each job's offset view,
+// so their effective values are (epoch+1)<<24 + tag — disjoint across
+// jobs and from everything below.
+const (
+	tagCtl       = 0x7a0001 // job descriptors and shutdown, rank 0 → workers
+	tagJobData   = 0x7a0002 // raw-key scatter, rank 0 → workers (offset)
+	tagJobResult = 0x7a0003 // per-rank results, every rank → rank 0 (offset)
+
+	// tagStride is the per-job tag namespace step. Every tag the sorting
+	// stack and the service itself use sits below 1<<24 (the 0x7a–0x7f
+	// blocks), so stride 1<<24 makes job namespaces fully disjoint.
+	tagStride = 1 << 24
+)
+
+// jobOffset returns the tag offset of the job with the given epoch.
+func jobOffset(epoch int64) int { return int(epoch+1) * tagStride }
+
+// Control opcodes.
+const (
+	opJob      = 1
+	opShutdown = 2
+)
+
+// ctlMsg is the coordinator→worker control message: a job descriptor
+// (opJob) or the shutdown notice (opShutdown). Wire-registered.
+type ctlMsg struct {
+	Op       int64
+	ID       string
+	Epoch    int64
+	Algo     string
+	Kind     string
+	PerPE    int64 // workload jobs: elements generated per rank
+	NTotal   int64 // total elements across ranks (raw: len(keys))
+	Seed     uint64
+	Levels   int64
+	TieBreak bool
+	Keyed    bool
+	Raw      bool // input arrives via tagJobData instead of the generator
+	Gather   bool // ship the sorted local output back to rank 0
+}
+
+// rankResult is one rank's outcome of one job, sent to rank 0 over the
+// job's tagJobResult. Wire-registered.
+type rankResult struct {
+	Err     string
+	Count   int64
+	First   uint64 // smallest output element (Count > 0)
+	Last    uint64 // largest output element (Count > 0)
+	Sum     uint64 // order-independent multiset hash: Σ mix64(key)
+	Keys    []uint64
+	PhaseNS [core.NumPhases]int64
+	TotalNS int64
+	Bytes   int64 // delivery-phase bytes through the exchange
+}
+
+func registerSvcWire() {
+	wire.Register[ctlMsg]()
+	wire.Register[rankResult]()
+}
+
+// Options tunes the service. The zero value serves on a random loopback
+// port with the documented defaults.
+type Options struct {
+	// Addr is rank 0's HTTP listen address; "" means 127.0.0.1:0.
+	Addr string
+	// MaxConcurrent bounds the jobs running on the mesh at once
+	// (default 8). Admitted jobs beyond it queue.
+	MaxConcurrent int
+	// MaxQueue bounds the admission queue (default 64); submissions
+	// beyond it are rejected with 429.
+	MaxQueue int
+	// MemBudget is the per-rank memory budget in bytes shared by all
+	// running jobs (default 256 MiB). A job's cost is estimated from the
+	// delivery balance guarantee the sorters size their buffers with
+	// (core's recvBound: each rank receives at most ⌈n/p⌉+1 elements per
+	// level): 3 buffers — input, received run, scratch — of 8 bytes each,
+	// so est(n) = 24·(⌈n/p⌉+1). A single job estimated above the whole
+	// budget is rejected with 413; otherwise jobs queue until the sum of
+	// running estimates fits.
+	MemBudget int64
+	// ResultLimit is the largest job (total elements) whose sorted
+	// output is gathered to rank 0 and returned inline (default 65536).
+	// Raw-key jobs are always gathered — callers submitted the data to
+	// get it back sorted.
+	ResultLimit int64
+	// Ready, when set, is called once on rank 0 with the service's base
+	// URL as soon as the HTTP listener is up.
+	Ready func(url string)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:0"
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 8
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 64
+	}
+	if o.MemBudget <= 0 {
+		o.MemBudget = 256 << 20
+	}
+	if o.ResultLimit <= 0 {
+		o.ResultLimit = 1 << 16
+	}
+	return o
+}
+
+// estJobBytes is the admission-control memory estimate for a job of n
+// total elements on a p-rank mesh (see Options.MemBudget).
+func estJobBytes(n int64, p int) int64 {
+	perPE := (n + int64(p) - 1) / int64(p)
+	return 3 * 8 * (perPE + 1)
+}
+
+var algoByName = map[string]expt.Algo{
+	"ams":     expt.AMS,
+	"rlm":     expt.RLM,
+	"gv":      expt.GV,
+	"mp":      expt.MP,
+	"bitonic": expt.Bitonic,
+	"hist":    expt.Hist,
+	"hcq":     expt.HCQ,
+}
+
+var kindByName = map[string]workload.Kind{
+	"uniform":       workload.Uniform,
+	"skewed":        workload.Skewed,
+	"dup-heavy":     workload.DupHeavy,
+	"sorted":        workload.Sorted,
+	"reverse":       workload.Reverse,
+	"almost-sorted": workload.AlmostSorted,
+	"one-pe":        workload.OnePE,
+}
+
+// Serve runs the sort service on this rank until shutdown. Collective:
+// every rank of the communicator must call Serve; rank 0 additionally
+// serves HTTP on opt.Addr. Rank 0 returns when ctx is cancelled or a
+// POST /shutdown arrives, after draining queued and running jobs and
+// notifying the workers; workers return when the shutdown notice
+// arrives and their in-flight jobs have finished. A broken mesh
+// (*netcomm.TransportError) fails the jobs riding on it, not the
+// coordinator: rank 0 keeps serving status and metrics in a degraded
+// state, while a worker whose control stream died returns the error.
+func Serve(ctx context.Context, world comm.Communicator, opt Options) error {
+	registerSvcWire()
+	if world.Rank() == 0 {
+		return serveCoordinator(ctx, world, opt.withDefaults())
+	}
+	return serveWorker(world)
+}
+
+// job is the coordinator's record of one submitted job.
+type job struct {
+	id    string
+	desc  ctlMsg
+	raw   []uint64 // raw-key input, scattered at dispatch
+	est   int64    // admission-control memory estimate
+	state string   // StatusQueued … StatusFailed, guarded by co.mu
+
+	errMsg string
+	res    *Result
+
+	submitted time.Time
+	wallNS    int64
+
+	done chan struct{} // closed on completion (done or failed)
+}
+
+// Job states reported over HTTP.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Result is the assembled outcome of a completed job.
+type Result struct {
+	Count      int64
+	First      uint64
+	Last       uint64
+	Sum        uint64   // order-independent multiset hash of the output
+	Keys       []uint64 // globally sorted output (gathered jobs only)
+	PhaseNS    [core.NumPhases]int64
+	TotalNS    int64
+	BytesMoved int64
+}
+
+// coordinator is rank 0's state.
+type coordinator struct {
+	world comm.Communicator
+	opt   Options
+	rec   *obs.Recorder // transport counters for /metrics (may be nil)
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	jobs      map[string]*job
+	queue     []*job
+	running   int
+	memUse    int64
+	nextID    int64
+	nextEpoch int64
+	draining  bool
+	degraded  error // first transport failure, sticky
+
+	met metrics
+
+	start        time.Time
+	schedDone    chan struct{}
+	stopOnce     sync.Once
+	stopChanOnce sync.Once
+	stopCh       chan struct{}
+}
+
+func serveCoordinator(ctx context.Context, world comm.Communicator, opt Options) error {
+	co := &coordinator{
+		world:     world,
+		opt:       opt,
+		rec:       obs.From(world),
+		jobs:      make(map[string]*job),
+		start:     time.Now(),
+		schedDone: make(chan struct{}),
+		stopCh:    make(chan struct{}),
+	}
+	co.cond = sync.NewCond(&co.mu)
+
+	ln, err := net.Listen("tcp", opt.Addr)
+	if err != nil {
+		// The mesh is up and the workers are parked in their control
+		// receive: tell them to exit before failing, or they hang.
+		co.broadcastShutdown()
+		return fmt.Errorf("svc: rank 0 cannot listen on %s: %w", opt.Addr, err)
+	}
+	srv := &http.Server{Handler: co.handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- srv.Serve(ln) }()
+	if opt.Ready != nil {
+		opt.Ready("http://" + ln.Addr().String())
+	}
+
+	go co.schedule()
+
+	select {
+	case <-ctx.Done():
+	case <-co.stopCh:
+	case err := <-httpErr: // listener died out from under us
+		co.beginDrain()
+		<-co.schedDone
+		return fmt.Errorf("svc: http server: %w", err)
+	}
+	co.beginDrain()
+	<-co.schedDone
+	_ = srv.Close()
+	return nil
+}
+
+// beginDrain stops admissions; the scheduler finishes the queue, waits
+// for running jobs, and notifies the workers.
+func (co *coordinator) beginDrain() {
+	co.stopOnce.Do(func() {
+		co.mu.Lock()
+		co.draining = true
+		co.cond.Broadcast()
+		co.mu.Unlock()
+	})
+}
+
+// requestStop triggers the same drain from an HTTP handler.
+func (co *coordinator) requestStop() {
+	co.beginDrain()
+	co.stopChanOnce.Do(func() { close(co.stopCh) })
+}
+
+// broadcastShutdown tells every worker to exit its serve loop.
+func (co *coordinator) broadcastShutdown() {
+	for w := 1; w < co.world.Size(); w++ {
+		co.world.Send(w, tagCtl, ctlMsg{Op: opShutdown}, 1)
+	}
+}
+
+// submit validates and admits one job. It returns the job record, or an
+// HTTP status and message for rejected submissions.
+func (co *coordinator) submit(req JobRequest) (*job, int, string) {
+	desc, raw, status, msg := co.buildDesc(req)
+	if status != 0 {
+		return nil, status, msg
+	}
+	est := estJobBytes(desc.NTotal, co.world.Size())
+
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.draining {
+		return nil, http.StatusServiceUnavailable, "service is shutting down"
+	}
+	if co.degraded != nil {
+		return nil, http.StatusServiceUnavailable,
+			fmt.Sprintf("mesh degraded by a peer failure: %v", co.degraded)
+	}
+	if est > co.opt.MemBudget {
+		co.met.rejected++
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("job needs an estimated %d B per rank, budget is %d B", est, co.opt.MemBudget)
+	}
+	if len(co.queue) >= co.opt.MaxQueue {
+		co.met.rejected++
+		return nil, http.StatusTooManyRequests,
+			fmt.Sprintf("admission queue full (%d jobs)", co.opt.MaxQueue)
+	}
+	co.nextID++
+	j := &job{
+		id:        fmt.Sprintf("j%d", co.nextID),
+		desc:      desc,
+		raw:       raw,
+		est:       est,
+		state:     StatusQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	j.desc.ID = j.id
+	co.jobs[j.id] = j
+	co.queue = append(co.queue, j)
+	co.met.submitted++
+	co.cond.Signal()
+	return j, 0, ""
+}
+
+// buildDesc translates an HTTP job request into a control descriptor.
+func (co *coordinator) buildDesc(req JobRequest) (ctlMsg, []uint64, int, string) {
+	var desc ctlMsg
+	p := co.world.Size()
+	desc.Op = opJob
+	desc.Algo = req.Algo
+	if desc.Algo == "" {
+		desc.Algo = "ams"
+	}
+	algo, ok := algoByName[desc.Algo]
+	if !ok {
+		return desc, nil, http.StatusBadRequest, fmt.Sprintf("unknown algo %q", desc.Algo)
+	}
+	if (algo == expt.Bitonic || algo == expt.HCQ) && p&(p-1) != 0 {
+		return desc, nil, http.StatusBadRequest,
+			fmt.Sprintf("algo %q needs a power-of-two cluster, p=%d", desc.Algo, p)
+	}
+	desc.Levels = int64(req.Levels)
+	if desc.Levels <= 0 {
+		desc.Levels = 1
+	}
+	desc.Seed = req.Seed
+	desc.TieBreak = req.TieBreak == nil || *req.TieBreak
+	desc.Keyed = req.Keyed == nil || *req.Keyed
+
+	if len(req.Keys) > 0 {
+		desc.Raw = true
+		desc.Gather = true
+		desc.NTotal = int64(len(req.Keys))
+		return desc, req.Keys, 0, ""
+	}
+	desc.Kind = req.Kind
+	if desc.Kind == "" {
+		desc.Kind = "uniform"
+	}
+	if _, ok := kindByName[desc.Kind]; !ok {
+		return desc, nil, http.StatusBadRequest, fmt.Sprintf("unknown kind %q", desc.Kind)
+	}
+	if req.N <= 0 {
+		return desc, nil, http.StatusBadRequest, "n must be positive (or supply keys)"
+	}
+	desc.PerPE = (req.N + int64(p) - 1) / int64(p)
+	desc.NTotal = desc.PerPE * int64(p)
+	desc.Gather = desc.NTotal <= co.opt.ResultLimit
+	return desc, nil, 0, ""
+}
+
+// schedule is the admission loop: it pops queued jobs in FIFO order and
+// dispatches each as soon as a concurrency slot and the memory budget
+// allow. On drain it finishes the queue, waits for the running jobs,
+// and sends the workers their shutdown notice.
+func (co *coordinator) schedule() {
+	defer close(co.schedDone)
+	for {
+		co.mu.Lock()
+		for len(co.queue) == 0 || co.running >= co.opt.MaxConcurrent ||
+			co.memUse+co.queue[0].est > co.opt.MemBudget {
+			if co.draining && len(co.queue) == 0 {
+				for co.running > 0 {
+					co.cond.Wait()
+				}
+				co.mu.Unlock()
+				co.broadcastShutdown()
+				return
+			}
+			co.cond.Wait()
+		}
+		j := co.queue[0]
+		co.queue = co.queue[1:]
+		co.running++
+		co.memUse += j.est
+		j.state = StatusRunning
+		j.desc.Epoch = co.nextEpoch
+		co.nextEpoch++
+		co.mu.Unlock()
+
+		// Dispatch before running rank 0's own share: control messages
+		// are FIFO per (sender, tag), so every worker sees jobs in epoch
+		// order and spawns a runner per job.
+		for w := 1; w < co.world.Size(); w++ {
+			co.world.Send(w, tagCtl, j.desc, 1)
+		}
+		go co.runJob(j)
+	}
+}
+
+// runJob executes rank 0's share of the job and gathers the per-rank
+// results. Runs on its own goroutine; any number of runJobs are in
+// flight at once, kept apart by the job tag namespaces.
+func (co *coordinator) runJob(j *job) {
+	start := time.Now()
+	p := co.world.Size()
+	jc := comm.WithTagOffset(co.world, jobOffset(j.desc.Epoch))
+
+	var chunk0 []uint64
+	if j.desc.Raw {
+		counts := comm.GroupSizes(len(j.raw), p)
+		off := counts[0]
+		for w := 1; w < p; w++ {
+			chunk := j.raw[off : off+counts[w]]
+			off += counts[w]
+			jc.Send(w, tagJobData, chunk, int64(len(chunk)))
+		}
+		chunk0 = j.raw[:counts[0]:counts[0]]
+	}
+
+	results := make([]rankResult, p)
+	results[0] = runLocal(co.world, j.desc, chunk0)
+	gatherErr := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = recoveredError(r)
+			}
+		}()
+		for w := 1; w < p; w++ {
+			pl, _ := jc.Recv(w, tagJobResult)
+			results[w] = pl.(rankResult)
+		}
+		return nil
+	}()
+
+	wall := time.Since(start).Nanoseconds()
+	if gatherErr != nil {
+		co.completeJob(j, nil, fmt.Sprintf("gathering results: %v", gatherErr), wall, gatherErr)
+		return
+	}
+	res := &Result{}
+	var firstErr string
+	for rank, r := range results {
+		if r.Err != "" && firstErr == "" {
+			firstErr = fmt.Sprintf("rank %d: %s", rank, r.Err)
+		}
+		res.Count += r.Count
+		res.Sum += r.Sum
+		res.BytesMoved += r.Bytes
+		if r.TotalNS > res.TotalNS {
+			res.TotalNS = r.TotalNS
+		}
+		for ph := range r.PhaseNS {
+			if r.PhaseNS[ph] > res.PhaseNS[ph] {
+				res.PhaseNS[ph] = r.PhaseNS[ph]
+			}
+		}
+	}
+	if firstErr != "" {
+		co.completeJob(j, nil, firstErr, wall, nil)
+		return
+	}
+	// Output is globally ordered by rank (validated collectively inside
+	// the job), so the gathered result is the rank-order concatenation.
+	seen := false
+	for _, r := range results {
+		if r.Count == 0 {
+			continue
+		}
+		if !seen {
+			res.First = r.First
+			seen = true
+		}
+		res.Last = r.Last
+	}
+	if j.desc.Gather {
+		res.Keys = make([]uint64, 0, res.Count)
+		for _, r := range results {
+			res.Keys = append(res.Keys, r.Keys...)
+		}
+	}
+	co.completeJob(j, res, "", wall, nil)
+}
+
+// completeJob finalizes the job record, releases its admission slot,
+// and folds its outcome into the metrics.
+func (co *coordinator) completeJob(j *job, res *Result, errMsg string, wallNS int64, transport error) {
+	co.mu.Lock()
+	co.running--
+	co.memUse -= j.est
+	j.wallNS = wallNS
+	if errMsg == "" {
+		j.state = StatusDone
+		j.res = res
+		co.met.completed++
+		co.met.elements += res.Count
+		co.met.bytesMoved += res.BytesMoved
+		co.met.totalNS += res.TotalNS
+		for ph := range res.PhaseNS {
+			co.met.phaseNS[ph] += res.PhaseNS[ph]
+		}
+		co.met.observeWall(wallNS)
+	} else {
+		j.state = StatusFailed
+		j.errMsg = errMsg
+		co.met.failed++
+	}
+	if transport != nil && co.degraded == nil {
+		co.degraded = transport
+	}
+	co.cond.Broadcast()
+	co.mu.Unlock()
+	close(j.done)
+}
+
+// serveWorker is every non-coordinator rank's loop: receive control
+// messages in FIFO order, run each job on its own goroutine, exit on
+// the shutdown notice after the in-flight jobs drain. A transport
+// failure on the control stream (the coordinator died) is returned as
+// an error after the jobs have failed over the same poisoned mailbox.
+func serveWorker(world comm.Communicator) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		msg, err := recvCtl(world)
+		if err != nil {
+			return err
+		}
+		if msg.Op == opShutdown {
+			return nil
+		}
+		wg.Add(1)
+		go func(d ctlMsg) {
+			defer wg.Done()
+			res := runLocal(world, d, nil)
+			jc := comm.WithTagOffset(world, jobOffset(d.Epoch))
+			defer func() { recover() }() // sending on a torn-down mesh must not kill the rank
+			jc.Send(0, tagJobResult, res, int64(len(res.Keys))+4)
+		}(msg)
+	}
+}
+
+// recvCtl receives one control message, converting a transport panic
+// into an error.
+func recvCtl(world comm.Communicator) (msg ctlMsg, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = recoveredError(r)
+		}
+	}()
+	pl, _ := world.Recv(0, tagCtl)
+	return pl.(ctlMsg), nil
+}
+
+// runLocal runs this rank's share of one job: obtain the input
+// (generate it, or take the scattered raw chunk), sort it collectively
+// through the job's tag-offset view, validate, and report. Any panic —
+// a transport failure, a validation failure — becomes an error result,
+// not a process crash.
+func runLocal(world comm.Communicator, d ctlMsg, chunk0 []uint64) (res rankResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = rankResult{Err: recoveredError(r).Error()}
+		}
+	}()
+	rank, p := world.Rank(), world.Size()
+	jc := comm.WithTagOffset(world, jobOffset(d.Epoch))
+
+	var data []uint64
+	switch {
+	case d.Raw && rank == 0:
+		data = chunk0
+	case d.Raw:
+		pl, _ := jc.Recv(0, tagJobData)
+		data, _ = pl.([]uint64)
+	default:
+		data = workload.Local(kindByName[d.Kind], d.Seed, p, int(d.PerPE), rank)
+	}
+
+	spec := expt.Spec{
+		Algo:     algoByName[d.Algo],
+		P:        p,
+		PerPE:    int(d.PerPE),
+		Levels:   int(d.Levels),
+		Kind:     kindByName[d.Kind],
+		Seed:     d.Seed,
+		TieBreak: d.TieBreak,
+		Keyed:    d.Keyed,
+	}
+	out, st := expt.RunData(jc, spec, data)
+
+	res.Count = int64(len(out))
+	if len(out) > 0 {
+		res.First, res.Last = out[0], out[len(out)-1]
+	}
+	for _, k := range out {
+		res.Sum += prng.Mix64(k)
+	}
+	res.PhaseNS = st.PhaseNS
+	res.TotalNS = st.TotalNS
+	res.Bytes = st.PhaseBytes[core.PhaseDataDelivery]
+	if d.Gather {
+		res.Keys = out
+	}
+	return res
+}
+
+// recoveredError shapes a recovered panic value into an error,
+// preserving *netcomm.TransportError for errors.As.
+func recoveredError(r any) error {
+	switch v := r.(type) {
+	case *netcomm.TransportError:
+		return v
+	case error:
+		return v
+	default:
+		return fmt.Errorf("%v", v)
+	}
+}
+
+// sortedJobIDs returns the job IDs in submission order (for /jobs).
+func (co *coordinator) sortedJobIDs() []string {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	ids := make([]string, 0, len(co.jobs))
+	for id := range co.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if len(ids[a]) != len(ids[b]) {
+			return len(ids[a]) < len(ids[b])
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}

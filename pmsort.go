@@ -70,6 +70,7 @@
 package pmsort
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -83,6 +84,7 @@ import (
 	"pmsort/internal/netcomm"
 	"pmsort/internal/obs"
 	"pmsort/internal/sim"
+	"pmsort/internal/svc"
 	"pmsort/internal/wire"
 )
 
@@ -237,9 +239,12 @@ type TCPCluster struct {
 // NewTCP joins (and, collectively, forms) a TCP cluster: peers is the
 // same ordered list of host:port addresses on every process, and rank
 // is this process's index in it. NewTCP binds peers[rank], connects the
-// full mesh (blocking until all peers are up, with retries for up to
-// 30s), and returns the ready endpoint. Use cmd/sortnode to launch
-// ranks, or call this from your own per-rank processes.
+// full mesh (blocking until all peers are up, retrying for the default
+// 30s rendezvous window — NewTCPOpts with TCPOptions.RendezvousTimeout
+// changes it), and returns the ready endpoint. A peer that never
+// answers fails the rendezvous with an error naming its rank and
+// address. Use cmd/sortnode to launch ranks, or call this from your own
+// per-rank processes.
 func NewTCP(rank int, peers []string) (*TCPCluster, error) {
 	m, err := netcomm.New(rank, peers, netcomm.Options{})
 	if err != nil {
@@ -265,6 +270,32 @@ func (cl *TCPCluster) Run(fn func(c Communicator)) (time.Duration, error) {
 // Close flushes outstanding sends, waits for the peers to hang up too,
 // and tears the mesh down. Call it once, after the last Run.
 func (cl *TCPCluster) Close() error { return cl.m.Close() }
+
+// ServeOptions tunes the sort service (see internal/svc): rank 0's HTTP
+// listen address, the admission limits, and the gathered-result cutoff.
+type ServeOptions = svc.Options
+
+// Serve turns the cluster into a long-lived sort service until ctx is
+// cancelled or a POST /shutdown arrives. Collective: every rank must
+// call Serve. Rank 0 serves HTTP on opt.Addr — POST /jobs submits a
+// sort (a workload spec or raw keys), GET /jobs/{id} polls it,
+// GET /metrics reports job counts, phase latencies, bytes moved, and
+// the transport counters — and dispatches admitted jobs to all ranks
+// over reserved control tags; any number of jobs run concurrently on
+// the one mesh, kept apart by per-job tag namespaces. A dead peer fails
+// the jobs riding on the mesh, not the server: rank 0 keeps answering
+// status and metrics in a degraded state. See cmd/sortnode -serve for
+// the ready-made server and cmd/sortload for a load generator.
+func (cl *TCPCluster) Serve(ctx context.Context, opt ServeOptions) error {
+	var serveErr error
+	_, runErr := cl.m.Run(func(c Communicator) {
+		serveErr = svc.Serve(ctx, c, opt)
+	})
+	if runErr != nil {
+		return runErr
+	}
+	return serveErr
+}
 
 // Chaos middleware (internal/chaos): a deterministic, seeded
 // fault-and-contract-checking wrapper that composes over any backend.
@@ -374,11 +405,18 @@ type TCPOptions struct {
 	// writes, the mailbox tracks queue depth and blocked-receive wait,
 	// and the IO goroutines get pprof labels.
 	Obs bool
+	// RendezvousTimeout bounds the whole mesh construction — bind, dial
+	// retries, handshakes. 0 means 30s. Raise it when ranks start far
+	// apart in time (slow schedulers); lower it to fail fast in tests.
+	RendezvousTimeout time.Duration
 }
 
 // NewTCPOpts is NewTCP with explicit options.
 func NewTCPOpts(rank int, peers []string, opt TCPOptions) (*TCPCluster, error) {
-	m, err := netcomm.New(rank, peers, netcomm.Options{Obs: opt.Obs})
+	m, err := netcomm.New(rank, peers, netcomm.Options{
+		Obs:               opt.Obs,
+		RendezvousTimeout: opt.RendezvousTimeout,
+	})
 	if err != nil {
 		return nil, err
 	}
