@@ -1,0 +1,141 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring the
+// upstream golang.org/x/tools/go/analysis/analysistest contract on the
+// stdlib-only stand-in framework (see internal/analysis).
+//
+// Fixtures live under <testdata>/src/<pkg>/: each directory is one
+// package whose import path is its directory name, so a fixture can
+// import a sibling stub package ("comm", "obs", …). A line expecting a
+// diagnostic carries a comment of the form
+//
+//	code() // want `regexp` `another regexp`
+//
+// with one backquoted regexp per expected diagnostic on that line.
+// Run fails the test on any unmatched expectation and any unexpected
+// diagnostic, so fixtures double as true-negative tests: every line
+// without a want comment asserts the analyzer stays silent there.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"pmsort/internal/analysis"
+)
+
+// Run loads the fixture packages named pkgs from testdata/src and
+// applies the analyzer, checking diagnostics against want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	prog, err := analysis.LoadFixture(testdata + "/src")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	target := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		if prog.Lookup(p) == nil {
+			t.Fatalf("fixture package %q not found under %s/src", p, testdata)
+		}
+		target[p] = true
+	}
+	findings := prog.Run([]*analysis.Analyzer{a}, func(pkg *analysis.Package) bool {
+		return target[pkg.PkgPath]
+	})
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*expectation)
+	for _, p := range pkgs {
+		pkg := prog.Lookup(p)
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, exp := range parseWants(t, prog.Fset, c) {
+						k := key{exp.pos.Filename, exp.pos.Line}
+						wants[k] = append(wants[k], exp)
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		matched := false
+		for _, exp := range wants[k] {
+			if !exp.matched && exp.re.MatchString(f.Message) {
+				exp.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+		}
+	}
+	for _, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", exp.pos.Filename, exp.pos.Line, exp.re)
+			}
+		}
+	}
+}
+
+type expectation struct {
+	pos     token.Position
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*expectation {
+	t.Helper()
+	text, ok := strings.CutPrefix(c.Text, "// want ")
+	if !ok {
+		text, ok = strings.CutPrefix(c.Text, "//want ")
+	}
+	if !ok {
+		return nil
+	}
+	ms := wantRE.FindAllStringSubmatch(text, -1)
+	if len(ms) == 0 {
+		t.Fatalf("%s: malformed want comment (no backquoted regexp): %s", fset.Position(c.Pos()), c.Text)
+	}
+	var out []*expectation
+	for _, m := range ms {
+		re, err := regexp.Compile(m[1])
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), m[1], err)
+		}
+		out = append(out, &expectation{pos: fset.Position(c.Pos()), re: re})
+	}
+	return out
+}
+
+// RunFindings is a convenience for driver-level tests: it loads the
+// real module containing dir and returns the findings of the analyzers
+// over the packages matching patterns.
+func RunFindings(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]analysis.Finding, string, error) {
+	prog, err := analysis.Load(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	root, _, err := analysis.FindModule(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	fs := prog.Run(analyzers, prog.Match(root, patterns))
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "%s\n", f)
+	}
+	return fs, b.String(), nil
+}

@@ -1,0 +1,142 @@
+// Package fieldalign is the suite's port of the standard
+// fieldalignment check (golang.org/x/tools/.../fieldalignment) onto
+// the stand-in framework: it flags package-level struct types whose
+// fields, reordered, would occupy fewer bytes under gc layout rules.
+// In this repo the hot structs travel in bulk — wire-registered
+// payload types are encoded element-by-element and the seq kernels
+// move records by the million — so padding is bandwidth.
+//
+// Deliberately-ordered structs (wire format stability, cache-line
+// grouping of hot fields, field order documenting protocol order) keep
+// their layout with a //nolint:fieldalign justification; reordering a
+// wire-registered struct is safe for the protocol only because every
+// rank runs the same binary, but it does change the frame bytes, so
+// torture's cross-backend byte-identity must stay green after any fix.
+package fieldalign
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"pmsort/internal/analysis"
+)
+
+// Analyzer is the fieldalign analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "fieldalign",
+	Doc:  "flag structs whose field order wastes padding bytes under gc layout rules",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	sizes := pass.Prog.Sizes
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			styp, ok := named.Underlying().(*types.Struct)
+			if !ok || styp.NumFields() < 2 {
+				return true
+			}
+			if hasTypeParamField(styp) {
+				return true // generic: layout depends on instantiation
+			}
+			cur := sizes.Sizeof(styp)
+			best := optimalSize(styp, sizes)
+			if best < cur {
+				pass.Reportf(st.Pos(), "struct %s is %d bytes; reordering fields (largest-alignment first) would make it %d bytes", ts.Name.Name, cur, best)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// optimalSize computes the struct's size with fields sorted by
+// descending alignment, then descending size — the gc-layout greedy
+// optimum — with zero-sized fields placed first so none lands at the
+// end (a trailing zero-size field gets padding to keep its address
+// in-bounds).
+func optimalSize(st *types.Struct, sizes types.Sizes) int64 {
+	n := st.NumFields()
+	fields := make([]*types.Var, n)
+	for i := 0; i < n; i++ {
+		fields[i] = st.Field(i)
+	}
+	sort.SliceStable(fields, func(i, j int) bool {
+		ti, tj := fields[i].Type(), fields[j].Type()
+		si, sj := sizes.Sizeof(ti), sizes.Sizeof(tj)
+		if (si == 0) != (sj == 0) {
+			return si == 0
+		}
+		ai, aj := sizes.Alignof(ti), sizes.Alignof(tj)
+		if ai != aj {
+			return ai > aj
+		}
+		return si > sj
+	})
+	fresh := make([]*types.Var, n)
+	for i, f := range fields {
+		fresh[i] = types.NewField(token.NoPos, nil, f.Name(), f.Type(), false)
+	}
+	return sizes.Sizeof(types.NewStruct(fresh, nil))
+}
+
+func hasTypeParamField(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if containsTypeParam(st.Field(i).Type(), nil) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsTypeParam(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.TypeParam:
+		return true
+	case *types.Named:
+		if ta := u.TypeArgs(); ta != nil {
+			for i := 0; i < ta.Len(); i++ {
+				if containsTypeParam(ta.At(i), seen) {
+					return true
+				}
+			}
+		}
+		return containsTypeParam(u.Underlying(), seen)
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature:
+		return false // pointer-shaped: layout independent of elem
+	case *types.Array:
+		return containsTypeParam(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsTypeParam(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package fieldalign_test
+
+import (
+	"testing"
+
+	"pmsort/internal/analysis/analysistest"
+	"pmsort/internal/analysis/fieldalign"
+)
+
+func TestFieldalign(t *testing.T) {
+	analysistest.Run(t, "testdata", fieldalign.Analyzer, "a")
+}

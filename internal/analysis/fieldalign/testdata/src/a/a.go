@@ -1,0 +1,30 @@
+package a
+
+type Bad struct { // want `struct Bad is 24 bytes; reordering fields .* would make it 16 bytes`
+	a bool
+	b int64
+	c bool
+}
+
+type Good struct {
+	b int64
+	a bool
+	c bool
+}
+
+// Pair is generic: layout depends on the instantiation, so the
+// analyzer skips it.
+type Pair[T any] struct {
+	a bool
+	b T
+	c bool
+}
+
+// Waived is mis-ordered on purpose; the suppression keeps it quiet.
+//
+//nolint:fieldalign
+type Waived struct {
+	a bool
+	b int64
+	c bool
+}

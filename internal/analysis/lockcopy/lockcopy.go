@@ -1,0 +1,151 @@
+// Package lockcopy extends vet's copylocks discipline over the repo:
+// it flags values of lock-carrying types (sync.Mutex and friends, or
+// anything with a pointer-receiver Lock/Unlock pair — the netcomm
+// mailbox, the obs recorder's counters) that are copied by value
+// through parameters, receivers, results, plain assignments, or range
+// clauses. A copied lock is a fork of the lock state: both copies
+// "work" under light load and deadlock or race under contention, which
+// is why the check belongs in the PR gate next to the ownership
+// analyzers rather than in a torture sweep.
+package lockcopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pmsort/internal/analysis"
+)
+
+// Analyzer is the lockcopy analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcopy",
+	Doc: "flag by-value copies of lock-carrying types through parameters, receivers, " +
+		"results, assignments, and range clauses",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(pass, n.Recv, "receiver")
+				if n.Type.Params != nil {
+					checkFieldList(pass, n.Type.Params, "parameter")
+				}
+				if n.Type.Results != nil {
+					checkFieldList(pass, n.Type.Results, "result")
+				}
+			case *ast.FuncLit:
+				if n.Type.Params != nil {
+					checkFieldList(pass, n.Type.Params, "parameter")
+				}
+				if n.Type.Results != nil {
+					checkFieldList(pass, n.Type.Results, "result")
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if !copiesValue(rhs) {
+						continue
+					}
+					t := pass.TypesInfo.TypeOf(rhs)
+					if path, bad := lockPath(t, nil); bad {
+						pos := rhs.Pos()
+						if i < len(n.Lhs) {
+							pos = n.Lhs[i].Pos()
+						}
+						pass.Reportf(pos, "assignment copies lock value: %s %s", typeName(t), path)
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					t := pass.TypesInfo.TypeOf(n.Value)
+					if path, bad := lockPath(t, nil); bad {
+						pass.Reportf(n.Value.Pos(), "range clause copies lock value: %s %s", typeName(t), path)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFieldList(pass *analysis.Pass, fl *ast.FieldList, what string) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		t := pass.TypesInfo.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		if path, bad := lockPath(t, nil); bad {
+			pass.Reportf(f.Type.Pos(), "%s passes lock by value: %s %s; use a pointer", what, typeName(t), path)
+		}
+	}
+}
+
+// copiesValue reports whether evaluating rhs produces a copy of an
+// existing value (as opposed to a fresh composite literal or a call
+// result, which vet also permits).
+func copiesValue(rhs ast.Expr) bool {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.CompositeLit, *ast.CallExpr, *ast.FuncLit:
+		return false
+	}
+	return true
+}
+
+func typeName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// lockPath reports whether t contains a lock by value, and where.
+// Following vet, a "lock" is any type with a pointer-receiver Lock or
+// Unlock method (sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once,
+// sync.Cond, …) reached without crossing a pointer.
+func lockPath(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if t == nil || seen[t] {
+		return "", false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if isLock(t) {
+		return "contains " + typeName(t), true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if path, bad := lockPath(u.Field(i).Type(), seen); bad {
+				return "field " + u.Field(i).Name() + ": " + path, true
+			}
+		}
+	case *types.Array:
+		return lockPath(u.Elem(), seen)
+	}
+	return "", false
+}
+
+// isLock reports whether t itself is a lock type: it (or *t) has a
+// Lock or Unlock method.
+func isLock(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface:
+		// Copying a pointer or an interface value shares the lock
+		// rather than forking it.
+		return false
+	}
+	for _, name := range [...]string{"Lock", "Unlock"} {
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), false, nil, name)
+		if f, ok := obj.(*types.Func); ok {
+			sig := f.Type().(*types.Signature)
+			if sig.Params().Len() == 0 && sig.Results().Len() == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

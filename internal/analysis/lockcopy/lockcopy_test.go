@@ -1,0 +1,12 @@
+package lockcopy_test
+
+import (
+	"testing"
+
+	"pmsort/internal/analysis/analysistest"
+	"pmsort/internal/analysis/lockcopy"
+)
+
+func TestLockcopy(t *testing.T) {
+	analysistest.Run(t, "testdata", lockcopy.Analyzer, "a")
+}

@@ -1,0 +1,39 @@
+package a
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(g guarded) int { // want `passes lock by value`
+	return g.n
+}
+
+func byPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func assign(g *guarded) {
+	cp := *g // want `assignment copies lock value`
+	cp.n++
+}
+
+func ranges(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range clause copies lock value`
+		total += g.n
+	}
+	return total
+}
+
+func rangePointers(gs []*guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}

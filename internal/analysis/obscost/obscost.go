@@ -1,0 +1,144 @@
+// Package obscost enforces the zero-cost-when-disabled contract of the
+// obs tracing layer (DESIGN.md §12, §14): a nil *obs.Recorder makes
+// every Start/StartLevel/Counter/Peer* call a no-op, but Go still
+// evaluates the arguments at the call site. An argument built with
+// fmt.Sprintf, string concatenation, a composite literal, or an
+// allocating conversion therefore allocates on every call even with
+// tracing off — in the classify/merge inner loops that is a per-level
+// heap allocation the alloc benchmarks exist to forbid. The repo pins
+// a handful of such sites with testing.AllocsPerRun; this analyzer
+// covers all of them, including ones no alloc test watches.
+//
+// The fix is a package-level constant span/counter name (the
+// obs.Span*/obs.Ctr* convention) or hoisting the formatting behind an
+// explicit recorder-enabled check.
+package obscost
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pmsort/internal/analysis"
+)
+
+// Analyzer is the obscost analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "obscost",
+	Doc: "flag obs recorder/span call sites whose arguments allocate eagerly " +
+		"(fmt.Sprintf, non-constant string concatenation, composite literals, allocating conversions); " +
+		"obs call sites must be free when tracing is off",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			args, ok := analysis.ObsCall(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			for _, arg := range args {
+				checkArg(pass, arg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkArg reports eager allocations inside one obs call argument.
+func checkArg(pass *analysis.Pass, arg ast.Expr) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false // evaluated lazily by the callee, if ever
+		case *ast.CompositeLit:
+			pass.Reportf(e.Pos(), "composite literal allocates at an obs call site even when tracing is off; hoist it behind a recorder check")
+			return false
+		case *ast.BinaryExpr:
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value == nil && isString(tv.Type) {
+				pass.Reportf(e.Pos(), "non-constant string concatenation allocates at an obs call site even when tracing is off; use a constant name (obs.Span*/obs.Ctr* convention)")
+				return false
+			}
+		case *ast.CallExpr:
+			if name, ok := allocCallee(pass.TypesInfo, e); ok {
+				pass.Reportf(e.Pos(), "%s allocates at an obs call site even when tracing is off; use a constant name or hoist it behind a recorder check", name)
+				return false
+			}
+			if name, ok := allocConversion(pass.TypesInfo, e); ok {
+				pass.Reportf(e.Pos(), "conversion %s allocates at an obs call site even when tracing is off", name)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// allocPkgs lists functions whose results are always freshly allocated
+// strings/buffers.
+var allocPkgs = map[string]map[string]bool{
+	"fmt":     {"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true, "Appendf": true},
+	"strconv": {"Itoa": true, "FormatInt": true, "FormatUint": true, "FormatFloat": true, "Quote": true, "AppendInt": true, "AppendUint": true},
+	"strings": {"Join": true, "Repeat": true, "ToUpper": true, "ToLower": true, "Replace": true, "ReplaceAll": true},
+}
+
+func allocCallee(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || info.Selections[sel] != nil {
+		return "", false
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return "", false
+	}
+	pkg := analysis.PkgBasename(f.Pkg().Path())
+	if fns, ok := allocPkgs[pkg]; ok && fns[f.Name()] {
+		return pkg + "." + f.Name(), true
+	}
+	return "", false
+}
+
+// allocConversion matches string([]byte) / []byte(string) style
+// conversions with a non-constant operand.
+func allocConversion(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	if !ok || !tv.IsType() {
+		return "", false
+	}
+	if av, ok := info.Types[call.Args[0]]; ok && av.Value != nil {
+		return "", false // constant-folded
+	}
+	dst := tv.Type
+	src := info.Types[call.Args[0]].Type
+	if src == nil {
+		return "", false
+	}
+	if isString(dst) && isByteOrRuneSlice(src) {
+		return "string(...)", true
+	}
+	if isByteOrRuneSlice(dst) && isString(src) {
+		return "[]byte(...)", true
+	}
+	return "", false
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

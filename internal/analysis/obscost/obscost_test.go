@@ -1,0 +1,12 @@
+package obscost_test
+
+import (
+	"testing"
+
+	"pmsort/internal/analysis/analysistest"
+	"pmsort/internal/analysis/obscost"
+)
+
+func TestObscost(t *testing.T) {
+	analysistest.Run(t, "testdata", obscost.Analyzer, "a")
+}

@@ -1,0 +1,33 @@
+package a
+
+import (
+	"fmt"
+	"obs"
+)
+
+const ctrBytes = "send.bytes"
+
+func suffix(level int) string { return "x" }
+
+func good(r *obs.Recorder, n int64) {
+	r.Counter(ctrBytes, n)
+	r.Counter("recv.bytes", n)
+	sp := r.StartLevel("phase.partition", 2)
+	sp.Note("cap", n)
+	sp.End()
+}
+
+func bad(r *obs.Recorder, level int, n int64, raw []byte) {
+	r.Counter(fmt.Sprintf("send.bytes.%d", level), n) // want `fmt.Sprintf allocates at an obs call site`
+	r.Start("phase." + suffix(level))                 // want `non-constant string concatenation allocates`
+	r.Gauge(string(raw), n)                           // want `conversion string\(\.\.\.\) allocates`
+	r.Counter(ctrBytes, sum([]int64{n, 1}))           // want `composite literal allocates`
+}
+
+func sum(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,15 @@
+// Package obs is a fixture stub: the analyzer recognises recorder and
+// span call sites by receiver type name within a package named obs.
+package obs
+
+type Recorder struct{}
+
+func (r *Recorder) Start(name string) *Span               { return nil }
+func (r *Recorder) StartLevel(name string, lvl int) *Span { return nil }
+func (r *Recorder) Counter(name string, delta int64)      {}
+func (r *Recorder) Gauge(name string, v int64)            {}
+
+type Span struct{}
+
+func (s *Span) End()                      {}
+func (s *Span) Note(name string, v int64) {}

@@ -1,0 +1,580 @@
+// Package sendfreeze enforces the payload-ownership half of the
+// Communicator contract (DESIGN.md §6, §10, §14): ownership of a sent
+// payload transfers to the receiver, and since the in-process backends
+// pass payloads by reference, a sender that writes to a payload after
+// Send silently corrupts data another PE may already be reading. The
+// same transfer happens at the coll/delivery collectives for the
+// argument they forward.
+//
+// The chaos middleware detects this class at runtime by checksumming
+// every payload at Send and re-encoding at delivery — but only on runs
+// whose seed actually interleaves the mutation with the read (the PR 3
+// bitonic compare-split bug survived two PRs of CI that way). This
+// analyzer flags the pattern on every build instead.
+//
+// Scope and approximations, chosen to keep false positives at zero on
+// the documented zero-copy paths (streamConcat staging, arena reuse,
+// halves-disjoint reduce-scatter):
+//
+//   - Analysis is per-function and path-forked across if/switch
+//     branches; loop bodies are simulated once (a write that reaches a
+//     Send only across iterations is the runtime detectors' job).
+//   - A payload freezes the variable it names (and its selector path);
+//     plain rebinding (x = freshValue()) thaws it, re-slicing the same
+//     backing array (x = x[:n]) does not.
+//   - Writes THROUGH a bounded re-slice alias (y := x[a:b]) are not
+//     tracked: sending one half of a buffer and writing the other is
+//     the legitimate Rabenseifner reduce-scatter shape.
+//   - x = append(x, …) is not a violation (append writes at indices ≥
+//     the sent length, which the receiver never reads) but x stays
+//     frozen, so a later x[i] = … is still caught.
+//
+// Suppress a deliberate violation with //nolint:sendfreeze and a
+// justification; there are currently none in the tree.
+package sendfreeze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pmsort/internal/analysis"
+)
+
+// Analyzer is the sendfreeze analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "sendfreeze",
+	Doc: "flag writes to a variable previously passed as the payload of comm.Communicator.Send " +
+		"or a coll/delivery collective: payload ownership transfers at the call",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		var funcs []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					funcs = append(funcs, n)
+				}
+			case *ast.FuncLit:
+				funcs = append(funcs, n)
+			}
+			return true
+		})
+		for _, fn := range funcs {
+			var body *ast.BlockStmt
+			switch fn := fn.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			sim := &simulator{pass: pass, state: state{}}
+			sim.block(body)
+		}
+	}
+	return nil
+}
+
+// A ref names a storage location: a variable plus a selector/index
+// path ("" for the variable itself, ".Field", "[]", ".Field[]", …).
+type ref struct {
+	obj  *types.Var
+	path string
+}
+
+// A freeze records that ref's storage was handed off at pos. deep
+// means the payload was &obj (every write under obj is a violation,
+// not just element writes).
+type freeze struct {
+	deep bool
+	pos  token.Pos
+}
+
+type state map[ref]freeze
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func (s state) union(others ...state) {
+	for _, o := range others {
+		for k, v := range o {
+			if _, ok := s[k]; !ok {
+				s[k] = v
+			}
+		}
+	}
+}
+
+type simulator struct {
+	pass  *analysis.Pass
+	state state
+}
+
+func (sim *simulator) block(b *ast.BlockStmt) {
+	if b == nil {
+		return
+	}
+	for _, st := range b.List {
+		sim.stmt(st)
+	}
+}
+
+func (sim *simulator) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		sim.block(st)
+	case *ast.IfStmt:
+		sim.stmt(st.Init)
+		sim.expr(st.Cond)
+		then := sim.fork(st.Body)
+		var alt state
+		if st.Else != nil {
+			alt = sim.forkStmt(st.Else)
+		} else {
+			alt = sim.state.clone()
+		}
+		then.union(alt)
+		sim.state = then
+	case *ast.ForStmt:
+		sim.stmt(st.Init)
+		sim.expr(st.Cond)
+		entry := sim.state.clone()
+		sim.block(st.Body)
+		sim.stmt(st.Post)
+		sim.state.union(entry)
+	case *ast.RangeStmt:
+		sim.expr(st.X)
+		entry := sim.state.clone()
+		sim.block(st.Body)
+		sim.state.union(entry)
+	case *ast.SwitchStmt:
+		sim.stmt(st.Init)
+		sim.expr(st.Tag)
+		sim.forkCases(st.Body)
+	case *ast.TypeSwitchStmt:
+		sim.stmt(st.Init)
+		sim.forkCases(st.Body)
+	case *ast.SelectStmt:
+		sim.forkCases(st.Body)
+	case *ast.AssignStmt:
+		sim.assign(st)
+	case *ast.IncDecStmt:
+		sim.write(st.X, st.Pos(), false)
+	case *ast.ExprStmt:
+		sim.expr(st.X)
+	case *ast.GoStmt:
+		sim.expr(st.Call)
+	case *ast.DeferStmt:
+		sim.expr(st.Call)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			sim.expr(e)
+		}
+	case *ast.SendStmt:
+		sim.expr(st.Chan)
+		sim.expr(st.Value)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						var rhs ast.Expr
+						if i < len(vs.Values) {
+							rhs = vs.Values[i]
+							sim.expr(rhs)
+						}
+						sim.bind(name, rhs)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		sim.stmt(st.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		// Unknown statement: visit expressions conservatively.
+		ast.Inspect(st, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				sim.call(call)
+			}
+			_, isLit := n.(*ast.FuncLit)
+			return !isLit
+		})
+	}
+}
+
+func (sim *simulator) fork(b *ast.BlockStmt) state {
+	saved := sim.state
+	sim.state = saved.clone()
+	sim.block(b)
+	forked := sim.state
+	sim.state = saved
+	return forked
+}
+
+func (sim *simulator) forkStmt(st ast.Stmt) state {
+	saved := sim.state
+	sim.state = saved.clone()
+	sim.stmt(st)
+	forked := sim.state
+	sim.state = saved
+	return forked
+}
+
+// forkCases runs each case clause of a switch/select body on its own
+// copy of the state and unions the outcomes (plus the no-case-taken
+// path).
+func (sim *simulator) forkCases(body *ast.BlockStmt) {
+	result := sim.state.clone()
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				sim.expr(e)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			stmts = cl.Body
+		}
+		saved := sim.state
+		sim.state = saved.clone()
+		for _, st := range stmts {
+			sim.stmt(st)
+		}
+		result.union(sim.state)
+		sim.state = saved
+	}
+	sim.state = result
+}
+
+// expr walks an expression in evaluation context: calls may freeze
+// payloads (Send/collectives) or violate a freeze (copy into frozen).
+// Function literals are separate functions and are skipped here.
+func (sim *simulator) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			sim.call(call)
+		}
+		_, isLit := n.(*ast.FuncLit)
+		return !isLit
+	})
+}
+
+func (sim *simulator) call(call *ast.CallExpr) {
+	info := sim.pass.TypesInfo
+	if payload, ok := analysis.CommSend(info, call); ok {
+		sim.freezePayload(payload, call.Pos())
+		return
+	}
+	if payload, ok := analysis.CollectivePayload(info, call); ok {
+		sim.freezePayload(payload, call.Pos())
+		return
+	}
+	// copy(dst, src) with a frozen dst mutates the sent storage.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "copy" && len(call.Args) == 2 {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			if r, _, ok := sim.resolve(call.Args[0]); ok {
+				sim.reportIfFrozen(r, call.Pos(), "copy into", false)
+			}
+		}
+	}
+}
+
+// freezePayload records the handoff of a payload expression.
+func (sim *simulator) freezePayload(payload ast.Expr, pos token.Pos) {
+	payload = ast.Unparen(payload)
+	deep := false
+	if u, ok := payload.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		payload = u.X
+		deep = true
+	}
+	r, _, ok := sim.resolve(payload)
+	if !ok {
+		return
+	}
+	// A payload whose type carries no references (plain struct/scalar)
+	// is copied when boxed into the `any` parameter: later writes to
+	// the variable are harmless.
+	if t := sim.pass.TypesInfo.TypeOf(payload); t == nil || (!deep && !carriesReference(t, nil)) {
+		return
+	}
+	if _, exists := sim.state[r]; !exists {
+		sim.state[r] = freeze{deep: deep, pos: pos}
+	}
+}
+
+// assign processes writes and (re)bindings.
+func (sim *simulator) assign(st *ast.AssignStmt) {
+	for _, rhs := range st.Rhs {
+		sim.expr(rhs)
+	}
+	oneToOne := len(st.Lhs) == len(st.Rhs)
+	for i, lhs := range st.Lhs {
+		var rhs ast.Expr
+		if oneToOne {
+			rhs = st.Rhs[i]
+		}
+		lhs = ast.Unparen(lhs)
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			if st.Tok == token.DEFINE {
+				sim.bind(l, rhs)
+			} else if st.Tok == token.ASSIGN {
+				sim.rebind(l, rhs)
+			} else {
+				// Compound assignment (+=, …): a read-modify-write of
+				// the variable itself only matters through a deref.
+				sim.write(l, st.Pos(), false)
+			}
+		default:
+			sim.write(lhs, st.Pos(), st.Tok != token.ASSIGN)
+		}
+	}
+}
+
+// bind handles `y := rhs`: y inherits a freeze when rhs aliases frozen
+// storage without explicit bounds.
+func (sim *simulator) bind(name *ast.Ident, rhs ast.Expr) {
+	if name.Name == "_" || rhs == nil {
+		return
+	}
+	obj, ok := sim.pass.TypesInfo.Defs[name].(*types.Var)
+	if !ok {
+		// `x, err := …` re-binding an existing x: an assignment.
+		sim.rebind(name, rhs)
+		return
+	}
+	delete(sim.state, ref{obj: obj})
+	if fr, ok := sim.aliasOf(rhs); ok {
+		sim.state[ref{obj: obj}] = fr
+	}
+}
+
+// rebind handles `x = rhs` for a plain variable: re-slicing or
+// appending to itself keeps the freeze; anything else thaws x (the
+// variable now names other storage) — unless rhs aliases another
+// frozen variable, in which case the freeze transfers.
+func (sim *simulator) rebind(name *ast.Ident, rhs ast.Expr) {
+	obj, ok := sim.pass.TypesInfo.Uses[name].(*types.Var)
+	if !ok {
+		return
+	}
+	self := ref{obj: obj}
+	if rhs != nil {
+		if r, _, ok := sim.resolveThroughAppend(rhs); ok && r == self {
+			return // x = x[:n], x = append(x, …): same backing array
+		}
+	}
+	// Thaw every path under x.
+	for k := range sim.state {
+		if k.obj == obj {
+			delete(sim.state, k)
+		}
+	}
+	if rhs != nil {
+		if fr, ok := sim.aliasOf(rhs); ok {
+			sim.state[self] = fr
+		}
+	}
+}
+
+// aliasOf reports whether rhs aliases currently-frozen storage without
+// explicit slice bounds (bounded re-slices are the documented disjoint
+// halves pattern and are not tracked).
+func (sim *simulator) aliasOf(rhs ast.Expr) (freeze, bool) {
+	r, bounded, ok := sim.resolve(rhs)
+	if !ok || bounded {
+		return freeze{}, false
+	}
+	for k, fr := range sim.state {
+		if k.obj == r.obj && (pathPrefix(k.path, r.path) || pathPrefix(r.path, k.path)) {
+			return fr, true
+		}
+	}
+	return freeze{}, false
+}
+
+// write flags a write through lhs if it mutates frozen storage.
+func (sim *simulator) write(lhs ast.Expr, pos token.Pos, compound bool) {
+	lhs = ast.Unparen(lhs)
+	switch l := lhs.(type) {
+	case *ast.IndexExpr:
+		// x[i] = v rebinds the element but mutates the array of x: a
+		// violation when x (or a shorter path of it) was sent.
+		if base, _, ok := sim.resolve(l.X); ok {
+			sim.reportIfFrozen(base, pos, "element write into", false)
+		}
+	case *ast.StarExpr:
+		if base, _, ok := sim.resolve(l.X); ok {
+			sim.reportIfFrozen(base, pos, "write through pointer", false)
+		}
+	case *ast.SelectorExpr:
+		if r, _, ok := sim.resolve(l); ok {
+			// Replacing a field corrupts the receiver when the payload
+			// was &x (the receiver shares the struct itself) or when
+			// the path reaches the field through an index/deref (the
+			// write lands in shared backing storage). A plain field
+			// set on a by-value payload only touches the sender's
+			// copy.
+			sim.reportIfFrozen(r, pos, "field write into", true)
+			if !sim.frozenDeep(r) {
+				for k := range sim.state {
+					if k.obj == r.obj && pathPrefix(r.path, k.path) && k.path != "" {
+						delete(sim.state, k)
+					}
+				}
+			}
+		}
+	case *ast.Ident:
+		// Plain writes to the variable itself are rebinds handled in
+		// assign; compound ops on idents don't touch sent storage.
+		_ = compound
+	}
+}
+
+// reportIfFrozen reports a violation if r (or a covering path of it)
+// is frozen. fieldSet marks a plain field replacement, which is only a
+// violation for &x payloads or when the path dereferences shared
+// storage ("[]"/"*" between the frozen path and the write).
+func (sim *simulator) reportIfFrozen(r ref, pos token.Pos, action string, fieldSet bool) {
+	for k, fr := range sim.state {
+		if k.obj != r.obj || !pathPrefix(k.path, r.path) {
+			continue
+		}
+		rel := r.path[len(k.path):]
+		if fieldSet && !fr.deep && !strings.Contains(rel, "[]") && !strings.Contains(rel, "*") {
+			continue
+		}
+		sim.pass.Reportf(pos, "%s %s after it was passed as a Send/collective payload at %s: payload ownership transfers at the call and the in-process backends pass it by reference (DESIGN.md §6); build the next message in a fresh buffer",
+			action, nameOf(r), sim.pass.Fset.Position(fr.pos))
+		return
+	}
+}
+
+func (sim *simulator) frozenDeep(r ref) bool {
+	for k, fr := range sim.state {
+		if k.obj == r.obj && pathPrefix(k.path, r.path) && fr.deep {
+			return true
+		}
+	}
+	return false
+}
+
+// resolve maps an expression to the variable+path it denotes. bounded
+// reports whether the chain passes through a slice expression with
+// explicit bounds.
+func (sim *simulator) resolve(e ast.Expr) (r ref, bounded bool, ok bool) {
+	info := sim.pass.TypesInfo
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj, isVar := info.Uses[x].(*types.Var)
+			if !isVar {
+				if obj, isVar = info.Defs[x].(*types.Var); !isVar {
+					return ref{}, false, false
+				}
+			}
+			return ref{obj: obj, path: r.path}, bounded, true
+		case *ast.SelectorExpr:
+			if sel := info.Selections[x]; sel != nil {
+				if sel.Kind() != types.FieldVal {
+					return ref{}, false, false
+				}
+				r.path = "." + x.Sel.Name + r.path
+				e = x.X
+				continue
+			}
+			// Package-qualified variable.
+			if obj, isVar := info.Uses[x.Sel].(*types.Var); isVar {
+				return ref{obj: obj, path: r.path}, bounded, true
+			}
+			return ref{}, false, false
+		case *ast.SliceExpr:
+			if x.Low != nil || x.High != nil {
+				bounded = true
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			// Distinguish indexing from generic instantiation.
+			if tv, isType := info.Types[x.Index]; isType && tv.IsType() {
+				return ref{}, false, false
+			}
+			r.path = "[]" + r.path
+			e = x.X
+		case *ast.StarExpr:
+			r.path = "*" + r.path
+			e = x.X
+		default:
+			return ref{}, false, false
+		}
+	}
+}
+
+// resolveThroughAppend resolves rhs, looking through append(x, …) to
+// x (append never writes below the sent length).
+func (sim *simulator) resolveThroughAppend(rhs ast.Expr) (ref, bool, bool) {
+	rhs = ast.Unparen(rhs)
+	if call, isCall := rhs.(*ast.CallExpr); isCall {
+		if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "append" && len(call.Args) > 0 {
+			if _, isBuiltin := sim.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				return sim.resolve(call.Args[0])
+			}
+		}
+	}
+	return sim.resolve(rhs)
+}
+
+func pathPrefix(prefix, path string) bool {
+	return strings.HasPrefix(path, prefix)
+}
+
+func nameOf(r ref) string {
+	return r.obj.Name() + r.path
+}
+
+// carriesReference reports whether t contains a slice, pointer, map,
+// or channel anywhere — i.e. whether boxing the value into `any`
+// still shares storage with the sender.
+func carriesReference(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil {
+		return false
+	}
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	case *types.Array:
+		return carriesReference(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesReference(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

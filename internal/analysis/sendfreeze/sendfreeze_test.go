@@ -1,0 +1,12 @@
+package sendfreeze_test
+
+import (
+	"testing"
+
+	"pmsort/internal/analysis/analysistest"
+	"pmsort/internal/analysis/sendfreeze"
+)
+
+func TestSendfreeze(t *testing.T) {
+	analysistest.Run(t, "testdata", sendfreeze.Analyzer, "a")
+}

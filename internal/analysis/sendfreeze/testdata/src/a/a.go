@@ -1,0 +1,97 @@
+package a
+
+import (
+	"coll"
+	"comm"
+)
+
+type header struct {
+	seq int64
+	n   int32
+}
+
+// compareSplitKeepLow reproduces the PR 3 bitonic compare-split bug:
+// the merge result is copied back into the buffer that was just sent,
+// while the partner may still be reading it through the in-process
+// backends' by-reference delivery.
+func compareSplitKeepLow(c comm.Communicator, cur, tmp []int64, partner int) []int64 {
+	c.Send(partner, 5, cur, int64(len(cur)))
+	pl, _ := c.Recv(partner, 5)
+	other := pl.([]int64)
+	i, j := 0, 0
+	for k := range tmp {
+		if i < len(cur) && (j >= len(other) || cur[i] <= other[j]) {
+			tmp[k] = cur[i]
+			i++
+		} else {
+			tmp[k] = other[j]
+			j++
+		}
+	}
+	copy(cur, tmp) // want `copy into cur after it was passed as a Send/collective payload`
+	return cur
+}
+
+func badElementWrite(c comm.Communicator, buf []int64) {
+	c.Send(1, 7, buf, int64(len(buf)))
+	buf[0] = 42 // want `element write into buf after it was passed`
+}
+
+func badDeepFieldWrite(c comm.Communicator) {
+	var h header
+	c.Send(1, 9, &h, 1)
+	h.seq++ // want `field write into h.seq after it was passed`
+}
+
+func badCollectivePayload(c comm.Communicator, data []int64) {
+	coll.Bcast(c, 0, data, int64(len(data)))
+	data[0] = 1 // want `element write into data after it was passed`
+}
+
+// compareSplitRebind is the fixed shape shipped in PR 3: the merge goes
+// into a fresh buffer and the variable is re-pointed at it, so the sent
+// storage is never touched again.
+func compareSplitRebind(c comm.Communicator, cur []int64, partner int) []int64 {
+	c.Send(partner, 5, cur, int64(len(cur)))
+	pl, _ := c.Recv(partner, 5)
+	other := pl.([]int64)
+	merged := make([]int64, 0, len(cur)+len(other))
+	merged = append(merged, other...)
+	cur = merged[:len(cur):len(cur)]
+	cur[0] = 0 // fresh storage: not a violation
+	return cur
+}
+
+// disjointHalves is the Rabenseifner halving pattern: the sent half and
+// the mutated half share a variable but not storage, thanks to the
+// capacity-bounded reslice.
+func disjointHalves(c comm.Communicator, x []int64, partner int) {
+	h := len(x) / 2
+	lo := x[:h:h]
+	c.Send(partner, 3, lo, int64(h))
+	pl, _ := c.Recv(partner, 3)
+	in := pl.([]int64)
+	for i, v := range in {
+		x[h+i] += v
+	}
+}
+
+// valuePayload: boxing a reference-free struct into the any parameter
+// copies it, so later writes are harmless.
+func valuePayload(c comm.Communicator, partner int) {
+	h := header{seq: 1}
+	c.Send(partner, 9, h, 1)
+	h.seq = 2
+}
+
+// streamConcat mirrors core's receive-driven concatenation: buf only
+// accumulates received chunks and is never a payload itself.
+func streamConcat(c comm.Communicator, senders int) []int64 {
+	var buf []int64
+	for s := 0; s < senders; s++ {
+		pl, _ := c.Recv(s, 11)
+		ch := pl.([]int64)
+		buf = append(buf, ch...)
+	}
+	return buf
+}

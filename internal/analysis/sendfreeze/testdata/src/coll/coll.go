@@ -1,0 +1,10 @@
+// Package coll is a fixture stub: the analyzers recognise collectives
+// by package basename and function name.
+package coll
+
+import "comm"
+
+// Bcast mirrors the real collective's payload position (argument 2).
+func Bcast(c comm.Communicator, root int, data []int64, words int64) []int64 {
+	return data
+}

@@ -1,0 +1,10 @@
+// Package comm is a fixture stub exposing the Send/Recv method shapes
+// the analyzers match structurally (see internal/analysis/shapes.go).
+package comm
+
+// Communicator mirrors pmsort/internal/comm.Communicator's endpoint
+// surface.
+type Communicator interface {
+	Send(to int, tag int, payload any, words int64)
+	Recv(from int, tag int) (payload any, words int64)
+}

@@ -1,0 +1,107 @@
+// Package tagrange enforces the message-tag namespace invariants of
+// the job/epoch multiplexing scheme (DESIGN.md §13, §14):
+//
+//   - Every tag constant and every constant tag passed to
+//     comm.Communicator.Send/Recv must stay below 1<<24. The sort
+//     service isolates concurrent jobs by running each through
+//     comm.WithTagOffset(world, (epoch+1)<<24); a tag at or above
+//     1<<24 bleeds into another job's namespace and its messages can
+//     be consumed by the wrong job's receiver.
+//   - The block 0x7a0000–0x7fffff is reserved for internal/svc control
+//     traffic, which runs un-offset on the world communicator. Any
+//     other package minting tags there can collide with live service
+//     control messages (or, as the pre-pmsortvet tree demonstrated
+//     with delivery and obs both picking 0x7d0001, with each other).
+//
+// Runtime detection is nearly impossible here: a collision needs two
+// subsystems to use the same (sender, tag) pair concurrently on one
+// mesh, which depends on job timing — exactly the class of bug that
+// passes every deterministic test and fires in production.
+package tagrange
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+
+	"pmsort/internal/analysis"
+)
+
+const (
+	maxTag      = 1 << 24
+	reservedLo  = 0x7a0000
+	reservedHi  = 0x7fffff
+	reservedPkg = "svc"
+)
+
+// Analyzer is the tagrange analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "tagrange",
+	Doc: "flag message tags ≥ 1<<24 (they collide with WithTagOffset job namespaces) " +
+		"and tags in the 0x7a0000–0x7fffff block reserved for internal/svc control traffic",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	inSvc := analysis.PkgBasename(pass.Pkg.Path()) == reservedPkg
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GenDecl:
+				if n.Tok != token.CONST {
+					return true
+				}
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if !strings.HasPrefix(name.Name, "tag") && !strings.HasPrefix(name.Name, "Tag") {
+							continue
+						}
+						obj := pass.TypesInfo.Defs[name]
+						if obj == nil {
+							continue
+						}
+						c, ok := obj.(interface{ Val() constant.Value })
+						if !ok {
+							continue
+						}
+						checkTagValue(pass, name.Pos(), "tag constant "+name.Name, c.Val(), inSvc)
+					}
+				}
+				return true
+			case *ast.CallExpr:
+				var tagExpr ast.Expr
+				if e, ok := analysis.CommSendTag(pass.TypesInfo, n); ok {
+					tagExpr = e
+				} else if e, ok := analysis.CommRecvTag(pass.TypesInfo, n); ok {
+					tagExpr = e
+				}
+				if tagExpr != nil {
+					if tv, ok := pass.TypesInfo.Types[tagExpr]; ok && tv.Value != nil {
+						checkTagValue(pass, tagExpr.Pos(), "message tag", tv.Value, inSvc)
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkTagValue(pass *analysis.Pass, pos token.Pos, what string, v constant.Value, inSvc bool) {
+	val, ok := constant.Int64Val(constant.ToInt(v))
+	if !ok {
+		return
+	}
+	switch {
+	case val >= maxTag:
+		pass.Reportf(pos, "%s 0x%x is ≥ 1<<24: it escapes the per-job tag namespace of comm.WithTagOffset and can collide with another job's messages", what, val)
+	case val >= reservedLo && val <= reservedHi && !inSvc:
+		pass.Reportf(pos, "%s 0x%x lies in the 0x7a0000–0x7fffff block reserved for internal/svc control traffic; pick a block below 0x7a0000", what, val)
+	}
+}

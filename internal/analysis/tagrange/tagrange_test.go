@@ -1,0 +1,12 @@
+package tagrange_test
+
+import (
+	"testing"
+
+	"pmsort/internal/analysis/analysistest"
+	"pmsort/internal/analysis/tagrange"
+)
+
+func TestTagrange(t *testing.T) {
+	analysistest.Run(t, "testdata", tagrange.Analyzer, "a", "svc")
+}

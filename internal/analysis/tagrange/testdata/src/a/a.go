@@ -1,0 +1,21 @@
+package a
+
+import "comm"
+
+const (
+	tagSmall = 0x6c0001
+	tagHuge  = 1 << 24  // want `escapes the per-job tag namespace`
+	tagRes   = 0x7b0002 // want `reserved for internal/svc control traffic`
+
+	// bufSize is large but not a tag: the analyzer keys on the
+	// tag/Tag name prefix for constants.
+	bufSize = 1 << 26
+)
+
+func use(c comm.Communicator) {
+	c.Send(1, tagSmall, int64(0), 1)
+	c.Send(1, 0x7fff00, int64(0), 1) // want `reserved for internal/svc control traffic`
+	pl, _ := c.Recv(1, 1<<25)        // want `escapes the per-job tag namespace`
+	_ = pl
+	_ = bufSize
+}

@@ -1,0 +1,11 @@
+// Package svc owns the reserved control block: tags inside
+// 0x7a0000–0x7fffff are allowed here and only here.
+package svc
+
+import "comm"
+
+const tagCtl = 0x7a0001
+
+func use(c comm.Communicator) {
+	c.Send(1, tagCtl, int64(0), 1)
+}

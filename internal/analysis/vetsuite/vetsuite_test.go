@@ -1,0 +1,24 @@
+package vetsuite_test
+
+import (
+	"testing"
+
+	"pmsort/internal/analysis/analysistest"
+	"pmsort/internal/analysis/vetsuite"
+)
+
+// TestRepoClean runs the whole suite over the repository. HEAD must
+// stay finding-free: a new invariant violation fails this test (and
+// the CI static-analysis job, which runs the same suite standalone).
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full module; skipped in -short runs")
+	}
+	findings, out, err := analysistest.RunFindings(".", vetsuite.Suite(), "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(findings) > 0 {
+		t.Errorf("pmsortvet found %d issue(s) at HEAD:\n%s", len(findings), out)
+	}
+}

@@ -1,0 +1,26 @@
+package a
+
+import (
+	"comm"
+	"wire"
+)
+
+type Point struct{ X, Y int64 }
+
+type Unregistered struct{ A int64 }
+
+func init() {
+	wire.Register[Point]()
+	wire.Register[int64]()
+}
+
+func sends(c comm.Communicator, p Point, u Unregistered, f float64) {
+	c.Send(1, 1, p, 1)
+	c.Send(1, 2, []Point{p}, 1)
+	c.Send(1, 3, int64(7), 1)
+	c.Send(1, 4, u, 1)                    // want `payload type Unregistered is sent but no RegisterWire/Register call`
+	c.Send(1, 5, f, 1)                    // want `payload of basic type float64`
+	c.Send(1, 6, struct{ N int64 }{1}, 1) // want `anonymous struct`
+	type local struct{ N int64 }
+	c.Send(1, 7, local{N: 1}, 1) // want `declared inside a function`
+}

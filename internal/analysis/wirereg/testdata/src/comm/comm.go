@@ -1,0 +1,8 @@
+// Package comm is a fixture stub exposing the Send/Recv method shapes
+// the analyzers match structurally.
+package comm
+
+type Communicator interface {
+	Send(to int, tag int, payload any, words int64)
+	Recv(from int, tag int) (payload any, words int64)
+}

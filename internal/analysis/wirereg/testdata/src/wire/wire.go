@@ -1,0 +1,6 @@
+// Package wire is a fixture stub: the analyzer's registry scan picks
+// up type arguments of any call whose callee name starts with
+// "Register".
+package wire
+
+func Register[T any]() {}

@@ -1,0 +1,282 @@
+// Package wirereg enforces the wire-registration contract of the TCP
+// backend (DESIGN.md §7, §14): every payload that can cross a
+// serializing Communicator must be of a type registered with the wire
+// codec under a stable name before the first Send. The algorithm entry
+// points register their generic payload shapes via the per-package
+// RegisterWire helpers; what this analyzer guards is the concrete
+// payloads — a package-scope struct sent by a coordinator, a new raw
+// scatter message — where "moved the struct to package scope and
+// registered it" has been folklore since PR 2.
+//
+// Three findings:
+//
+//   - a payload whose type is declared inside a function: the codec
+//     derives the stable wire name from the package-qualified type
+//     name, which a function-local type does not have;
+//   - a payload of anonymous struct type, same reason;
+//   - a payload of a concrete module-defined (or basic) type with no
+//     Register/RegisterWire call anywhere in the program naming it.
+//
+// Type-parameterized payloads ([]E inside the generic sorters) are out
+// of scope — their registration happens per-instantiation at the entry
+// points and is audited at runtime by the chaos middleware's
+// unregistered-type detector. This analyzer exists because that
+// detector only fires on runs that actually cross a serializing
+// boundary with the offending payload; the static check fires on every
+// PR for every call site.
+package wirereg
+
+import (
+	"go/ast"
+	"go/types"
+	"sync"
+
+	"pmsort/internal/analysis"
+)
+
+// Analyzer is the wirereg analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirereg",
+	Doc: "flag Send payloads of function-local or anonymous struct types, and concrete " +
+		"module-defined payload types never passed to a wire Register/RegisterWire call",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	reg := registryOf(pass.Prog)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			payload, ok := analysis.CommSend(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			checkPayload(pass, reg, payload)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkPayload(pass *analysis.Pass, reg *registry, payload ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[payload]
+	if !ok || tv.Type == nil {
+		return
+	}
+	t := tv.Type
+	if hasTypeParam(t, nil) {
+		return // generic path: registered per-instantiation at entry points
+	}
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		case *types.Array:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	switch u := t.(type) {
+	case *types.Interface:
+		_ = u
+		return // dynamic forward (payload any passed through)
+	case *types.Basic:
+		if u.Info()&(types.IsNumeric|types.IsString|types.IsBoolean) == 0 {
+			return
+		}
+		if !reg.basics[u.Kind()] {
+			pass.Reportf(payload.Pos(), "payload of basic type %s is sent but no RegisterWire/Register call in the program registers it; the TCP codec will reject it at runtime", u)
+		}
+	case *types.Struct:
+		pass.Reportf(payload.Pos(), "payload has anonymous struct type %s: the wire codec needs a package-scope named type to derive a stable wire name (move it to package scope and register it)", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() == nil {
+			return // error, comparable, …
+		}
+		if obj.Parent() != obj.Pkg().Scope() {
+			pass.Reportf(payload.Pos(), "payload type %s is declared inside a function: the wire codec needs a package-scope type for a stable wire name", obj.Name())
+			return
+		}
+		if pass.Prog.Lookup(obj.Pkg().Path()) == nil {
+			return // outside the module (std): codec registration is the importer's concern
+		}
+		if !reg.named[origin(u)] {
+			pass.Reportf(payload.Pos(), "payload type %s is sent but no RegisterWire/Register call in the program registers it; a serializing backend will reject the Send at runtime", obj.Name())
+		}
+	}
+}
+
+// registry is the program-wide set of types named by Register* calls.
+type registry struct {
+	named  map[*types.TypeName]bool
+	basics map[types.BasicKind]bool
+}
+
+// registryOf scans every package for calls to functions whose name
+// starts with "Register" (wire.Register[T], the per-package
+// RegisterWire[T] helpers, RegisterEncoder[T]) and records the named
+// and basic types appearing in their type arguments, unwrapped through
+// slices/arrays/pointers. Generic instantiations register their origin
+// type: Register[gchunk[uint64]] marks gchunk as registered — matching
+// per-instantiation would need whole-program monomorphization, and the
+// chaos middleware already audits that dynamically.
+var (
+	regCacheMu sync.Mutex
+	regCache   = map[*analysis.Program]*registry{}
+)
+
+func registryOf(prog *analysis.Program) *registry {
+	regCacheMu.Lock()
+	defer regCacheMu.Unlock()
+	if reg, ok := regCache[prog]; ok {
+		return reg
+	}
+	reg := &registry{named: map[*types.TypeName]bool{}, basics: map[types.BasicKind]bool{}}
+	regCache[prog] = reg
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id := calleeIdent(call)
+				if id == nil || len(id.Name) < 8 || id.Name[:8] != "Register" {
+					return true
+				}
+				inst, ok := pkg.Info.Instances[id]
+				if !ok {
+					return true
+				}
+				for i := 0; i < inst.TypeArgs.Len(); i++ {
+					reg.add(inst.TypeArgs.At(i))
+				}
+				return true
+			})
+		}
+	}
+	return reg
+}
+
+func (reg *registry) add(t types.Type) {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		case *types.Array:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	switch u := t.(type) {
+	case *types.Basic:
+		reg.basics[u.Kind()] = true
+	case *types.Named:
+		reg.named[origin(u)] = true
+		// A registered instantiation also vouches for its own type
+		// arguments (Register[gchunk[pair]] covers pair).
+		if ta := u.TypeArgs(); ta != nil {
+			for i := 0; i < ta.Len(); i++ {
+				if !hasTypeParam(ta.At(i), nil) {
+					reg.add(ta.At(i))
+				}
+			}
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			reg.add(u.Field(i).Type())
+		}
+	}
+}
+
+func origin(n *types.Named) *types.TypeName { return n.Origin().Obj() }
+
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	case *ast.IndexExpr:
+		return calleeIdentOf(fun.X)
+	case *ast.IndexListExpr:
+		return calleeIdentOf(fun.X)
+	}
+	return nil
+}
+
+func calleeIdentOf(e ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	}
+	return nil
+}
+
+// hasTypeParam reports whether t mentions a type parameter anywhere.
+func hasTypeParam(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil {
+		return false
+	}
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.TypeParam:
+		return true
+	case *types.Pointer:
+		return hasTypeParam(u.Elem(), seen)
+	case *types.Slice:
+		return hasTypeParam(u.Elem(), seen)
+	case *types.Array:
+		return hasTypeParam(u.Elem(), seen)
+	case *types.Map:
+		return hasTypeParam(u.Key(), seen) || hasTypeParam(u.Elem(), seen)
+	case *types.Chan:
+		return hasTypeParam(u.Elem(), seen)
+	case *types.Named:
+		if ta := u.TypeArgs(); ta != nil {
+			for i := 0; i < ta.Len(); i++ {
+				if hasTypeParam(ta.At(i), seen) {
+					return true
+				}
+			}
+		}
+		return false
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasTypeParam(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Signature:
+		return hasTypeParam(u.Params(), seen) || hasTypeParam(u.Results(), seen)
+	case *types.Tuple:
+		for i := 0; i < u.Len(); i++ {
+			if hasTypeParam(u.At(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package wirereg_test
+
+import (
+	"testing"
+
+	"pmsort/internal/analysis/analysistest"
+	"pmsort/internal/analysis/wirereg"
+)
+
+func TestWirereg(t *testing.T) {
+	analysistest.Run(t, "testdata", wirereg.Analyzer, "a")
+}

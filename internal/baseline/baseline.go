@@ -193,7 +193,7 @@ func MPSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, seed u
 // sequences with hypercube partners. p must be a power of two. Per-PE
 // element counts are preserved exactly.
 func BitonicSort[E any](c comm.Communicator, data []E, less func(a, b E) bool, _ uint64) ([]E, *core.Stats) {
-	const tagBitonic = 0x7e0001
+	const tagBitonic = 0x6e0001
 	registerWire[E]()
 	cost := c.Cost()
 	p := c.Size()

@@ -8,7 +8,7 @@ import (
 	"pmsort/internal/seq"
 )
 
-const tagHCQ = 0x7e0002
+const tagHCQ = 0x6e0002
 
 // med is a (median, weight) gossip pair of HCQuicksort's pivot
 // selection; ok=false means the PE abstained (empty local data).

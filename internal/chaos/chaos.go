@@ -228,14 +228,14 @@ type Config struct {
 	Seed uint64
 	// Shake enables seeded delays/Gosched around Send and Recv.
 	Shake bool
-	// MaxDelay bounds an injected sleep. 0 means 50µs. Keep it small:
-	// the point is perturbed interleavings, not slow tests.
-	MaxDelay time.Duration
 	// ForceSerialize round-trips every payload through internal/wire
 	// at the Send/Recv boundary and enables the mutation checksum and
 	// the words audit. Only valid on backends that move payloads by
 	// reference (sim, native); the TCP backend already serializes.
 	ForceSerialize bool
+	// MaxDelay bounds an injected Shake sleep. 0 means 50µs. Keep it
+	// small: the point is perturbed interleavings, not slow tests.
+	MaxDelay time.Duration
 	// WordsFactor > 0 turns the words audit into a hard check: a
 	// message whose encoding exceeds words·8·WordsFactor + WordsSlack
 	// bytes is a violation. 0 records the worst ratio without failing.
@@ -375,6 +375,7 @@ func (c *Comm) Send(to, tag int, payload any, words int64) {
 					payload, len(enc), words, limit, f)})
 		}
 	}
+	//nolint:wirereg // envelope is never wire-encoded: it crosses the in-process backends by reference
 	c.inner.Send(to, tag, &envelope{bytes: enc, sum: checksum(enc), orig: payload, tag: tag, from: s.pe}, words)
 }
 

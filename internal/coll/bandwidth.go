@@ -3,9 +3,9 @@ package coll
 import "pmsort/internal/comm"
 
 const (
-	tagRabScatter = 0x7c1001
-	tagRabGather  = 0x7c1002
-	tagPipeBcast  = 0x7c1003
+	tagRabScatter = 0x6c1001
+	tagRabGather  = 0x6c1002
+	tagPipeBcast  = 0x6c1003
 )
 
 // seg is one offset-stamped segment of the recursive-doubling allgather

@@ -47,7 +47,7 @@ func init() {
 // Tag space for collectives. Each operation uses its own tag; repeated
 // invocations are kept apart by per-(source,tag) FIFO ordering.
 const (
-	tagBcast = 0x7c0000 + iota
+	tagBcast = 0x6c0000 + iota
 	tagReduce
 	tagScan
 	tagGather

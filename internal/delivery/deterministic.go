@@ -28,7 +28,7 @@ type reply struct {
 }
 
 const (
-	tagDetReply = 0x7d0001
+	tagDetReply = 0x6d0001
 )
 
 // planDeterministic builds outboxes with the deterministic two-phase

@@ -6,7 +6,7 @@ import (
 	"pmsort/internal/prng"
 )
 
-const tagPermScan = 0x7d0002
+const tagPermScan = 0x6d0002
 
 // permutedScanTotal computes the vector-valued exclusive prefix sum over
 // the members enumerated in the order of a pseudorandom permutation π of

@@ -71,8 +71,8 @@ type Spec struct {
 	Seed          uint64
 	Oversampling  float64
 	Overpartition int
-	TieBreak      bool
 	Delivery      delivery.Options
+	TieBreak      bool
 	// Keyed enables the ordered-key kernel fast path (Config.Key): the
 	// local sort phases run an in-place uint64 MSD radix sort instead
 	// of generic pdqsort. The harness supplies the identity key for its
@@ -142,7 +142,7 @@ type Result struct {
 	MaxMsgsRecv int64
 }
 
-const tagValidate = 0x7f0001
+const tagValidate = 0x6f0001
 
 // runAlgo dispatches the spec's algorithm on any backend.
 func runAlgo(c comm.Communicator, spec Spec, data []uint64) ([]uint64, *core.Stats) {

@@ -497,7 +497,7 @@ func (m *Machine) Recorder() *obs.Recorder { return m.rec }
 // tagEpoch is reserved for Run's epoch-alignment barrier. Tag reuse by
 // the algorithms is harmless — (sender, tag) FIFO keeps streams apart —
 // but the value sits outside every tag block the packages use.
-const tagEpoch = 0x7b0001
+const tagEpoch = 0x6b0001
 
 // epochBarrier is a dissemination barrier over the world communicator.
 func epochBarrier(c *Comm) {

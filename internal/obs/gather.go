@@ -5,11 +5,14 @@ import (
 	"pmsort/internal/wire"
 )
 
-// Tag space for the trace gather, outside the collectives' 0x7c block,
-// netcomm's 0x7b epoch tag, and the experiment harness's 0x7f block.
+// Tag space for the trace gather: the 0x6a block. Before pmsortvet's
+// tagrange check assigned one block per package, these tags were
+// 0x7d0001/0x7d0002 — colliding with delivery's tagDetReply and
+// tagPermScan, and sitting inside the 0x7a0000–0x7fffff range now
+// reserved for internal/svc control traffic (DESIGN.md §14).
 const (
-	tagObsSync   = 0x7d0001
-	tagObsGather = 0x7d0002
+	tagObsSync   = 0x6a0001
+	tagObsGather = 0x6a0002
 )
 
 func init() {

@@ -57,14 +57,17 @@ const (
 	tagJobData   = 0x7a0002 // raw-key scatter, rank 0 → workers (offset)
 	tagJobResult = 0x7a0003 // per-rank results, every rank → rank 0 (offset)
 
-	// tagStride is the per-job tag namespace step. Every tag the sorting
-	// stack and the service itself use sits below 1<<24 (the 0x7a–0x7f
-	// blocks), so stride 1<<24 makes job namespaces fully disjoint.
-	tagStride = 1 << 24
+	// epochStride is the per-job tag namespace step (not itself a
+	// message tag). Every tag the sorting stack and the service use
+	// sits below 1<<24 — pmsortvet's tagrange analyzer enforces the
+	// ceiling, one 0x6?0000 block per package, and this package's
+	// exclusive claim on 0x7a0000–0x7fffff — so stride 1<<24 makes job
+	// namespaces fully disjoint.
+	epochStride = 1 << 24
 )
 
 // jobOffset returns the tag offset of the job with the given epoch.
-func jobOffset(epoch int64) int { return int(epoch+1) * tagStride }
+func jobOffset(epoch int64) int { return int(epoch+1) * epochStride }
 
 // Control opcodes.
 const (

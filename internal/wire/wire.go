@@ -82,15 +82,15 @@ type encEnv struct {
 	// segs collects completed segments in vectored mode (nil otherwise).
 	// Bulk blocks >= minSpan are appended as views of the payload.
 	segs    [][]byte
-	vec     bool
 	minSpan int
-	// aligned inserts a pad before every non-empty bulk block so its
-	// bytes start 8-aligned relative to the alignment origin.
-	aligned bool
 	// off is the stream offset of the current working segment's first
 	// byte, relative to the alignment origin (may be negative when the
 	// caller's dst prefix precedes the origin).
 	off int
+	vec bool
+	// aligned inserts a pad before every non-empty bulk block so its
+	// bytes start 8-aligned relative to the alignment origin.
+	aligned bool
 }
 
 // bulk appends one raw block, applying alignment padding and the

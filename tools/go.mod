@@ -1,0 +1,7 @@
+module pmsort/tools
+
+go 1.23
+
+require pmsort v0.0.0
+
+replace pmsort => ../

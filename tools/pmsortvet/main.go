@@ -1,0 +1,23 @@
+// Command pmsortvet (tools-module build) is the same driver as
+// cmd/pmsortvet, housed in the nested pmsort/tools module. The nested
+// module exists so that heavyweight analysis dependencies — notably
+// golang.org/x/tools, if the stand-in framework under internal/analysis
+// is ever swapped for the upstream go/analysis packages — never enter
+// the root module's dependency graph. Build it from the tools
+// directory:
+//
+//	cd tools && go build ./pmsortvet
+//
+// (`go run ./tools/pmsortvet` from the repo root does not work: the
+// root module does not contain the nested module's packages.)
+package main
+
+import (
+	"os"
+
+	"pmsort/internal/analysis/vetsuite"
+)
+
+func main() {
+	os.Exit(vetsuite.Main(os.Args[1:], os.Stdout, os.Stderr))
+}
