@@ -20,12 +20,27 @@
 // distinct seeds. Any wrong answer, failed job, or non-2xx response
 // counts as a failure and makes sortload exit 1. The run ends with a
 // GET /metrics scrape and a one-line summary.
+//
+// Fault drill (-local only): -faults wraps every rank's connections in
+// a seeded netfault injector (latency, jitter, torn writes, short read
+// stalls) with heartbeats on, and hard-aborts the last rank once ~60%
+// of the jobs have been submitted:
+//
+//	sortload -local -p 4 -jobs 200 -faults
+//
+// Under the drill the pass criterion changes: every job must either
+// validate exactly as above or fail *typed* — a failed status carrying
+// a transport error_kind, or a 503 from the degraded/draining service.
+// An untyped failure, a wrong answer, or a hang (the -deadline
+// watchdog) still exits nonzero, as does a drill where no job
+// validated, none failed typed, or the injector never fired.
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +54,7 @@ import (
 
 	"pmsort/internal/comm"
 	"pmsort/internal/netcomm"
+	"pmsort/internal/netfault"
 	"pmsort/internal/prng"
 	"pmsort/internal/svc"
 	"pmsort/internal/workload"
@@ -67,6 +83,9 @@ func main() {
 		rawPct      = flag.Int("rawpct", 20, "percent of jobs submitted as raw keys (0-100)")
 		seed        = flag.Uint64("seed", 1, "base seed; job i uses seed+i")
 		verbose     = flag.Bool("v", false, "log every failure as it happens")
+		faults      = flag.Bool("faults", false, "fault drill: inject network faults and abort one rank mid-run (-local only)")
+		faultSeed   = flag.Uint64("faultseed", 0, "fault schedule seed for -faults (0: derive from -seed)")
+		deadline    = flag.Duration("deadline", 3*time.Minute, "watchdog for -faults: the drill must finish within this or exit nonzero (0: off)")
 	)
 	flag.Parse()
 
@@ -90,7 +109,28 @@ func main() {
 		rawPct:      *rawPct,
 		seed:        *seed,
 		verbose:     *verbose,
+		faults:      *faults,
+		faultSeed:   *faultSeed,
 		client:      &http.Client{Timeout: 5 * time.Minute},
+	}
+	if ld.faults {
+		if !*local {
+			fatalf("-faults needs -local (the injector wraps in-process connections)")
+		}
+		if *p < 2 {
+			fatalf("-faults needs -p >= 2 (the drill aborts a worker rank)")
+		}
+		if ld.faultSeed == 0 {
+			ld.faultSeed = *seed ^ 0xfa_17_5eed
+		}
+		if *deadline > 0 {
+			// The drill's core promise is "never hangs": convert any wedge
+			// into a loud nonzero exit instead of a stuck process.
+			time.AfterFunc(*deadline, func() {
+				fmt.Fprintf(os.Stderr, "sortload: watchdog: fault drill still running after %v\n", *deadline)
+				os.Exit(1)
+			})
+		}
 	}
 
 	switch {
@@ -107,12 +147,45 @@ func main() {
 // runLocal hosts the service in-process: a p-rank loopback TCP cluster,
 // every rank serving, rank 0's HTTP address handed to the loader. The
 // loader shuts the service down over HTTP when it is done.
+//
+// Under -faults every rank's connections go through a seeded netfault
+// injector and heartbeats run; the loader hard-aborts rank p-1 once
+// ~60% of the jobs are submitted, after which the mesh is fatally
+// poisoned and the surviving coordinator must fail the rest typed.
 func runLocal(ld *loader, p int) int {
+	optFor := func(rank int) netcomm.Options { return netcomm.Options{} }
+	if ld.faults {
+		prof := netfault.Profile{
+			Latency:         50 * time.Microsecond,
+			Jitter:          200 * time.Microsecond,
+			MaxWriteChunk:   1024,
+			StallEveryBytes: 64 << 10,
+			StallDuration:   2 * time.Millisecond,
+		}
+		ld.injs = make([]*netfault.Injector, p)
+		for rank := range ld.injs {
+			ld.injs[rank] = netfault.New(ld.faultSeed^(uint64(rank+1)<<40), prof)
+		}
+		ld.abortAt = ld.jobs * 6 / 10
+		fmt.Printf("sortload: fault drill: repro %s per rank (faultseed %#x), abort of rank %d after %d submissions\n",
+			ld.injs[0], ld.faultSeed, p-1, ld.abortAt)
+		optFor = func(rank int) netcomm.Options {
+			return netcomm.Options{
+				HeartbeatInterval: 50 * time.Millisecond,
+				StallWindow:       2 * time.Second, // injected stalls are 2ms; only real trouble trips it
+				WrapConn:          ld.injs[rank].Wrap,
+			}
+		}
+	}
+
 	urlCh := make(chan string, 1)
 	clusterErr := make(chan error, 1)
 	status := make(chan int, 1)
 	go func() {
-		clusterErr <- netcomm.LocalCluster(p, 0, func(m *netcomm.Machine, rank int) error {
+		clusterErr <- netcomm.LocalClusterOpts(p, 0, optFor, func(m *netcomm.Machine, rank int) error {
+			if ld.faults && rank == p-1 {
+				ld.victim.Store(m)
+			}
 			var serveErr error
 			_, runErr := m.Run(func(c comm.Communicator) {
 				serveErr = svc.Serve(context.Background(), c, svc.Options{
@@ -138,6 +211,12 @@ func runLocal(ld *loader, p int) int {
 		status <- s
 	}()
 	if err := <-clusterErr; err != nil {
+		if ld.aborted.Load() {
+			// The drill killed a rank on purpose; its peers' meshes tear
+			// down with transport errors. That is the scenario, not a bug.
+			fmt.Printf("sortload: cluster tore down after the injected abort (expected): %v\n", err)
+			return <-status
+		}
 		fmt.Fprintf(os.Stderr, "sortload: cluster: %v\n", err)
 		return 1
 	}
@@ -154,13 +233,43 @@ type loader struct {
 	levels      int
 	rawPct      int
 	seed        uint64
-	verbose     bool
 	client      *http.Client
 
 	p int // cluster size, learned from /metrics before the load starts
 
+	// Fault-drill state (-faults).
+	faultSeed uint64
+	abortAt   int // submission index that triggers the rank abort
+	injs      []*netfault.Injector
+	victim    atomic.Pointer[netcomm.Machine]
+	abortOnce sync.Once
+	aborted   atomic.Bool
+
 	completed atomic.Int64
 	failed    atomic.Int64
+	typed     atomic.Int64 // drill-acceptable failures: typed kinds and 503s
+
+	verbose bool
+	faults  bool
+}
+
+// typedFailure is a job outcome that is acceptable under -faults: the
+// service refused or failed the job with an explicit, classified cause
+// rather than a wrong answer, an untyped error, or a hang.
+type typedFailure struct{ msg string }
+
+func (e typedFailure) Error() string { return e.msg }
+
+// abortVictim fires the drill's mid-run fault for real: a hard abort
+// of rank p-1's machine (sockets reset, mailbox poisoned "aborted").
+func (ld *loader) abortVictim() {
+	ld.abortOnce.Do(func() {
+		if m := ld.victim.Load(); m != nil {
+			fmt.Printf("sortload: aborting rank %d mid-run\n", ld.p-1)
+			ld.aborted.Store(true)
+			m.Abort()
+		}
+	})
 }
 
 func (ld *loader) run() int {
@@ -179,18 +288,29 @@ func (ld *loader) run() int {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if err := ld.oneJob(i); err != nil {
+				err := ld.oneJob(i)
+				var tf typedFailure
+				switch {
+				case err == nil:
+					ld.completed.Add(1)
+				case ld.faults && errors.As(err, &tf):
+					ld.typed.Add(1)
+					if ld.verbose {
+						fmt.Fprintf(os.Stderr, "sortload: job %d failed typed: %v\n", i, err)
+					}
+				default:
 					ld.failed.Add(1)
 					if ld.verbose {
 						fmt.Fprintf(os.Stderr, "sortload: job %d: %v\n", i, err)
 					}
-				} else {
-					ld.completed.Add(1)
 				}
 			}
 		}()
 	}
 	for i := 0; i < ld.jobs; i++ {
+		if ld.faults && i == ld.abortAt {
+			ld.abortVictim()
+		}
 		idx <- i
 	}
 	close(idx)
@@ -203,18 +323,45 @@ func (ld *loader) run() int {
 		ld.failed.Add(1)
 	}
 
-	ok, bad := ld.completed.Load(), ld.failed.Load()
+	ok, bad, typed := ld.completed.Load(), ld.failed.Load(), ld.typed.Load()
 	fmt.Printf("sortload: %d jobs in %v (%.1f jobs/s), %d ok, %d failed",
 		ld.jobs, elapsed.Round(time.Millisecond),
 		float64(ld.jobs)/elapsed.Seconds(), ok, bad)
+	if ld.faults {
+		fmt.Printf(", %d failed typed", typed)
+	}
 	if met != nil {
 		fmt.Printf("; service: %d completed, %d failed, %d elements, %d bytes moved",
 			met.Jobs.Completed, met.Jobs.Failed, met.ElementsSorted, met.BytesMoved)
-		if met.Jobs.Failed > 0 {
+		if met.Jobs.Failed > 0 && !ld.faults {
 			bad += met.Jobs.Failed
 		}
 	}
 	fmt.Println()
+	if ld.faults {
+		// The drill must demonstrably have happened: jobs validated
+		// before the abort, jobs failed typed after it, and the injector
+		// actually fired faults.
+		var fired int64
+		for _, in := range ld.injs {
+			s := in.Stats()
+			fired += s.Delays + s.ShortWrites + s.Stalls
+		}
+		switch {
+		case ok == 0:
+			fmt.Fprintln(os.Stderr, "sortload: fault drill: no job validated before the abort")
+			bad++
+		case typed == 0:
+			fmt.Fprintln(os.Stderr, "sortload: fault drill: no job failed typed after the abort")
+			bad++
+		case fired == 0:
+			fmt.Fprintln(os.Stderr, "sortload: fault drill: injector never fired")
+			bad++
+		default:
+			fmt.Printf("sortload: fault drill ok: %d validated, %d typed failures, %d injected faults\n",
+				ok, typed, fired)
+		}
+	}
 	if bad > 0 {
 		return 1
 	}
@@ -243,7 +390,7 @@ func (ld *loader) rawJob(i int, seed uint64) error {
 		return err
 	}
 	if st.Status != svc.StatusDone {
-		return fmt.Errorf("status %q: %s", st.Status, st.Error)
+		return jobFailure(st)
 	}
 	want := slices.Clone(keys)
 	slices.Sort(want)
@@ -264,7 +411,7 @@ func (ld *loader) workloadJob(i int, seed uint64) error {
 		return err
 	}
 	if st.Status != svc.StatusDone {
-		return fmt.Errorf("status %q: %s", st.Status, st.Error)
+		return jobFailure(st)
 	}
 	if st.Count != st.N {
 		return fmt.Errorf("count %d, want %d", st.Count, st.N)
@@ -288,6 +435,17 @@ func (ld *loader) workloadJob(i int, seed uint64) error {
 	return nil
 }
 
+// jobFailure renders a non-done final status as an error — typed when
+// the service classified the cause (transport kind or deadline), so
+// the fault drill can tell expected casualties from real bugs.
+func jobFailure(st *svc.JobStatus) error {
+	msg := fmt.Sprintf("status %q: %s", st.Status, st.Error)
+	if st.ErrorKind != "" {
+		return typedFailure{msg: fmt.Sprintf("%s (kind %s, rank %d, %d attempts)", msg, st.ErrorKind, st.ErrorRank, st.Attempts)}
+	}
+	return fmt.Errorf("%s", msg)
+}
+
 func (ld *loader) post(req svc.JobRequest) (*svc.JobStatus, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -303,6 +461,10 @@ func (ld *loader) post(req svc.JobRequest) (*svc.JobStatus, error) {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// Degraded or draining: an explicit, classified refusal.
+			return nil, typedFailure{msg: fmt.Sprintf("HTTP 503: %s", strings.TrimSpace(string(raw)))}
+		}
 		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
 	}
 	var st svc.JobStatus

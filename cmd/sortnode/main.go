@@ -87,6 +87,8 @@ func main() {
 		serve      = flag.Bool("serve", false, "run as a long-lived sort service instead of one sort")
 		httpAddr   = flag.String("http", "127.0.0.1:8080", "rank 0's HTTP listen address in -serve mode")
 		rendezvous = flag.Duration("rendezvous", 0, "mesh rendezvous timeout (0: 30s)")
+		heartbeat  = flag.Duration("heartbeat", 0, "peer heartbeat interval (0: stall/4)")
+		stall      = flag.Duration("stall", 0, "declare a peer stalled after this long without a pong (0: off)")
 	)
 	flag.Parse()
 
@@ -119,7 +121,7 @@ func main() {
 	}
 
 	if *serve {
-		os.Exit(serveRank(*rank, peers, *httpAddr, *rendezvous, *quiet))
+		os.Exit(serveRank(*rank, peers, *httpAddr, *rendezvous, *heartbeat, *stall, *quiet))
 	}
 
 	spec := expt.Spec{
@@ -166,10 +168,12 @@ func main() {
 
 // serveRank runs this rank's side of the sort service until a signal or
 // a POST /shutdown stops it.
-func serveRank(rank int, peers []string, httpAddr string, rendezvous time.Duration, quiet bool) int {
+func serveRank(rank int, peers []string, httpAddr string, rendezvous, heartbeat, stall time.Duration, quiet bool) int {
 	cl, err := pmsort.NewTCPOpts(rank, peers, pmsort.TCPOptions{
 		Obs:               true, // feeds the transport section of /metrics
 		RendezvousTimeout: rendezvous,
+		HeartbeatInterval: heartbeat,
+		StallWindow:       stall,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sortnode: %v\n", err)

@@ -36,6 +36,7 @@ import (
 	"pmsort/internal/delivery"
 	"pmsort/internal/native"
 	"pmsort/internal/netcomm"
+	"pmsort/internal/netfault"
 	"pmsort/internal/prng"
 	"pmsort/internal/sim"
 	"pmsort/internal/workload"
@@ -52,6 +53,12 @@ type TortureCase struct {
 	// TCP adds a real in-process TCP loopback cluster as a third
 	// backend for this case (small p only; rendezvous dominates).
 	TCP bool
+	// NetFault runs the TCP leg under a mild seeded netfault profile —
+	// latency, jitter, torn writes, and sub-window read stalls, with
+	// heartbeats on — so conformance is continuously checked on a mesh
+	// that delays, fragments, and hiccups but must still sort
+	// correctly. The fault schedule derives from Seed (per-rank).
+	NetFault bool
 	// Chaos is the middleware seed (distinct from Spec.Seed so the
 	// injected schedule varies independently of the data).
 	Chaos uint64
@@ -66,6 +73,9 @@ func (tc TortureCase) String() string {
 	backends := "sim+native"
 	if tc.TCP {
 		backends += "+tcp"
+	}
+	if tc.NetFault {
+		backends += "/fault"
 	}
 	if tc.Spec.Keyed {
 		elem += "/keyed"
@@ -157,6 +167,11 @@ func DeriveTorture(seed uint64) TortureCase {
 	// additionally re-runs natively with the cache toggled and demands
 	// byte-identical output (tortureRun).
 	tc.Spec.PrefixMode = PrefixMode(rng.Intn(3))
+	// The network-fault dimension: half the TCP legs run under the mild
+	// netfault profile (tortureTCP). The draw happens unconditionally —
+	// and this dimension sits last — so every earlier field of every
+	// seed's case is unchanged by its introduction.
+	tc.NetFault = rng.Intn(2) == 0 && tc.TCP
 	return tc
 }
 
@@ -383,7 +398,7 @@ func tortureDeliveryCheck[E any](tc TortureCase, locals [][]E) error {
 		case "native":
 			native.New(p).Run(func(c comm.Communicator) { run(c, c.Rank()) })
 		case "tcp":
-			err = tortureTCP(p, run)
+			err = tortureTCP(tc, p, run)
 		}
 		return res, err
 	}
@@ -467,7 +482,7 @@ func tortureBackendRun[E any](tc TortureCase, backend string, locals [][]E, less
 		case "native":
 			native.New(spec.P).Run(func(c comm.Communicator) { run(c, c.Rank()) })
 		case "tcp":
-			err = tortureTCP(spec.P, run)
+			err = tortureTCP(tc, spec.P, run)
 		default:
 			err = fmt.Errorf("unknown backend %q", backend)
 		}
@@ -491,12 +506,58 @@ func tortureBackendRun[E any](tc TortureCase, backend string, locals [][]E, less
 const tortureDeadline = 2 * time.Minute
 
 // tortureTCP runs fn on an in-process TCP loopback cluster: one
-// netcomm.Machine per rank, real sockets in between.
-func tortureTCP(p int, fn func(c comm.Communicator, rank int)) error {
-	return netcomm.LocalCluster(p, 30*time.Second, func(m *netcomm.Machine, rank int) error {
+// netcomm.Machine per rank, real sockets in between. NetFault cases
+// wrap every rank's connections in a seeded injector with a mild
+// profile — every fault it fires must be survivable (stalls stay well
+// under the stall window, no resets), so the sort invariants still
+// hold; the heartbeat machinery runs alongside to prove liveness
+// monitoring does not perturb results.
+func tortureTCP(tc TortureCase, p int, fn func(c comm.Communicator, rank int)) error {
+	if !tc.NetFault {
+		return netcomm.LocalCluster(p, 30*time.Second, func(m *netcomm.Machine, rank int) error {
+			_, err := m.Run(func(c comm.Communicator) { fn(c, rank) })
+			return err
+		})
+	}
+	prof := netfault.Profile{
+		Latency:         50 * time.Microsecond,
+		Jitter:          200 * time.Microsecond,
+		MaxWriteChunk:   512,
+		StallEveryBytes: 16 << 10,
+		StallDuration:   2 * time.Millisecond,
+	}
+	injs := make([]*netfault.Injector, p)
+	for rank := range injs {
+		// One injector per machine; forking the case seed per rank keeps
+		// the whole scenario a pure function of tc.Seed.
+		injs[rank] = netfault.New(tc.Seed^(uint64(rank+1)<<48), prof)
+	}
+	err := netcomm.LocalClusterOpts(p, 30*time.Second, func(rank int) netcomm.Options {
+		return netcomm.Options{
+			HeartbeatInterval: 50 * time.Millisecond,
+			StallWindow:       20 * time.Second, // generous: injected stalls are 2ms
+			WrapConn:          injs[rank].Wrap,
+		}
+	}, func(m *netcomm.Machine, rank int) error {
 		_, err := m.Run(func(c comm.Communicator) { fn(c, rank) })
 		return err
 	})
+	if err != nil {
+		return err
+	}
+	// Engagement check, like chaos's: a fault leg whose injector never
+	// fired proves nothing.
+	if p > 1 {
+		var fired int64
+		for _, in := range injs {
+			s := in.Stats()
+			fired += s.Delays + s.ShortWrites + s.Stalls
+		}
+		if fired == 0 {
+			return fmt.Errorf("netfault leg: injector never fired (%v)", injs[0])
+		}
+	}
+	return nil
 }
 
 // tortureCheck asserts the single-backend invariants: global order,

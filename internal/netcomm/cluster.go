@@ -38,6 +38,15 @@ func ReserveLoopbackAddrs(p int) ([]string, error) {
 // tears everything down. fn may call Machine.Run several times
 // (collectively). The first per-rank error wins.
 func LocalCluster(p int, timeout time.Duration, fn func(m *Machine, rank int) error) error {
+	return LocalClusterOpts(p, timeout, nil, fn)
+}
+
+// LocalClusterOpts is LocalCluster with per-rank transport options —
+// the bring-up used by fault-injection tests and drills, where each
+// rank gets its own netfault wrapper, heartbeat cadence, and stall
+// window. optFor may be nil (plain options) and must not set
+// RendezvousTimeout (the cluster timeout wins).
+func LocalClusterOpts(p int, timeout time.Duration, optFor func(rank int) Options, fn func(m *Machine, rank int) error) error {
 	addrs, err := ReserveLoopbackAddrs(p)
 	if err != nil {
 		return err
@@ -51,7 +60,12 @@ func LocalCluster(p int, timeout time.Duration, fn func(m *Machine, rank int) er
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			m, err := New(rank, addrs, Options{RendezvousTimeout: timeout})
+			var opt Options
+			if optFor != nil {
+				opt = optFor(rank)
+			}
+			opt.RendezvousTimeout = timeout
+			m, err := New(rank, addrs, opt)
 			if err != nil {
 				errs[rank] = err
 				return

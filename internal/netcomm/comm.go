@@ -98,3 +98,14 @@ func (c *Comm) Cost() comm.Cost { return comm.WallClock{Epoch: c.m.epoch} }
 // was set) — the obs.Source hook; split communicators share the machine
 // and so stay traced.
 func (c *Comm) ObsRecorder() *obs.Recorder { return c.m.rec }
+
+// Health snapshots the machine's liveness state (see Machine.Health).
+// The service layer reaches it through an interface upcast — the
+// backend-neutral comm.Communicator deliberately does not know about
+// mesh health.
+func (c *Comm) Health() MeshHealth { return c.m.Health() }
+
+// RetireTagRange retires the tag namespaces covering [lo, hi) on this
+// endpoint (see Machine.RetireTags): the teardown half of the service
+// layer's mesh-wide job abort.
+func (c *Comm) RetireTagRange(lo, hi int) { c.m.RetireTags(lo, hi) }

@@ -8,19 +8,72 @@ import (
 	"pmsort/internal/obs"
 )
 
+// ErrKind classifies a TransportError so the layers above can react
+// differently to recoverable and fatal failures: the service layer
+// retries jobs that died on a stalled-but-alive mesh, while a reset or
+// an abort degrades it for good.
+type ErrKind int
+
+const (
+	// KindUnknown covers failures that are not network conditions:
+	// encoding bugs, corrupt frames, protocol violations.
+	KindUnknown ErrKind = iota
+	// KindReset is a broken connection: an I/O error on the stream
+	// (ECONNRESET, EPIPE, unexpected close mid-frame).
+	KindReset
+	// KindHangup is the clean failure: the peer half-closed its stream
+	// (EOF) while a message from it was still awaited.
+	KindHangup
+	// KindStalled is the liveness failure: the connection is open but
+	// the peer stopped making progress — no heartbeat pong within the
+	// stall window, or a write that could not complete within it. A
+	// pong-detected stall is recoverable: if the peer resumes, receives
+	// work again.
+	KindStalled
+	// KindAborted marks this rank's own Machine.Abort tearing the
+	// endpoint down.
+	KindAborted
+	// KindRetired means the receive hit a tag namespace that was
+	// retired (the job owning it was aborted mesh-wide); the message
+	// will never be delivered.
+	KindRetired
+)
+
+// String names the kind for logs, metrics, and HTTP error reports.
+func (k ErrKind) String() string {
+	switch k {
+	case KindReset:
+		return "reset"
+	case KindHangup:
+		return "hangup"
+	case KindStalled:
+		return "stalled"
+	case KindAborted:
+		return "aborted"
+	case KindRetired:
+		return "retired"
+	default:
+		return "unknown"
+	}
+}
+
 // TransportError is the failure a receive surfaces when the TCP mesh
 // breaks underneath it: a peer process died (connection reset, decode
-// failure) or hung up with a message still awaited. The mailbox panics
-// with a *TransportError, Machine.Run recovers it into the returned
-// error, and long-lived callers that run collectives on their own
-// goroutines (the job runner of internal/svc) recover it the same way —
-// a dead peer fails the in-flight job, not the process.
+// failure), hung up with a message still awaited, stalled past the
+// liveness window, or the awaited tag namespace was retired by a
+// mesh-wide job abort. The mailbox panics with a *TransportError,
+// Machine.Run recovers it into the returned error, and long-lived
+// callers that run collectives on their own goroutines (the job runner
+// of internal/svc) recover it the same way — a dead peer fails the
+// in-flight job, not the process.
 type TransportError struct {
+	// Err is the underlying failure.
+	Err error
 	// Peer is the global rank the failure was observed on, or -1 when it
 	// cannot be attributed to one peer.
 	Peer int
-	// Err is the underlying failure.
-	Err error
+	// Kind classifies the failure (reset, hangup, stalled, …).
+	Kind ErrKind
 }
 
 func (e *TransportError) Error() string { return e.Err.Error() }
@@ -39,6 +92,13 @@ type mbKey struct {
 	from, tag int
 }
 
+// nsOf returns the tag namespace index of a tag: the service layer
+// gives each job the 1<<24-wide block (epoch+1)<<24, so the index is
+// simply the high bits. Namespace 0 holds every un-offset tag (the
+// algorithms' own tags, the control and transport tags) and is never
+// retired.
+func nsOf(tag int) int { return tag >> 24 }
+
 // mailbox is the process's incoming message store, shared by all peer
 // reader goroutines. Messages are matched by (source, tag) and are FIFO
 // within each such pair — the same matching discipline as the native
@@ -53,14 +113,19 @@ type mbKey struct {
 // jobs do not stampede each other.
 //
 // Unlike the in-process mailboxes, a take can also end because the
-// transport failed or because the awaited peer hung up: both conditions
-// wake every receiver and make take panic with a *TransportError
-// diagnosis instead of blocking forever.
+// transport failed, the awaited peer hung up or stalled, or the tag
+// namespace was retired: all of these wake the affected receivers and
+// make take panic with a *TransportError diagnosis instead of blocking
+// forever. A fatal error poisons the whole mailbox and is sticky; a
+// stall poisons only receives from the stalled peer and is lifted again
+// when its heartbeats resume.
 type mailbox struct {
 	mu      sync.Mutex
 	queues  map[mbKey][]envelope
-	err     *TransportError // fatal transport error, sticky
-	closed  map[int]bool    // peers that reached EOF (graceful hangup)
+	err     *TransportError         // fatal transport error, sticky
+	stalled map[int]*TransportError // peers past the liveness window, recoverable
+	closed  map[int]bool            // peers that reached EOF (graceful hangup)
+	retired map[int]bool            // retired tag namespaces (tag >> 24)
 	waiters map[mbKey][]chan struct{}
 
 	// Observability hooks (nil when off — the disabled path pays one nil
@@ -74,7 +139,9 @@ type mailbox struct {
 func newMailbox() *mailbox {
 	return &mailbox{
 		queues:  make(map[mbKey][]envelope),
+		stalled: make(map[int]*TransportError),
 		closed:  make(map[int]bool),
+		retired: make(map[int]bool),
 		waiters: make(map[mbKey][]chan struct{}),
 	}
 }
@@ -89,7 +156,8 @@ func (mb *mailbox) wakeKeyLocked(k mbKey) {
 }
 
 // wakeAllLocked closes every parked receiver's wake channel (transport
-// failure and hangups must unblock everyone so they can re-check).
+// failure, hangups, and stalls must unblock everyone so they can
+// re-check).
 func (mb *mailbox) wakeAllLocked() {
 	for k, ws := range mb.waiters {
 		for _, ch := range ws {
@@ -99,10 +167,17 @@ func (mb *mailbox) wakeAllLocked() {
 	}
 }
 
-// put enqueues a message from the given source rank under the given tag.
+// put enqueues a message from the given source rank under the given
+// tag. Messages addressed to a retired tag namespace are dropped: the
+// job that owned the namespace was aborted and nothing will ever
+// receive them.
 func (mb *mailbox) put(from, tag int, e envelope) {
 	k := mbKey{from, tag}
 	mb.mu.Lock()
+	if mb.retired[nsOf(tag)] {
+		mb.mu.Unlock()
+		return
+	}
 	mb.queues[k] = append(mb.queues[k], e)
 	var depth int
 	if mb.depthMax != nil {
@@ -117,32 +192,102 @@ func (mb *mailbox) put(from, tag int, e envelope) {
 // fail records a fatal transport error attributed to the given peer
 // (-1: none); every blocked and future take panics with it. The first
 // error wins.
-func (mb *mailbox) fail(peer int, err error) {
+func (mb *mailbox) fail(peer int, kind ErrKind, err error) {
 	mb.mu.Lock()
 	if mb.err == nil {
-		mb.err = &TransportError{Peer: peer, Err: err}
+		mb.err = &TransportError{Peer: peer, Kind: kind, Err: err}
 	}
 	mb.wakeAllLocked()
 	mb.mu.Unlock()
 }
 
-// hangup records that the peer's stream ended. Its already-delivered
-// messages stay takeable; waiting for a new one panics.
-func (mb *mailbox) hangup(from int) {
+// stall declares the peer unresponsive: takes from it panic with a
+// recoverable *TransportError{Kind: KindStalled} until unstall. Takes
+// from healthy peers are unaffected.
+func (mb *mailbox) stall(peer int, err error) {
 	mb.mu.Lock()
-	mb.closed[from] = true
+	if _, ok := mb.stalled[peer]; !ok {
+		mb.stalled[peer] = &TransportError{Peer: peer, Kind: KindStalled, Err: err}
+	}
 	mb.wakeAllLocked()
+	mb.mu.Unlock()
+}
+
+// unstall lifts a stall declaration: the peer's heartbeats resumed, so
+// receives from it block normally again.
+func (mb *mailbox) unstall(peer int) {
+	mb.mu.Lock()
+	delete(mb.stalled, peer)
+	mb.mu.Unlock()
+}
+
+// stalledPeers returns the ranks currently declared stalled.
+func (mb *mailbox) stalledPeers() []int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if len(mb.stalled) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(mb.stalled))
+	for r := range mb.stalled {
+		out = append(out, r)
+	}
+	return out
+}
+
+// fatal returns the sticky fatal transport error, or nil.
+func (mb *mailbox) fatal() *TransportError {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.err
+}
+
+// retire marks the tag namespace of every tag in [lo, hi) as dead:
+// queued messages in it are dropped, future puts into it are dropped,
+// and blocked or future takes in it panic with a recoverable
+// *TransportError{Kind: KindRetired}. Namespace 0 (the un-offset
+// control and algorithm tags) is never retired.
+func (mb *mailbox) retire(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	mb.mu.Lock()
+	for ns := nsOf(lo); ns <= nsOf(hi-1); ns++ {
+		if ns == 0 {
+			continue
+		}
+		mb.retired[ns] = true
+	}
+	for k, q := range mb.queues {
+		if !mb.retired[nsOf(k.tag)] {
+			continue
+		}
+		if mb.depthMax != nil {
+			mb.depth -= len(q)
+		}
+		delete(mb.queues, k)
+	}
+	for k := range mb.waiters {
+		if mb.retired[nsOf(k.tag)] {
+			mb.wakeKeyLocked(k)
+		}
+	}
 	mb.mu.Unlock()
 }
 
 // take blocks until a message from the given source with the given tag
 // is available and dequeues it. Panics with a *TransportError when the
-// transport has failed or the awaited peer hung up with no matching
-// message buffered.
+// transport has failed, the awaited peer hung up or stalled with no
+// matching message buffered, or the tag's namespace was retired.
 func (mb *mailbox) take(from, tag int) envelope {
 	k := mbKey{from, tag}
 	for {
 		mb.mu.Lock()
+		if mb.retired[nsOf(tag)] {
+			mb.mu.Unlock()
+			panic(&TransportError{Peer: -1, Kind: KindRetired,
+				Err: fmt.Errorf("recv(from=%d, tag=%#x): tag namespace retired (job aborted)", from, tag)})
+		}
 		if q := mb.queues[k]; len(q) > 0 {
 			e := q[0]
 			if len(q) == 1 {
@@ -160,13 +305,19 @@ func (mb *mailbox) take(from, tag int) envelope {
 			mb.mu.Unlock()
 			return e
 		}
-		err, closed := mb.err, mb.closed[from]
-		if err != nil || closed {
+		err, st, closed := mb.err, mb.stalled[from], mb.closed[from]
+		if err != nil || st != nil || closed {
 			mb.mu.Unlock()
 			if err != nil {
-				panic(&TransportError{Peer: err.Peer, Err: fmt.Errorf("recv(from=%d, tag=%#x) after transport failure: %w", from, tag, err.Err)})
+				panic(&TransportError{Peer: err.Peer, Kind: err.Kind,
+					Err: fmt.Errorf("recv(from=%d, tag=%#x) after transport failure: %w", from, tag, err.Err)})
 			}
-			panic(&TransportError{Peer: from, Err: fmt.Errorf("recv(from=%d, tag=%#x): peer closed the connection with no matching message", from, tag)})
+			if st != nil {
+				panic(&TransportError{Peer: st.Peer, Kind: KindStalled,
+					Err: fmt.Errorf("recv(from=%d, tag=%#x): %w", from, tag, st.Err)})
+			}
+			panic(&TransportError{Peer: from, Kind: KindHangup,
+				Err: fmt.Errorf("recv(from=%d, tag=%#x): peer closed the connection with no matching message", from, tag)})
 		}
 		ch := make(chan struct{})
 		mb.waiters[k] = append(mb.waiters[k], ch)
@@ -179,6 +330,15 @@ func (mb *mailbox) take(from, tag int) envelope {
 			<-ch
 		}
 	}
+}
+
+// hangup records that the peer's stream ended. Its already-delivered
+// messages stay takeable; waiting for a new one panics.
+func (mb *mailbox) hangup(from int) {
+	mb.mu.Lock()
+	mb.closed[from] = true
+	mb.wakeAllLocked()
+	mb.mu.Unlock()
 }
 
 // pending reports the number of undelivered messages (for leak tests).

@@ -66,7 +66,7 @@ func TestMailboxFailWakesAllReceivers(t *testing.T) {
 		}(i)
 	}
 	time.Sleep(10 * time.Millisecond)
-	mb.fail(2, errors.New("connection reset by peer"))
+	mb.fail(2, KindReset, errors.New("connection reset by peer"))
 	for i := 0; i < n; i++ {
 		select {
 		case err := <-panics:

@@ -47,12 +47,14 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"runtime/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pmsort/internal/comm"
@@ -90,11 +92,48 @@ const (
 // frame-edge tests can exercise the limit without 1 GiB allocations.
 var maxFrame = 1 << 30
 
-// Options tunes the rendezvous.
+// Conn is the connection surface the transport drives. *net.TCPConn
+// implements it; Options.WrapConn may interpose anything else that does
+// (the netfault package wraps real connections to inject latency, torn
+// writes, stalls, and resets deterministically).
+type Conn interface {
+	io.Reader
+	io.Writer
+	// Close tears the connection down.
+	Close() error
+	// CloseWrite half-closes the outbound stream (graceful shutdown).
+	CloseWrite() error
+	// SetLinger(0) makes Close discard unsent data and reset the
+	// connection (the abrupt teardown of Machine.Abort).
+	SetLinger(sec int) error
+	// SetDeadline and SetWriteDeadline bound blocking I/O calls.
+	SetDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// Options tunes the rendezvous and the liveness machinery.
 type Options struct {
 	// RendezvousTimeout bounds the whole mesh construction (bind, dial
 	// retries, handshakes). 0 means 30s.
 	RendezvousTimeout time.Duration
+	// HeartbeatInterval, when positive, makes this rank ping every peer
+	// on a reserved transport tag at that cadence; pongs carry the
+	// round-trip time into Health(). Off by default.
+	HeartbeatInterval time.Duration
+	// StallWindow, when positive (heartbeats must be on), bounds peer
+	// unresponsiveness: a peer whose pongs stop for longer than the
+	// window — its connection may well still be open — is declared
+	// stalled, and receives from it fail with a *TransportError{Kind:
+	// KindStalled} until its heartbeats resume. The window also bounds
+	// each data-path write: a write that cannot complete within it
+	// fails the mesh with the same kind (that one is not recoverable —
+	// bytes were torn mid-frame). Off by default: only a closed
+	// connection fails receives, exactly the pre-liveness behavior.
+	StallWindow time.Duration
+	// WrapConn, when set, interposes on every established peer
+	// connection after the handshake, before the read/write loops start
+	// — the fault-injection seam. peerRank is the remote rank.
+	WrapConn func(peerRank int, conn Conn) Conn
 	// Obs attaches an obs recorder to this rank: the PE program's spans
 	// plus the transport counters (frames, vectored-write sizes, mailbox
 	// depth and blocked-receive wait). Off by default — the data path
@@ -126,24 +165,41 @@ type Machine struct {
 	rec *obs.Recorder // nil unless Options.Obs
 	met netMetrics
 
-	closing  sync.Once
+	// Liveness machinery (Options.HeartbeatInterval / StallWindow).
+	// monoStart anchors the monotonic clock heartbeat timestamps and
+	// pong ages are measured on.
+	hbInterval  time.Duration
+	stallWindow time.Duration
+	monoStart   time.Time
+	hbStop      chan struct{}
+	hbDone      chan struct{}
+
 	closeErr error
 	world    []int
+	closing  sync.Once
+	hbOnce   sync.Once
 }
 
 // peer is one established pairwise connection.
 type peer struct {
 	rank int
-	conn *net.TCPConn
+	conn Conn
 
 	// outbound queue: unbounded so Send never blocks (eager buffered
 	// sends — the Communicator contract).
-	mu     sync.Mutex
-	queue  []outMsg
-	closed bool // no further enqueues; writer drains and half-closes
-	wake   chan struct{}
-	done   chan struct{} // writer goroutine exited
-	rdone  chan struct{} // reader goroutine exited
+	mu    sync.Mutex
+	queue []outMsg
+	wake  chan struct{}
+	done  chan struct{} // writer goroutine exited
+	rdone chan struct{} // reader goroutine exited
+
+	// Liveness state: the reader loop stores pong arrivals and
+	// round-trips, the heartbeat monitor reads them; stalledMark is the
+	// monitor's private edge detector for stall/recover transitions.
+	lastPongNS  atomic.Int64
+	rttNS       atomic.Int64
+	closed      bool // no further enqueues; writer drains and half-closes (guarded by mu)
+	stalledMark bool
 }
 
 // outMsg is one queued outbound message.
@@ -169,9 +225,25 @@ func New(rank int, addrs []string, opt Options) (*Machine, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
+	if opt.StallWindow > 0 && opt.HeartbeatInterval <= 0 {
+		// A stall window without heartbeats could never clear: default
+		// the cadence to a quarter of the window.
+		opt.HeartbeatInterval = opt.StallWindow / 4
+	}
 	deadline := time.Now().Add(timeout)
+	wire.Register[heartbeat]()
 
-	m := &Machine{rank: rank, p: p, mbox: newMailbox(), peers: make([]*peer, p)}
+	m := &Machine{
+		rank:        rank,
+		p:           p,
+		mbox:        newMailbox(),
+		peers:       make([]*peer, p),
+		hbInterval:  opt.HeartbeatInterval,
+		stallWindow: opt.StallWindow,
+		monoStart:   time.Now(),
+		hbStop:      make(chan struct{}),
+		hbDone:      make(chan struct{}),
+	}
 	m.world = make([]int, p)
 	for i := range m.world {
 		m.world[i] = i
@@ -191,6 +263,7 @@ func New(rank int, addrs []string, opt Options) (*Machine, error) {
 		m.mbox.waitNS = m.rec.Counter(obs.CtrMboxWaitNS)
 	}
 	if p == 1 {
+		close(m.hbDone) // no peers, no heartbeat loop
 		return m, nil
 	}
 
@@ -284,19 +357,36 @@ func New(rank int, addrs []string, opt Options) (*Machine, error) {
 		if conn == nil {
 			continue
 		}
+		// The fault-injection seam: handshakes ran on the raw socket,
+		// everything after this point — frames, heartbeats, the close
+		// sequence — goes through the wrapped connection.
+		var c Conn = conn
+		if opt.WrapConn != nil {
+			c = opt.WrapConn(j, c)
+		}
 		pr := &peer{
 			rank:  j,
-			conn:  conn,
+			conn:  c,
 			wake:  make(chan struct{}, 1),
 			done:  make(chan struct{}),
 			rdone: make(chan struct{}),
 		}
+		pr.lastPongNS.Store(m.mono())
 		m.peers[j] = pr
 		go m.writeLoop(pr)
 		go m.readLoop(pr)
 	}
+	if m.hbInterval > 0 {
+		go m.heartbeatLoop()
+	} else {
+		close(m.hbDone)
+	}
 	return m, nil
 }
+
+// mono is the machine's monotonic clock (ns since construction): the
+// time base of heartbeat timestamps and pong ages.
+func (m *Machine) mono() int64 { return int64(time.Since(m.monoStart)) }
 
 // bindRetry listens on addr, retrying briefly: in test and launcher
 // setups the port was pre-reserved and released moments ago, and the
@@ -508,6 +598,124 @@ func epochBarrier(c *Comm) {
 	}
 }
 
+// tagHeartbeat is reserved for the transport's own liveness pings.
+// Heartbeat frames are intercepted in the read loop and never reach the
+// mailbox, so the tag can never collide with a receive; like tagEpoch
+// it lives in this package's 0x6b block.
+const tagHeartbeat = 0x6b0002
+
+// heartbeat is the liveness ping/pong payload. SendNS is the pinger's
+// monotonic send time, echoed verbatim in the pong so the pinger can
+// compute the round-trip on its own clock. Wire-registered.
+type heartbeat struct {
+	SendNS int64
+	Pong   bool
+}
+
+// heartbeatLoop pings every peer at the configured cadence and, when a
+// stall window is set, compares each peer's last pong age against it:
+// a peer past the window is declared stalled (receives from it fail
+// typed but recoverably), and a peer whose pongs resume is healed.
+func (m *Machine) heartbeatLoop() {
+	defer close(m.hbDone)
+	t := time.NewTicker(m.hbInterval)
+	defer t.Stop()
+	window := m.stallWindow.Nanoseconds()
+	for {
+		select {
+		case <-m.hbStop:
+			return
+		case <-t.C:
+		}
+		now := m.mono()
+		for _, pr := range m.peers {
+			if pr == nil {
+				continue
+			}
+			m.tryEnqueue(pr, tagHeartbeat, heartbeat{SendNS: now}, 1)
+			if window <= 0 {
+				continue
+			}
+			if now-pr.lastPongNS.Load() > window {
+				if !pr.stalledMark {
+					pr.stalledMark = true
+					m.mbox.stall(pr.rank, fmt.Errorf("netcomm: rank %d unresponsive: no heartbeat pong for over %v (connection still open)", pr.rank, m.stallWindow))
+				}
+			} else if pr.stalledMark {
+				pr.stalledMark = false
+				m.mbox.unstall(pr.rank)
+			}
+		}
+	}
+}
+
+// stopHeartbeat ends the liveness loop (idempotent).
+func (m *Machine) stopHeartbeat() {
+	m.hbOnce.Do(func() { close(m.hbStop) })
+}
+
+// PeerHealth is one peer's liveness snapshot.
+type PeerHealth struct {
+	RTTNS       int64 // latest heartbeat round-trip (0 until the first pong)
+	SincePongNS int64 // age of the last pong (-1 when heartbeats are off)
+	Rank        int
+	Stalled     bool // currently past the stall window
+}
+
+// MeshHealth is this endpoint's view of the cluster: the sticky fatal
+// transport error, if any, plus per-peer heartbeat state. The service
+// layer polls it to drive its degraded-state machine and /metrics.
+type MeshHealth struct {
+	Failed error // non-nil once the mailbox is fatally poisoned
+	Peers  []PeerHealth
+}
+
+// Healthy reports whether the mesh is fully usable from this endpoint:
+// no fatal failure and no peer currently stalled.
+func (h MeshHealth) Healthy() bool {
+	if h.Failed != nil {
+		return false
+	}
+	for _, ph := range h.Peers {
+		if ph.Stalled {
+			return false
+		}
+	}
+	return true
+}
+
+// Health snapshots this endpoint's liveness state.
+func (m *Machine) Health() MeshHealth {
+	var h MeshHealth
+	if te := m.mbox.fatal(); te != nil {
+		h.Failed = te
+	}
+	stalled := make(map[int]bool)
+	for _, r := range m.mbox.stalledPeers() {
+		stalled[r] = true
+	}
+	now := m.mono()
+	h.Peers = make([]PeerHealth, 0, m.p-1)
+	for _, pr := range m.peers {
+		if pr == nil {
+			continue
+		}
+		ph := PeerHealth{Rank: pr.rank, RTTNS: pr.rttNS.Load(), SincePongNS: -1, Stalled: stalled[pr.rank]}
+		if m.hbInterval > 0 {
+			ph.SincePongNS = now - pr.lastPongNS.Load()
+		}
+		h.Peers = append(h.Peers, ph)
+	}
+	return h
+}
+
+// RetireTags retires the tag namespaces covering [lo, hi): queued and
+// future messages there are dropped and receives fail typed (see
+// mailbox.retire). The service layer calls it with an aborted job's tag
+// block so the job's goroutines unwind and its late traffic is
+// reclaimed instead of leaking in the mailbox forever.
+func (m *Machine) RetireTags(lo, hi int) { m.mbox.retire(lo, hi) }
+
 // enqueue hands an outbound message to the destination peer's writer.
 func (m *Machine) enqueue(to, tag int, payload any, words int64) {
 	pr := m.peers[to]
@@ -518,6 +726,23 @@ func (m *Machine) enqueue(to, tag int, payload any, words int64) {
 	if pr.closed {
 		pr.mu.Unlock()
 		panic(fmt.Sprintf("netcomm: send to rank %d after Close", to))
+	}
+	pr.queue = append(pr.queue, outMsg{tag: tag, payload: payload, words: words})
+	pr.mu.Unlock()
+	select {
+	case pr.wake <- struct{}{}:
+	default:
+	}
+}
+
+// tryEnqueue is enqueue for transport-internal traffic (heartbeats): it
+// silently drops the message when the peer is already closed instead of
+// panicking — a ping racing Close is not an application bug.
+func (m *Machine) tryEnqueue(pr *peer, tag int, payload any, words int64) {
+	pr.mu.Lock()
+	if pr.closed {
+		pr.mu.Unlock()
+		return
 	}
 	pr.queue = append(pr.queue, outMsg{tag: tag, payload: payload, words: words})
 	pr.mu.Unlock()
@@ -571,7 +796,7 @@ func (m *Machine) writeLoop(pr *peer) {
 			frame = binary.AppendUvarint(frame, uint64(msg.words))
 			segs, err := w.AppendPayloadVec(frame, msg.payload, vopt)
 			if err != nil {
-				m.fail(pr.rank, fmt.Errorf("encoding message for rank %d (tag %#x): %w", pr.rank, msg.tag, err))
+				m.fail(pr.rank, KindUnknown, fmt.Errorf("encoding message for rank %d (tag %#x): %w", pr.rank, msg.tag, err))
 				return
 			}
 			total := -4
@@ -579,7 +804,7 @@ func (m *Machine) writeLoop(pr *peer) {
 				total += len(s)
 			}
 			if total > maxFrame {
-				m.fail(pr.rank, fmt.Errorf("message for rank %d exceeds the %d-byte frame limit", pr.rank, maxFrame))
+				m.fail(pr.rank, KindUnknown, fmt.Errorf("message for rank %d exceeds the %d-byte frame limit", pr.rank, maxFrame))
 				return
 			}
 			binary.LittleEndian.PutUint32(segs[0], uint32(total))
@@ -588,8 +813,9 @@ func (m *Machine) writeLoop(pr *peer) {
 			// segment list in place (entries are nilled as they drain).
 			first := segs[0]
 			if len(segs) == 1 && total+4 < directFrameMin {
+				m.armWriteDeadline(pr)
 				if _, err := bw.Write(first); err != nil {
-					m.fail(pr.rank, fmt.Errorf("writing to rank %d: %w", pr.rank, err))
+					m.failWrite(pr, err)
 					return
 				}
 				m.met.bufWrites.Add(1)
@@ -597,13 +823,14 @@ func (m *Machine) writeLoop(pr *peer) {
 				// Large or multi-segment frame: flush the batched small
 				// messages, then hand all segments — frame headers and
 				// payload views alike — to one vectored write.
+				m.armWriteDeadline(pr)
 				if err := bw.Flush(); err != nil {
-					m.fail(pr.rank, fmt.Errorf("writing to rank %d: %w", pr.rank, err))
+					m.failWrite(pr, err)
 					return
 				}
 				bufs := net.Buffers(segs)
 				if _, err := bufs.WriteTo(pr.conn); err != nil {
-					m.fail(pr.rank, fmt.Errorf("writing to rank %d: %w", pr.rank, err))
+					m.failWrite(pr, err)
 					return
 				}
 				m.met.writevCalls.Add(1)
@@ -618,8 +845,9 @@ func (m *Machine) writeLoop(pr *peer) {
 		}
 
 		if len(batch) == 0 {
+			m.armWriteDeadline(pr)
 			if err := bw.Flush(); err != nil {
-				m.fail(pr.rank, fmt.Errorf("writing to rank %d: %w", pr.rank, err))
+				m.failWrite(pr, err)
 				return
 			}
 			if closed {
@@ -661,16 +889,16 @@ func (m *Machine) readLoop(pr *peer) {
 				m.mbox.hangup(pr.rank)
 				return
 			}
-			m.fail(pr.rank, fmt.Errorf("reading from rank %d: %w", pr.rank, err))
+			m.fail(pr.rank, KindReset, fmt.Errorf("reading from rank %d: %w", pr.rank, err))
 			return
 		}
 		n := binary.LittleEndian.Uint32(lenBuf[:])
 		if int64(n) > int64(maxFrame) {
-			m.fail(pr.rank, fmt.Errorf("frame from rank %d exceeds the %d-byte limit", pr.rank, maxFrame))
+			m.fail(pr.rank, KindUnknown, fmt.Errorf("frame from rank %d exceeds the %d-byte limit", pr.rank, maxFrame))
 			return
 		}
 		if n < 1 {
-			m.fail(pr.rank, fmt.Errorf("corrupt frame from rank %d: empty frame", pr.rank))
+			m.fail(pr.rank, KindUnknown, fmt.Errorf("corrupt frame from rank %d: empty frame", pr.rank))
 			return
 		}
 		if uint32(cap(body)) < n {
@@ -678,20 +906,20 @@ func (m *Machine) readLoop(pr *peer) {
 		}
 		body = body[:n]
 		if _, err := io.ReadFull(br, body); err != nil {
-			m.fail(pr.rank, fmt.Errorf("reading from rank %d: %w", pr.rank, err))
+			m.fail(pr.rank, KindReset, fmt.Errorf("reading from rank %d: %w", pr.rank, err))
 			return
 		}
 		aligned := body[0]&frameFlagAligned != 0
 		rest := body[1:]
 		tag, k := binary.Uvarint(rest)
 		if k <= 0 {
-			m.fail(pr.rank, fmt.Errorf("corrupt frame from rank %d: tag", pr.rank))
+			m.fail(pr.rank, KindUnknown, fmt.Errorf("corrupt frame from rank %d: tag", pr.rank))
 			return
 		}
 		rest = rest[k:]
 		words, k := binary.Uvarint(rest)
 		if k <= 0 {
-			m.fail(pr.rank, fmt.Errorf("corrupt frame from rank %d: words", pr.rank))
+			m.fail(pr.rank, KindUnknown, fmt.Errorf("corrupt frame from rank %d: words", pr.rank))
 			return
 		}
 		rest = rest[k:]
@@ -703,14 +931,32 @@ func (m *Machine) readLoop(pr *peer) {
 		}
 		payload, rest, aliased, err := r.DecodePayloadOpt(rest, wire.DecodeOptions{Aligned: aligned, Alias: aligned})
 		if err != nil {
-			m.fail(pr.rank, fmt.Errorf("decoding message from rank %d (tag %#x): %w", pr.rank, tag, err))
+			m.fail(pr.rank, KindUnknown, fmt.Errorf("decoding message from rank %d (tag %#x): %w", pr.rank, tag, err))
 			return
 		}
 		if len(rest) != 0 {
-			m.fail(pr.rank, fmt.Errorf("frame from rank %d has %d trailing bytes (tag %#x)", pr.rank, len(rest), tag))
+			m.fail(pr.rank, KindUnknown, fmt.Errorf("frame from rank %d has %d trailing bytes (tag %#x)", pr.rank, len(rest), tag))
 			return
 		}
 		m.met.framesIn.Add(1)
+		if int(tag) == tagHeartbeat {
+			// Liveness traffic never reaches the mailbox: answer pings
+			// from the reader (so a busy PE program cannot delay them)
+			// and fold pongs into the peer's health state.
+			if hb, ok := payload.(heartbeat); ok {
+				if hb.Pong {
+					now := m.mono()
+					pr.rttNS.Store(now - hb.SendNS)
+					pr.lastPongNS.Store(now)
+				} else {
+					m.tryEnqueue(pr, tagHeartbeat, heartbeat{SendNS: hb.SendNS, Pong: true}, 1)
+				}
+			}
+			if aliased {
+				body = nil
+			}
+			continue
+		}
 		m.mbox.put(pr.rank, int(tag), envelope{payload: payload, words: int64(words)})
 		if aliased {
 			body = nil // handed off with the payload; next frame gets a fresh buffer
@@ -720,8 +966,30 @@ func (m *Machine) readLoop(pr *peer) {
 
 // fail records a fatal transport error attributed to the given peer and
 // wakes every blocked receiver.
-func (m *Machine) fail(peer int, err error) {
-	m.mbox.fail(peer, err)
+func (m *Machine) fail(peer int, kind ErrKind, err error) {
+	m.mbox.fail(peer, kind, err)
+}
+
+// armWriteDeadline bounds the next write call on the peer's connection
+// by the stall window (no-op when liveness is off).
+func (m *Machine) armWriteDeadline(pr *peer) {
+	if m.stallWindow > 0 {
+		_ = pr.conn.SetWriteDeadline(time.Now().Add(m.stallWindow))
+	}
+}
+
+// failWrite classifies a data-path write failure: a deadline expiry is
+// a stall (the peer stopped draining its socket), anything else a
+// reset. Either way the mesh is fatally poisoned — unlike a
+// heartbeat-detected stall, a torn write cannot be resumed.
+func (m *Machine) failWrite(pr *peer, err error) {
+	kind := KindReset
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		kind = KindStalled
+		err = fmt.Errorf("write made no progress for %v (peer not draining): %w", m.stallWindow, err)
+	}
+	m.fail(pr.rank, kind, fmt.Errorf("writing to rank %d: %w", pr.rank, err))
 }
 
 // Abort tears this rank's endpoint down abruptly: every connection is
@@ -733,8 +1001,14 @@ func (m *Machine) fail(peer int, err error) {
 // failure-injection hook for tests of the layers above; a subsequent
 // Close is a no-op.
 func (m *Machine) Abort() {
+	m.stopHeartbeat()
 	m.closing.Do(func() {
 		err := fmt.Errorf("netcomm: rank %d aborted", m.rank)
+		// Poison the mailbox before touching the sockets: fail is
+		// first-error-wins, and closing the connections makes our own
+		// read/write loops race in with KindReset — the rank that
+		// aborted itself must deterministically see KindAborted.
+		m.mbox.fail(m.rank, KindAborted, err)
 		for _, pr := range m.peers {
 			if pr == nil {
 				continue
@@ -742,10 +1016,25 @@ func (m *Machine) Abort() {
 			pr.mu.Lock()
 			pr.closed = true
 			pr.mu.Unlock()
+			select {
+			case pr.wake <- struct{}{}:
+			default:
+			}
 			_ = pr.conn.SetLinger(0)
 			_ = pr.conn.Close()
 		}
-		m.mbox.fail(m.rank, err)
+		// Join the IO loops: the closed connections error them out
+		// promptly, and waiting here means an aborted endpoint leaves no
+		// goroutines behind (and no unsynchronized reads racing whatever
+		// the caller does next). Bounded like Close's drain.
+		deadline := time.Now().Add(10 * time.Second)
+		for _, pr := range m.peers {
+			if pr == nil {
+				continue
+			}
+			waitUntil(pr.done, deadline)
+			waitUntil(pr.rdone, deadline)
+		}
 		m.closeErr = err
 	})
 }
@@ -754,6 +1043,8 @@ func (m *Machine) Abort() {
 // peers to do the same (draining whatever is still in flight), and
 // tears the connections down. Call it once, after the last Run.
 func (m *Machine) Close() error {
+	m.stopHeartbeat()
+	<-m.hbDone
 	m.closing.Do(func() {
 		for _, pr := range m.peers {
 			if pr == nil {

@@ -1,0 +1,293 @@
+// Package netfault is the transport-level sibling of internal/chaos: a
+// seeded, deterministic fault injector that wraps the real TCP
+// connections of a netcomm mesh (via netcomm.Options.WrapConn) and
+// perturbs the byte streams the way a bad network would — added latency
+// and jitter, bandwidth caps, short and torn writes, one-way read
+// stalls, and mid-stream connection resets.
+//
+// Where chaos perturbs the *algorithm* (message order, exchange
+// batching) above a correct transport, netfault perturbs the *wire*
+// below a correct algorithm: frames arrive fragmented across arbitrary
+// boundaries, late, slowly, or never. The sorters must still produce
+// byte-identical output (torture's netfault dimension pins this), and
+// the liveness layer of netcomm must detect what netfault breaks for
+// real (the service-layer fault tests pin that).
+//
+// Determinism and the repro contract: every fault decision — fragment
+// sizes, stall offsets, which connections reset and when — is drawn
+// from a prng stream derived from (seed, peer rank, direction) and the
+// byte offsets of the connection, never from the wall clock. A failing
+// run reports its seed, and `netfault.New(seed, prof)` rebuilds the
+// exact schedule, the same one-line contract as chaos and torture.
+// (Timing-dependent interleavings of the mesh are, of course, still the
+// scheduler's — determinism here means the fault schedule, not the full
+// execution.)
+package netfault
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmsort/internal/netcomm"
+	"pmsort/internal/prng"
+)
+
+// Profile selects which faults the injector schedules and how hard.
+// The zero value injects nothing (a transparent wrapper).
+type Profile struct {
+	// Latency is added to every read and write call; Jitter adds a
+	// seeded uniform extra in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// BandwidthBps, when positive, paces both directions to roughly
+	// that many bytes per second per connection.
+	BandwidthBps int64
+	// MaxWriteChunk, when positive, tears every larger write into
+	// seeded fragments of at most that many bytes, written back to
+	// back — the receiver sees frames split at arbitrary boundaries.
+	MaxWriteChunk int
+	// StallEveryBytes, when positive, schedules one-way read stalls: on
+	// average every that-many inbound bytes, the reader freezes for
+	// StallDuration while the connection stays open — the fault the
+	// heartbeat/stall-window machinery exists to detect (keep the
+	// duration under the stall window when the run must survive).
+	StallEveryBytes int64
+	StallDuration   time.Duration
+	// ResetChance is the per-connection probability of scheduling a
+	// mid-stream reset: after roughly ResetAfterBytes total bytes, the
+	// connection is closed with linger 0 (RST). Peers observe a hard
+	// transport failure, exactly like a process dying mid-run.
+	ResetChance     float64
+	ResetAfterBytes int64
+}
+
+// Stats counts the faults an injector actually fired (atomics; read
+// with Stats()). Drills assert engagement — a fault run whose injector
+// never fired proves nothing.
+type Stats struct {
+	Delays      int64 `json:"delays"`
+	ShortWrites int64 `json:"short_writes"`
+	Stalls      int64 `json:"stalls"`
+	Resets      int64 `json:"resets"`
+}
+
+// Injector builds fault-injecting connection wrappers from one seed.
+// One injector serves one machine (all its peer connections); Wrap is
+// the netcomm.Options.WrapConn hook.
+type Injector struct {
+	prof Profile
+	seed uint64
+
+	mu   sync.Mutex
+	gate chan struct{} // non-nil while reads are manually hung
+
+	delays      atomic.Int64
+	shortWrites atomic.Int64
+	stalls      atomic.Int64
+	resets      atomic.Int64
+}
+
+// New returns an injector whose entire fault schedule is a pure
+// function of seed and prof.
+func New(seed uint64, prof Profile) *Injector {
+	return &Injector{prof: prof, seed: seed}
+}
+
+// String is the one-line repro recipe.
+func (in *Injector) String() string {
+	return fmt.Sprintf("netfault.New(%#x, %+v)", in.seed, in.prof)
+}
+
+// Stats snapshots the fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Delays:      in.delays.Load(),
+		ShortWrites: in.shortWrites.Load(),
+		Stalls:      in.stalls.Load(),
+		Resets:      in.resets.Load(),
+	}
+}
+
+// HangReads freezes every wrapped connection's reads (one-way: writes
+// keep flowing) until Release — the deterministic "peer stops reading /
+// this rank stops making progress" trigger the liveness tests use.
+// Idempotent.
+func (in *Injector) HangReads() {
+	in.mu.Lock()
+	if in.gate == nil {
+		in.gate = make(chan struct{})
+	}
+	in.mu.Unlock()
+}
+
+// Release lifts HangReads. Idempotent.
+func (in *Injector) Release() {
+	in.mu.Lock()
+	if in.gate != nil {
+		close(in.gate)
+		in.gate = nil
+	}
+	in.mu.Unlock()
+}
+
+func (in *Injector) readGate() chan struct{} {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.gate
+}
+
+// Wrap interposes the fault schedule on one peer connection — the
+// netcomm.Options.WrapConn hook. The connection's schedule is derived
+// from (seed, peer), so a mesh rebuilt with the same seed replays the
+// same faults regardless of goroutine interleaving.
+func (in *Injector) Wrap(peerRank int, conn netcomm.Conn) netcomm.Conn {
+	fc := &faultConn{
+		inner:  conn,
+		in:     in,
+		rrng:   prng.New(in.seed).Fork(uint64(peerRank)*0x9e3779b97f4a7c15 + 0x11),
+		wrng:   prng.New(in.seed).Fork(uint64(peerRank)*0x9e3779b97f4a7c15 + 0x22),
+		closed: make(chan struct{}),
+	}
+	if p := in.prof; p.StallEveryBytes > 0 && p.StallDuration > 0 {
+		fc.nextStall = fc.stallGap()
+	} else {
+		fc.nextStall = -1
+	}
+	if p := in.prof; p.ResetChance > 0 && p.ResetAfterBytes > 0 &&
+		fc.wrng.Float64() < p.ResetChance {
+		// Scheduled reset: after ResetAfterBytes ± 50%, seeded.
+		fc.resetAt.Store(p.ResetAfterBytes/2 + int64(fc.wrng.Uint64n(uint64(p.ResetAfterBytes))))
+	} else {
+		fc.resetAt.Store(-1)
+	}
+	return fc
+}
+
+// faultConn is one wrapped connection. netcomm drives reads from one
+// goroutine and writes from another, so the read-side state (rrng,
+// nextStall) and write-side state (wrng) are single-owner; the byte
+// totals are atomics because the reset check sums both directions.
+type faultConn struct {
+	inner netcomm.Conn
+	in    *Injector
+	rrng  *prng.Rng
+	wrng  *prng.Rng
+
+	rbytes    atomic.Int64
+	wbytes    atomic.Int64
+	resetAt   atomic.Int64 // total byte offset of the scheduled reset (-1: none); checked from both sides
+	nextStall int64        // inbound byte offset of the next scheduled stall (-1: none); read side only
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// stallGap draws the inbound-byte distance to the next stall: mean
+// StallEveryBytes, seeded uniform in [½·mean, 1½·mean).
+func (fc *faultConn) stallGap() int64 {
+	mean := fc.in.prof.StallEveryBytes
+	return mean/2 + int64(fc.rrng.Uint64n(uint64(mean)))
+}
+
+// delay sleeps the profile's latency plus seeded jitter drawn from rng.
+func (fc *faultConn) delay(rng *prng.Rng) {
+	p := fc.in.prof
+	d := p.Latency
+	if p.Jitter > 0 {
+		d += time.Duration(rng.Uint64n(uint64(p.Jitter)))
+	}
+	if d > 0 {
+		fc.in.delays.Add(1)
+		time.Sleep(d)
+	}
+}
+
+// pace sleeps long enough that n bytes respect the bandwidth cap.
+func (fc *faultConn) pace(n int) {
+	if bw := fc.in.prof.BandwidthBps; bw > 0 && n > 0 {
+		time.Sleep(time.Duration(int64(n) * int64(time.Second) / bw))
+	}
+}
+
+// checkReset fires the scheduled mid-stream reset once the connection
+// has moved enough total bytes: linger-0 close, so the peer sees a hard
+// failure, not a graceful EOF.
+func (fc *faultConn) checkReset() error {
+	at := fc.resetAt.Load()
+	if at < 0 || fc.rbytes.Load()+fc.wbytes.Load() < at {
+		return nil
+	}
+	if !fc.resetAt.CompareAndSwap(at, -1) {
+		return nil // the other direction fired it first
+	}
+	fc.in.resets.Add(1)
+	_ = fc.inner.SetLinger(0)
+	_ = fc.inner.Close()
+	return fmt.Errorf("netfault: injected mid-stream reset (%s)", fc.in)
+}
+
+func (fc *faultConn) Read(p []byte) (int, error) {
+	if g := fc.in.readGate(); g != nil {
+		// Manually hung: block until Release or Close. The connection
+		// stays open — from the peers' side this rank simply stops
+		// making progress.
+		select {
+		case <-g:
+		case <-fc.closed:
+		}
+	}
+	fc.delay(fc.rrng)
+	if fc.nextStall >= 0 && fc.rbytes.Load() >= fc.nextStall {
+		fc.in.stalls.Add(1)
+		time.Sleep(fc.in.prof.StallDuration)
+		fc.nextStall = fc.rbytes.Load() + fc.stallGap()
+	}
+	n, err := fc.inner.Read(p)
+	fc.rbytes.Add(int64(n))
+	fc.pace(n)
+	if err == nil {
+		if rerr := fc.checkReset(); rerr != nil {
+			return n, rerr
+		}
+	}
+	return n, err
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		fc.delay(fc.wrng)
+		chunk := len(p)
+		if max := fc.in.prof.MaxWriteChunk; max > 0 && chunk > max {
+			// Torn write: a seeded fragment, never the whole buffer —
+			// the peer's reader must reassemble frames across arbitrary
+			// boundaries.
+			chunk = 1 + fc.wrng.Intn(max)
+			fc.in.shortWrites.Add(1)
+		}
+		n, err := fc.inner.Write(p[:chunk])
+		total += n
+		fc.wbytes.Add(int64(n))
+		fc.pace(n)
+		if err != nil {
+			return total, err
+		}
+		if rerr := fc.checkReset(); rerr != nil {
+			return total, rerr
+		}
+		p = p[chunk:]
+	}
+	return total, nil
+}
+
+func (fc *faultConn) Close() error {
+	fc.closeOnce.Do(func() { close(fc.closed) })
+	return fc.inner.Close()
+}
+
+func (fc *faultConn) CloseWrite() error                  { return fc.inner.CloseWrite() }
+func (fc *faultConn) SetLinger(sec int) error            { return fc.inner.SetLinger(sec) }
+func (fc *faultConn) SetDeadline(t time.Time) error      { return fc.inner.SetDeadline(t) }
+func (fc *faultConn) SetWriteDeadline(t time.Time) error { return fc.inner.SetWriteDeadline(t) }

@@ -23,6 +23,12 @@ type JobRequest struct {
 
 	Keys []uint64 `json:"keys,omitempty"` // raw input; returned sorted
 	Wait bool     `json:"wait,omitempty"`
+
+	// TimeoutMS is the job's deadline in milliseconds, measured from
+	// dispatch (0 = none). An expired job is aborted mesh-wide, fails
+	// with error_kind "deadline", and releases its admission budget
+	// immediately.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // JobStatus is the job representation returned by POST /jobs and
@@ -31,6 +37,15 @@ type JobStatus struct {
 	ID     string `json:"id"`
 	Status string `json:"status"` // queued | running | done | failed
 	Error  string `json:"error,omitempty"`
+
+	// ErrorKind classifies a failure: a transport error kind
+	// ("stalled", "reset", "hangup", "retired", "aborted") or
+	// "deadline"; empty for validation and sort errors. ErrorRank is
+	// the rank the failure is attributed to (omitted when none), and
+	// Attempts counts dispatches (>1 means the job was retried).
+	ErrorKind string `json:"error_kind,omitempty"`
+	ErrorRank int64  `json:"error_rank,omitempty"`
+	Attempts  int    `json:"attempts,omitempty"`
 
 	Algo string `json:"algo"`
 	Kind string `json:"kind,omitempty"`
@@ -136,12 +151,19 @@ func (co *coordinator) statusOf(j *job) JobStatus {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	st := JobStatus{
-		ID:     j.id,
-		Status: j.state,
-		Error:  j.errMsg,
-		Algo:   j.desc.Algo,
-		N:      j.desc.NTotal,
-		WallNS: j.wallNS,
+		ID:       j.id,
+		Status:   j.state,
+		Error:    j.errMsg,
+		Algo:     j.desc.Algo,
+		N:        j.desc.NTotal,
+		WallNS:   j.wallNS,
+		Attempts: j.attempts,
+	}
+	if j.errKind != "" {
+		st.ErrorKind = j.errKind
+		if j.errPeer >= 0 {
+			st.ErrorRank = j.errPeer
+		}
 	}
 	if !j.desc.Raw {
 		st.Kind = j.desc.Kind

@@ -15,6 +15,9 @@ type metrics struct {
 	completed int64
 	failed    int64
 	rejected  int64
+	retried   int64 // transport-failed attempts parked for a retry
+	aborted   int64 // mesh-wide job aborts (deadline or failure unwind)
+	expired   int64 // jobs that hit their deadline
 
 	elements   int64
 	bytesMoved int64
@@ -46,6 +49,18 @@ type JobCounts struct {
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
 	Rejected  int64 `json:"rejected"`
+	Retried   int64 `json:"retried"`
+	Aborted   int64 `json:"aborted"`
+	Expired   int64 `json:"expired"`
+}
+
+// PeerMetrics is one peer's liveness snapshot (netcomm meshes with
+// heartbeats only).
+type PeerMetrics struct {
+	Rank        int   `json:"rank"`
+	RTTNS       int64 `json:"rtt_ns"`        // last heartbeat round-trip
+	SincePongNS int64 `json:"since_pong_ns"` // age of the last pong (-1: heartbeats off)
+	Stalled     bool  `json:"stalled"`
 }
 
 // WallStats summarizes completed-job wall time.
@@ -58,11 +73,21 @@ type WallStats struct {
 
 // Metrics is the GET /metrics response.
 type Metrics struct {
-	P        int    `json:"p"`
-	UptimeNS int64  `json:"uptime_ns"`
-	Degraded string `json:"degraded,omitempty"`
+	P        int   `json:"p"`
+	UptimeNS int64 `json:"uptime_ns"`
+
+	// State is the coordinator's explicit state machine: "serving",
+	// "degraded" (mesh trouble; new submissions 503), or "draining"
+	// (shutdown in progress). Degraded carries the cause and
+	// DegradedKind its transport kind — "stalled" clears on recovery.
+	State        string `json:"state"`
+	Degraded     string `json:"degraded,omitempty"`
+	DegradedKind string `json:"degraded_kind,omitempty"`
 
 	Jobs JobCounts `json:"jobs"`
+
+	// Peers is the per-peer heartbeat view (netcomm meshes only).
+	Peers []PeerMetrics `json:"peers,omitempty"`
 
 	ElementsSorted int64            `json:"elements_sorted"`
 	BytesMoved     int64            `json:"bytes_moved"`
@@ -83,11 +108,14 @@ func (co *coordinator) snapshotMetrics() Metrics {
 		UptimeNS: time.Since(co.start).Nanoseconds(),
 		Jobs: JobCounts{
 			Submitted: co.met.submitted,
-			Queued:    int64(len(co.queue)),
+			Queued:    int64(len(co.queue) + co.retryPending),
 			Running:   int64(co.running),
 			Completed: co.met.completed,
 			Failed:    co.met.failed,
 			Rejected:  co.met.rejected,
+			Retried:   co.met.retried,
+			Aborted:   co.met.aborted,
+			Expired:   co.met.expired,
 		},
 		ElementsSorted: co.met.elements,
 		BytesMoved:     co.met.bytesMoved,
@@ -103,10 +131,32 @@ func (co *coordinator) snapshotMetrics() Metrics {
 	for ph := core.Phase(0); ph < core.NumPhases; ph++ {
 		out.PhaseNS[ph.String()] = co.met.phaseNS[ph]
 	}
+	switch {
+	case co.draining:
+		out.State = "draining"
+	case co.degraded != nil:
+		out.State = "degraded"
+	default:
+		out.State = "serving"
+	}
 	if co.degraded != nil {
 		out.Degraded = co.degraded.Error()
+		out.DegradedKind = co.degradedKind
 	}
 	co.mu.Unlock()
+
+	if co.mesh != nil {
+		h := co.mesh.Health()
+		out.Peers = make([]PeerMetrics, 0, len(h.Peers))
+		for _, ph := range h.Peers {
+			out.Peers = append(out.Peers, PeerMetrics{
+				Rank:        ph.Rank,
+				RTTNS:       ph.RTTNS,
+				SincePongNS: ph.SincePongNS,
+				Stalled:     ph.Stalled,
+			})
+		}
+	}
 
 	// Counter cells are atomic; reading them off the HTTP goroutine while
 	// jobs run is safe (and jobs never record spans — their tag-offset

@@ -27,10 +27,24 @@
 // job errors, the coordinator marks itself degraded (503 for new
 // submissions) and keeps serving status and metrics. The server never
 // panics because of a dead peer.
+//
+// Fault tolerance (DESIGN.md §15): when the communicator is a netcomm
+// mesh with liveness enabled, the coordinator additionally watches
+// peer health. A peer that merely stalls (stops reading, connection
+// open) degrades the service recoverably: in-flight jobs on the
+// stalled path fail typed with kind "stalled", dispatch is held, and
+// when the peer's heartbeats resume the coordinator clears the
+// degradation and serves again. Jobs failed by transport trouble are
+// retried with exponential backoff up to Options.RetryBudget. Each job
+// may carry a deadline (JobRequest.TimeoutMS); an expired job is
+// aborted mesh-wide — an opAbort control message plus retirement of
+// the job's tag namespace unwind every rank's goroutines — and its
+// admission budget is reclaimed immediately.
 package svc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -73,7 +87,17 @@ func jobOffset(epoch int64) int { return int(epoch+1) * epochStride }
 const (
 	opJob      = 1
 	opShutdown = 2
+	opAbort    = 3 // retire one job's tag namespace mesh-wide
 )
+
+// meshComm is the optional transport surface the fault-tolerance layer
+// rides on, implemented by *netcomm.Comm. In-process backends don't
+// have it; on them health watching, job abort, and deadlines degrade
+// to no-ops (jobs still run, they just cannot be unwound mid-flight).
+type meshComm interface {
+	Health() netcomm.MeshHealth
+	RetireTagRange(lo, hi int)
+}
 
 // ctlMsg is the coordinator→worker control message: a job descriptor
 // (opJob) or the shutdown notice (opShutdown). Wire-registered.
@@ -97,6 +121,8 @@ type ctlMsg struct {
 // job's tagJobResult. Wire-registered.
 type rankResult struct {
 	Err     string
+	ErrKind string // transport error kind ("" for non-transport errors)
+	ErrPeer int64  // rank the transport failure is attributed to (-1: none)
 	Count   int64
 	First   uint64 // smallest output element (Count > 0)
 	Last    uint64 // largest output element (Count > 0)
@@ -140,6 +166,14 @@ type Options struct {
 	// Ready, when set, is called once on rank 0 with the service's base
 	// URL as soon as the HTTP listener is up.
 	Ready func(url string)
+	// RetryBudget is how many times a job failed by transport trouble
+	// (a stalled or reset peer — not its own deadline, not a validation
+	// error) is re-dispatched before it fails for good. 0 means the
+	// default (2); negative disables retries.
+	RetryBudget int
+	// RetryBackoff is the delay before the first retry; each further
+	// attempt doubles it (default 200ms).
+	RetryBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -157,6 +191,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ResultLimit <= 0 {
 		o.ResultLimit = 1 << 16
+	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 2
+	} else if o.RetryBudget < 0 {
+		o.RetryBudget = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 200 * time.Millisecond
 	}
 	return o
 }
@@ -205,21 +247,36 @@ func Serve(ctx context.Context, world comm.Communicator, opt Options) error {
 	return serveWorker(world)
 }
 
-// job is the coordinator's record of one submitted job.
+// job is the coordinator's record of one submitted job. The mutable
+// fields are guarded by co.mu.
 type job struct {
 	id    string
 	desc  ctlMsg
 	raw   []uint64 // raw-key input, scattered at dispatch
 	est   int64    // admission-control memory estimate
-	state string   // StatusQueued … StatusFailed, guarded by co.mu
+	state string   // StatusQueued … StatusFailed
 
-	errMsg string
-	res    *Result
+	errMsg  string
+	errKind string // transport error kind ("stalled", "reset", …) or "deadline"
+	errPeer int64  // rank the failure is attributed to (-1: none)
+	res     *Result
+
+	timeout  time.Duration // job deadline; 0 = none
+	timer    *time.Timer   // armed at dispatch when timeout > 0
+	attempts int           // completed dispatch attempts (retries = attempts-1)
 
 	submitted time.Time
 	wallNS    int64
 
 	done chan struct{} // closed on completion (done or failed)
+
+	// abortReason is why the current dispatch was aborted ("" = it
+	// wasn't): "deadline" (the job's own timeout fired) or "stalled"
+	// (the mesh degraded under it and the coordinator unwound it).
+	// abortPeer is the rank blamed for a stall abort (-1 otherwise).
+	abortReason string
+	abortPeer   int64
+	abortSent   bool // opAbort broadcast for the current epoch
 }
 
 // Job states reported over HTTP.
@@ -245,19 +302,22 @@ type Result struct {
 // coordinator is rank 0's state.
 type coordinator struct {
 	world comm.Communicator
+	mesh  meshComm // world's fault-tolerance surface (nil off netcomm)
 	opt   Options
 	rec   *obs.Recorder // transport counters for /metrics (may be nil)
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	jobs      map[string]*job
-	queue     []*job
-	running   int
-	memUse    int64
-	nextID    int64
-	nextEpoch int64
-	draining  bool
-	degraded  error // first transport failure, sticky
+	mu           sync.Mutex
+	cond         *sync.Cond
+	jobs         map[string]*job
+	queue        []*job
+	running      int
+	retryPending int // jobs parked in a retry-backoff timer
+	memUse       int64
+	nextID       int64
+	nextEpoch    int64
+	draining     bool
+	degraded     error  // current transport degradation (sticky unless recoverable)
+	degradedKind string // its kind; "stalled" clears when the peer recovers
 
 	met metrics
 
@@ -278,6 +338,7 @@ func serveCoordinator(ctx context.Context, world comm.Communicator, opt Options)
 		schedDone: make(chan struct{}),
 		stopCh:    make(chan struct{}),
 	}
+	co.mesh, _ = world.(meshComm)
 	co.cond = sync.NewCond(&co.mu)
 
 	ln, err := net.Listen("tcp", opt.Addr)
@@ -295,6 +356,9 @@ func serveCoordinator(ctx context.Context, world comm.Communicator, opt Options)
 	}
 
 	go co.schedule()
+	if co.mesh != nil {
+		go co.healthWatch()
+	}
 
 	select {
 	case <-ctx.Done():
@@ -330,8 +394,16 @@ func (co *coordinator) requestStop() {
 // broadcastShutdown tells every worker to exit its serve loop.
 func (co *coordinator) broadcastShutdown() {
 	for w := 1; w < co.world.Size(); w++ {
-		co.world.Send(w, tagCtl, ctlMsg{Op: opShutdown}, 1)
+		co.sendCtl(w, ctlMsg{Op: opShutdown})
 	}
+}
+
+// sendCtl delivers one control message, swallowing the panic of a
+// torn-down mesh: the failure already surfaces typed on the job paths,
+// and a dead peer must not take the scheduler goroutine with it.
+func (co *coordinator) sendCtl(w int, msg ctlMsg) {
+	defer func() { _ = recover() }()
+	co.world.Send(w, tagCtl, msg, 1)
 }
 
 // submit validates and admits one job. It returns the job record, or an
@@ -369,6 +441,8 @@ func (co *coordinator) submit(req JobRequest) (*job, int, string) {
 		raw:       raw,
 		est:       est,
 		state:     StatusQueued,
+		timeout:   time.Duration(req.TimeoutMS) * time.Millisecond,
+		errPeer:   -1,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
@@ -404,6 +478,9 @@ func (co *coordinator) buildDesc(req JobRequest) (ctlMsg, []uint64, int, string)
 	desc.Seed = req.Seed
 	desc.TieBreak = req.TieBreak == nil || *req.TieBreak
 	desc.Keyed = req.Keyed == nil || *req.Keyed
+	if req.TimeoutMS < 0 {
+		return desc, nil, http.StatusBadRequest, "timeout_ms must be non-negative"
+	}
 
 	if len(req.Keys) > 0 {
 		desc.Raw = true
@@ -429,18 +506,17 @@ func (co *coordinator) buildDesc(req JobRequest) (ctlMsg, []uint64, int, string)
 
 // schedule is the admission loop: it pops queued jobs in FIFO order and
 // dispatches each as soon as a concurrency slot and the memory budget
-// allow. On drain it finishes the queue, waits for the running jobs,
-// and sends the workers their shutdown notice.
+// allow. Dispatch is held while the mesh is recoverably degraded (a
+// stalled peer: jobs would only fail into their retry budget) unless a
+// drain is in progress. On drain it finishes the queue — including
+// jobs parked in retry backoff — waits for the running jobs, and sends
+// the workers their shutdown notice.
 func (co *coordinator) schedule() {
 	defer close(co.schedDone)
 	for {
 		co.mu.Lock()
-		for len(co.queue) == 0 || co.running >= co.opt.MaxConcurrent ||
-			co.memUse+co.queue[0].est > co.opt.MemBudget {
-			if co.draining && len(co.queue) == 0 {
-				for co.running > 0 {
-					co.cond.Wait()
-				}
+		for !co.dispatchableLocked() {
+			if co.drainedLocked() {
 				co.mu.Unlock()
 				co.broadcastShutdown()
 				return
@@ -452,18 +528,57 @@ func (co *coordinator) schedule() {
 		co.running++
 		co.memUse += j.est
 		j.state = StatusRunning
+		j.attempts++
+		j.abortReason, j.abortPeer = "", -1
+		j.abortSent = false
 		j.desc.Epoch = co.nextEpoch
 		co.nextEpoch++
+		if j.timeout > 0 {
+			j.timer = time.AfterFunc(j.timeout, func() { co.expireJob(j) })
+		}
 		co.mu.Unlock()
 
 		// Dispatch before running rank 0's own share: control messages
 		// are FIFO per (sender, tag), so every worker sees jobs in epoch
 		// order and spawns a runner per job.
 		for w := 1; w < co.world.Size(); w++ {
-			co.world.Send(w, tagCtl, j.desc, 1)
+			co.sendCtl(w, j.desc)
 		}
 		go co.runJob(j)
 	}
+}
+
+// dispatchableLocked reports whether the head of the queue can be
+// dispatched right now.
+func (co *coordinator) dispatchableLocked() bool {
+	if len(co.queue) == 0 || co.running >= co.opt.MaxConcurrent ||
+		co.memUse+co.queue[0].est > co.opt.MemBudget {
+		return false
+	}
+	if co.degradedKind == netcomm.KindStalled.String() && !co.draining {
+		// A stalled peer may recover; dispatching into the stall would
+		// only burn retry budget. During a drain we dispatch anyway so
+		// shutdown terminates (the jobs fail fast and typed).
+		return false
+	}
+	return true
+}
+
+// drainedLocked reports whether the drain is complete: nothing queued,
+// nothing running, nothing parked in a retry timer.
+func (co *coordinator) drainedLocked() bool {
+	return co.draining && len(co.queue) == 0 && co.running == 0 && co.retryPending == 0
+}
+
+// jobOutcome is what one dispatch attempt of a job produced, handed to
+// completeJob for the retry/failure/success decision.
+type jobOutcome struct {
+	res       *Result
+	transport error  // rank 0's own transport failure (gather/scatter), nil otherwise
+	errMsg    string // non-empty = this attempt failed
+	errKind   string // transport kind ("stalled", "reset", …); "" = not transport
+	wallNS    int64
+	errPeer   int64 // rank the failure is attributed to (-1: none)
 }
 
 // runJob executes rank 0's share of the job and gathers the per-rank
@@ -474,26 +589,25 @@ func (co *coordinator) runJob(j *job) {
 	p := co.world.Size()
 	jc := comm.WithTagOffset(co.world, jobOffset(j.desc.Epoch))
 
-	var chunk0 []uint64
-	if j.desc.Raw {
-		counts := comm.GroupSizes(len(j.raw), p)
-		off := counts[0]
-		for w := 1; w < p; w++ {
-			chunk := j.raw[off : off+counts[w]]
-			off += counts[w]
-			jc.Send(w, tagJobData, chunk, int64(len(chunk)))
-		}
-		chunk0 = j.raw[:counts[0]:counts[0]]
-	}
-
 	results := make([]rankResult, p)
-	results[0] = runLocal(co.world, j.desc, chunk0)
-	gatherErr := func() (err error) {
+	runErr := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = recoveredError(r)
 			}
 		}()
+		var chunk0 []uint64
+		if j.desc.Raw {
+			counts := comm.GroupSizes(len(j.raw), p)
+			off := counts[0]
+			for w := 1; w < p; w++ {
+				chunk := j.raw[off : off+counts[w]]
+				off += counts[w]
+				jc.Send(w, tagJobData, chunk, int64(len(chunk)))
+			}
+			chunk0 = j.raw[:counts[0]:counts[0]]
+		}
+		results[0] = runLocal(co.world, j.desc, chunk0)
 		for w := 1; w < p; w++ {
 			pl, _ := jc.Recv(w, tagJobResult)
 			results[w] = pl.(rankResult)
@@ -502,15 +616,33 @@ func (co *coordinator) runJob(j *job) {
 	}()
 
 	wall := time.Since(start).Nanoseconds()
-	if gatherErr != nil {
-		co.completeJob(j, nil, fmt.Sprintf("gathering results: %v", gatherErr), wall, gatherErr)
+	if runErr != nil {
+		// Rank 0's own view of the job died (typically the gather hit a
+		// stalled / reset peer, or the namespace was retired by an
+		// abort). Unwind the other ranks before completing.
+		co.abortJob(j)
+		out := jobOutcome{
+			transport: runErr,
+			errMsg:    fmt.Sprintf("gathering results: %v", runErr),
+			wallNS:    wall,
+			errPeer:   -1,
+		}
+		var te *netcomm.TransportError
+		if errors.As(runErr, &te) {
+			out.errKind = te.Kind.String()
+			out.errPeer = int64(te.Peer)
+		}
+		co.completeJob(j, out)
 		return
 	}
 	res := &Result{}
-	var firstErr string
+	var firstErr, firstKind string
+	firstPeer := int64(-1)
 	for rank, r := range results {
 		if r.Err != "" && firstErr == "" {
 			firstErr = fmt.Sprintf("rank %d: %s", rank, r.Err)
+			firstKind = r.ErrKind
+			firstPeer = r.ErrPeer
 		}
 		res.Count += r.Count
 		res.Sum += r.Sum
@@ -525,7 +657,12 @@ func (co *coordinator) runJob(j *job) {
 		}
 	}
 	if firstErr != "" {
-		co.completeJob(j, nil, firstErr, wall, nil)
+		if firstKind != "" {
+			// A remote rank hit transport trouble mid-job; its peers in
+			// the same epoch may still be parked in collectives.
+			co.abortJob(j)
+		}
+		co.completeJob(j, jobOutcome{errMsg: firstErr, errKind: firstKind, wallNS: wall, errPeer: firstPeer})
 		return
 	}
 	// Output is globally ordered by rank (validated collectively inside
@@ -547,55 +684,254 @@ func (co *coordinator) runJob(j *job) {
 			res.Keys = append(res.Keys, r.Keys...)
 		}
 	}
-	co.completeJob(j, res, "", wall, nil)
+	co.completeJob(j, jobOutcome{res: res, wallNS: wall, errPeer: -1})
 }
 
-// completeJob finalizes the job record, releases its admission slot,
-// and folds its outcome into the metrics.
-func (co *coordinator) completeJob(j *job, res *Result, errMsg string, wallNS int64, transport error) {
+// completeJob settles one dispatch attempt: release the admission
+// slot, then either finalize the job (done, failed, expired) or park
+// it for a retry. Idempotent per attempt — a second call for the same
+// dispatch is a no-op.
+func (co *coordinator) completeJob(j *job, out jobOutcome) {
 	co.mu.Lock()
+	if j.state != StatusRunning {
+		co.mu.Unlock()
+		return
+	}
+	if j.timer != nil {
+		j.timer.Stop()
+		j.timer = nil
+	}
 	co.running--
 	co.memUse -= j.est
-	j.wallNS = wallNS
-	if errMsg == "" {
+	j.wallNS = out.wallNS
+
+	switch j.abortReason {
+	case "deadline":
+		// The deadline fired and aborted the job; the underlying error
+		// is the retirement unwinding, but the cause is the deadline.
+		out.errMsg = fmt.Sprintf("deadline exceeded (%v)", j.timeout)
+		out.errKind = "deadline"
+		out.errPeer = -1
+		co.met.expired++
+	case netcomm.KindStalled.String():
+		// The coordinator unwound the job because a peer stalled under
+		// it; blame the stall, not the retirement that delivered it.
+		out.errMsg = fmt.Sprintf("aborted: rank %d stopped responding to heartbeats mid-job", j.abortPeer)
+		out.errKind = netcomm.KindStalled.String()
+		out.errPeer = j.abortPeer
+	}
+
+	// Degrade on real transport trouble — not on our own abort
+	// retiring the namespace, and not on a deadline.
+	if out.errKind != "" && out.errKind != netcomm.KindRetired.String() &&
+		out.errKind != "deadline" && co.degraded == nil {
+		co.degraded = transportCause(out)
+		co.degradedKind = out.errKind
+	}
+
+	if out.errMsg != "" && j.abortReason != "deadline" &&
+		out.errKind != "" && out.errKind != netcomm.KindRetired.String() &&
+		j.attempts <= co.opt.RetryBudget && !co.draining {
+		// Transport-failed with budget left: park for a backoff, then
+		// requeue. The job stays visible as queued; done stays open.
+		j.state = StatusQueued
+		j.errMsg = out.errMsg
+		j.errKind = out.errKind
+		j.errPeer = out.errPeer
+		co.met.retried++
+		co.retryPending++
+		backoff := co.opt.RetryBackoff << (j.attempts - 1)
+		time.AfterFunc(backoff, func() { co.requeue(j) })
+		co.cond.Broadcast()
+		co.mu.Unlock()
+		return
+	}
+
+	if out.errMsg == "" {
 		j.state = StatusDone
-		j.res = res
+		j.res = out.res
+		j.errMsg, j.errKind, j.errPeer = "", "", -1
 		co.met.completed++
-		co.met.elements += res.Count
-		co.met.bytesMoved += res.BytesMoved
-		co.met.totalNS += res.TotalNS
-		for ph := range res.PhaseNS {
-			co.met.phaseNS[ph] += res.PhaseNS[ph]
+		co.met.elements += out.res.Count
+		co.met.bytesMoved += out.res.BytesMoved
+		co.met.totalNS += out.res.TotalNS
+		for ph := range out.res.PhaseNS {
+			co.met.phaseNS[ph] += out.res.PhaseNS[ph]
 		}
-		co.met.observeWall(wallNS)
+		co.met.observeWall(out.wallNS)
 	} else {
 		j.state = StatusFailed
-		j.errMsg = errMsg
+		j.errMsg = out.errMsg
+		j.errKind = out.errKind
+		j.errPeer = out.errPeer
 		co.met.failed++
-	}
-	if transport != nil && co.degraded == nil {
-		co.degraded = transport
 	}
 	co.cond.Broadcast()
 	co.mu.Unlock()
 	close(j.done)
 }
 
+// transportCause shapes a jobOutcome's failure into the coordinator's
+// degradation error, preferring the real error object when rank 0 saw
+// it first-hand.
+func transportCause(out jobOutcome) error {
+	if out.transport != nil {
+		return out.transport
+	}
+	return fmt.Errorf("rank %d reported a %s transport failure", out.errPeer, out.errKind)
+}
+
+// requeue returns a retry-parked job to the admission queue once its
+// backoff elapses.
+func (co *coordinator) requeue(j *job) {
+	co.mu.Lock()
+	co.retryPending--
+	if j.state == StatusQueued {
+		co.queue = append(co.queue, j)
+	}
+	co.cond.Broadcast()
+	co.mu.Unlock()
+}
+
+// expireJob is the deadline timer's callback: abort the job mesh-wide
+// if it is still running. The retirement unwinds every rank's
+// goroutines; the completion flows through runJob → completeJob, which
+// sees the abort reason and reports the deadline, not the retirement.
+func (co *coordinator) expireJob(j *job) {
+	co.mu.Lock()
+	if j.state != StatusRunning || j.abortReason != "" {
+		co.mu.Unlock()
+		return
+	}
+	j.abortReason, j.abortPeer = "deadline", -1
+	co.mu.Unlock()
+	co.abortJob(j)
+}
+
+// abortJob unwinds one job's current dispatch mesh-wide: every worker
+// is told (opAbort) to retire the job's tag namespace, and rank 0
+// retires its own. Queued and future messages in the namespace are
+// dropped, parked receives fail with KindRetired, and the job's
+// goroutines on every rank unwind typed. Idempotent per dispatch.
+func (co *coordinator) abortJob(j *job) {
+	co.mu.Lock()
+	if j.abortSent {
+		co.mu.Unlock()
+		return
+	}
+	j.abortSent = true
+	co.met.aborted++
+	epoch := j.desc.Epoch
+	co.mu.Unlock()
+	for w := 1; w < co.world.Size(); w++ {
+		co.sendCtl(w, ctlMsg{Op: opAbort, ID: j.id, Epoch: epoch})
+	}
+	if co.mesh != nil {
+		co.mesh.RetireTagRange(jobOffset(epoch), jobOffset(epoch)+epochStride)
+	}
+}
+
+// healthWatch polls the mesh's liveness state and maintains the
+// coordinator's degradation: a fatal transport failure degrades
+// permanently, a stalled peer degrades recoverably — when its
+// heartbeats resume, the degradation clears and dispatch resumes.
+func (co *coordinator) healthWatch() {
+	t := time.NewTicker(100 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.schedDone:
+			return
+		case <-t.C:
+		}
+		h := co.mesh.Health()
+		var stalled []int
+		for _, ph := range h.Peers {
+			if ph.Stalled {
+				stalled = append(stalled, ph.Rank)
+			}
+		}
+		co.mu.Lock()
+		var victims []*job
+		switch {
+		case h.Failed != nil:
+			if co.degraded == nil || co.degradedKind == netcomm.KindStalled.String() {
+				co.degraded = h.Failed
+				co.degradedKind = failureKind(h.Failed)
+			}
+		case len(stalled) > 0:
+			if co.degraded == nil {
+				co.degraded = fmt.Errorf("peer(s) %v stopped responding to heartbeats", stalled)
+				co.degradedKind = netcomm.KindStalled.String()
+			}
+			// Unwind the in-flight jobs: they are collectives over every
+			// rank, so a stalled peer wedges them even when their next
+			// receive is from a healthy one. Aborting them typed frees
+			// their budget now and routes them into the retry loop.
+			for _, j := range co.jobs {
+				if j.state == StatusRunning && j.abortReason == "" && !j.abortSent {
+					j.abortReason = netcomm.KindStalled.String()
+					j.abortPeer = int64(stalled[0])
+					victims = append(victims, j)
+				}
+			}
+		default:
+			if co.degradedKind == netcomm.KindStalled.String() {
+				// The stall lifted; serve again.
+				co.degraded, co.degradedKind = nil, ""
+			}
+		}
+		co.cond.Broadcast()
+		co.mu.Unlock()
+		for _, j := range victims {
+			co.abortJob(j)
+		}
+	}
+}
+
+// failureKind extracts the transport error kind from an error chain
+// ("unknown" when it carries no *netcomm.TransportError).
+func failureKind(err error) string {
+	var te *netcomm.TransportError
+	if errors.As(err, &te) {
+		return te.Kind.String()
+	}
+	return netcomm.KindUnknown.String()
+}
+
 // serveWorker is every non-coordinator rank's loop: receive control
 // messages in FIFO order, run each job on its own goroutine, exit on
-// the shutdown notice after the in-flight jobs drain. A transport
-// failure on the control stream (the coordinator died) is returned as
-// an error after the jobs have failed over the same poisoned mailbox.
+// the shutdown notice after the in-flight jobs drain. An opAbort
+// retires the named job's tag namespace, unwinding its local runner.
+// A stall on the control stream (the coordinator stopped responding
+// to heartbeats but may come back) is waited out; a hard transport
+// failure (the coordinator died) is returned as an error after the
+// jobs have failed over the same poisoned mailbox.
 func serveWorker(world comm.Communicator) error {
+	mc, _ := world.(meshComm)
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
 		msg, err := recvCtl(world)
 		if err != nil {
+			var te *netcomm.TransportError
+			if errors.As(err, &te) && te.Kind == netcomm.KindStalled {
+				// Recoverable: the liveness layer will either lift the
+				// stall (heartbeats resume) or escalate it to a fatal
+				// failure (write deadline), which ends this loop.
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
 			return err
 		}
-		if msg.Op == opShutdown {
+		switch msg.Op {
+		case opShutdown:
 			return nil
+		case opAbort:
+			if mc != nil {
+				mc.RetireTagRange(jobOffset(msg.Epoch), jobOffset(msg.Epoch)+epochStride)
+			}
+			continue
 		}
 		wg.Add(1)
 		go func(d ctlMsg) {
@@ -628,7 +964,13 @@ func recvCtl(world comm.Communicator) (msg ctlMsg, err error) {
 func runLocal(world comm.Communicator, d ctlMsg, chunk0 []uint64) (res rankResult) {
 	defer func() {
 		if r := recover(); r != nil {
-			res = rankResult{Err: recoveredError(r).Error()}
+			err := recoveredError(r)
+			res = rankResult{Err: err.Error(), ErrPeer: -1}
+			var te *netcomm.TransportError
+			if errors.As(err, &te) {
+				res.ErrKind = te.Kind.String()
+				res.ErrPeer = int64(te.Peer)
+			}
 		}
 	}()
 	rank, p := world.Rank(), world.Size()

@@ -271,6 +271,15 @@ func (cl *TCPCluster) Run(fn func(c Communicator)) (time.Duration, error) {
 // and tears the mesh down. Call it once, after the last Run.
 func (cl *TCPCluster) Close() error { return cl.m.Close() }
 
+// MeshHealth is the liveness view of a TCP cluster endpoint: the
+// sticky fatal transport error (if any) and, when heartbeats are on
+// (TCPOptions.HeartbeatInterval), each peer's last round-trip, pong
+// age, and stall flag.
+type MeshHealth = netcomm.MeshHealth
+
+// Health reports this endpoint's view of the mesh's liveness.
+func (cl *TCPCluster) Health() MeshHealth { return cl.m.Health() }
+
 // ServeOptions tunes the sort service (see internal/svc): rank 0's HTTP
 // listen address, the admission limits, and the gathered-result cutoff.
 type ServeOptions = svc.Options
@@ -409,6 +418,17 @@ type TCPOptions struct {
 	// retries, handshakes. 0 means 30s. Raise it when ranks start far
 	// apart in time (slow schedulers); lower it to fail fast in tests.
 	RendezvousTimeout time.Duration
+	// HeartbeatInterval enables peer liveness: each rank pings every
+	// peer at this cadence on a reserved transport tag and tracks the
+	// round-trip. 0 disables heartbeats (set StallWindow alone and the
+	// interval defaults to a quarter of it).
+	HeartbeatInterval time.Duration
+	// StallWindow is how long a peer may go without answering
+	// heartbeats — or without draining its socket during a bulk write —
+	// before this rank declares it stalled: receives from it fail with
+	// *TransportError{Kind: KindStalled} until its heartbeats resume.
+	// 0 disables stall detection and write deadlines.
+	StallWindow time.Duration
 }
 
 // NewTCPOpts is NewTCP with explicit options.
@@ -416,6 +436,8 @@ func NewTCPOpts(rank int, peers []string, opt TCPOptions) (*TCPCluster, error) {
 	m, err := netcomm.New(rank, peers, netcomm.Options{
 		Obs:               opt.Obs,
 		RendezvousTimeout: opt.RendezvousTimeout,
+		HeartbeatInterval: opt.HeartbeatInterval,
+		StallWindow:       opt.StallWindow,
 	})
 	if err != nil {
 		return nil, err

@@ -75,6 +75,26 @@ func TestTortureSeeded(t *testing.T) {
 	}
 }
 
+// TestTortureNetFaultLeg guarantees the network-fault dimension runs
+// in every `go test` regardless of which sweep seeds happen to draw
+// it: a real TCP loopback leg under the mild seeded netfault profile
+// (latency, jitter, torn writes, sub-window read stalls) plus
+// heartbeats must still satisfy every sort invariant, and the
+// harness's engagement check proves the injector actually fired.
+func TestTortureNetFaultLeg(t *testing.T) {
+	tc := expt.DeriveTorture(84) // AMS p=4 — any seed works, faults are forced below
+	tc.TCP = true
+	tc.NetFault = true
+	if tc.Spec.P > 4 {
+		tc.Spec.P = 4
+	}
+	line, err := expt.RunTorture(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(line)
+}
+
 // TestTortureDerivationIsPure pins the repro contract: deriving a case
 // from a seed twice yields the identical case (no hidden global state),
 // so the seed alone is a complete failure description.
